@@ -1,0 +1,76 @@
+// bench_ablation_variants — ablation across the Hemlock design space.
+//
+// The paper motivates several optimizations and variants; this bench
+// quantifies each one's contribution on the same MutexBench workloads
+// so DESIGN.md's design-choice claims are backed by data:
+//
+//   * CTR waiting (Listing 2 vs Listing 1), including the FAA(0)
+//     encoding (§2.1)
+//   * Overlap (Listing 3, Appendix A) — the paper "opted to forgo"
+//     it after observing "little observable performance benefit"
+//   * Aggressive Hand-Over (Listing 4, Appendix B) — "the best
+//     overall performance ... when lifecycle concerns permit"
+//   * Optimized Hand-Over variants 1 and 2 (Listings 5-6) — the
+//     lifecycle-safe fast hand-over forms
+//
+// Flags: --duration-ms --runs --max-threads --oversubscribe --csv
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace hemlock;
+
+/// All Hemlock-family configurations under ablation.
+using AblationTags =
+    std::tuple<lock_tag<HemlockNaive>, lock_tag<Hemlock>,
+               lock_tag<HemlockFaa>, lock_tag<HemlockOverlap>,
+               lock_tag<HemlockAh>, lock_tag<HemlockOhv1>,
+               lock_tag<HemlockOhv2>>;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hemlock::bench;
+  Options opts(argc, argv);
+  const auto args = parse_figure_args(opts);
+  reject_unknown(opts);
+
+  for (const bool moderate : {false, true}) {
+    std::cout << "=== Hemlock variant ablation: "
+              << (moderate ? "moderate" : "maximum") << " contention ===\n"
+              << host_banner() << "\n\n";
+    const auto sweep = figure_thread_sweep(args.max_threads);
+    std::vector<std::string> headers{"threads"};
+    for_each_lock_type<AblationTags>([&](auto tag) {
+      using L = typename decltype(tag)::type;
+      headers.emplace_back(lock_traits<L>::name);
+    });
+    Table table(headers);
+    for (const std::uint32_t t : sweep) {
+      MutexBenchConfig cfg;
+      cfg.threads = t;
+      cfg.duration_ms = args.duration_ms;
+      cfg.cs_shared_prng_steps = moderate ? 5 : 0;
+      cfg.ncs_max_prng_steps = moderate ? 400 : 0;
+      std::vector<std::string> row{std::to_string(t)};
+      for_each_lock_type<AblationTags>([&](auto tag) {
+        using L = typename decltype(tag)::type;
+        row.push_back(Table::fmt(mutexbench_median<L>(cfg, args.runs)));
+      });
+      table.add_row(std::move(row));
+    }
+    if (args.csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(M steps/sec. Expected: hemlock >= hemlock- everywhere; "
+               "hemlock-ah best under contention — safe only with "
+               "type-stable lock memory, Appendix B; ohv1/ohv2 close to "
+               "ah without the lifecycle caveat.)\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// bench_common.hpp — shared scaffolding for the figure benches.
+//
+// Every figure bench prints the same series the paper plots: one row
+// per thread count, one column per lock algorithm, values in M
+// steps/sec (median of --runs runs). Durations default short so the
+// whole bench suite completes in minutes; pass --duration-ms=10000
+// --runs=7 to reproduce the paper's exact protocol.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "harness/mutexbench.hpp"
+#include "harness/options.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+
+namespace hemlock::bench {
+
+/// Shared CLI knobs for figure benches.
+struct FigureArgs {
+  std::int64_t duration_ms;
+  int runs;
+  std::uint32_t max_threads;
+  bool csv;
+  std::uint64_t seed;
+};
+
+/// Parse the common options; exits on unknown flags.
+inline FigureArgs parse_figure_args(const Options& opts) {
+  FigureArgs a;
+  a.duration_ms = opts.get_int("duration-ms", 200);
+  a.runs = static_cast<int>(opts.get_int("runs", 1));
+  const bool oversubscribe = opts.has("oversubscribe");
+  a.max_threads = static_cast<std::uint32_t>(opts.get_int(
+      "max-threads", default_max_threads(oversubscribe)));
+  a.csv = opts.has("csv");
+  a.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5EED));
+  return a;
+}
+
+/// Reject unrecognized flags loudly.
+inline void reject_unknown(const Options& opts) {
+  const auto unknown = opts.unconsumed();
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown option(s):");
+    for (const auto& u : unknown) std::fprintf(stderr, " --%s", u.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+}
+
+/// Run a MutexBench sweep over the paper's five figure algorithms and
+/// print the table. `cs_steps`/`ncs_steps` select the contention
+/// regime (Figure 2: 0/0; Figure 3: 5/400).
+inline void run_figure_bench(const char* title, const char* note,
+                             std::uint32_t cs_steps, std::uint32_t ncs_steps,
+                             const FigureArgs& args) {
+  std::cout << title << "\n" << note << "\n" << host_banner() << "\n"
+            << "duration=" << args.duration_ms << "ms runs=" << args.runs
+            << " (paper: 10s, median of 7)\n\n";
+
+  const auto sweep = figure_thread_sweep(args.max_threads);
+  std::vector<std::string> headers{"threads"};
+  for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    headers.emplace_back(lock_traits<L>::name);
+  });
+  Table table(headers);
+
+  for (const std::uint32_t t : sweep) {
+    MutexBenchConfig cfg;
+    cfg.threads = t;
+    cfg.duration_ms = args.duration_ms;
+    cfg.cs_shared_prng_steps = cs_steps;
+    cfg.ncs_max_prng_steps = ncs_steps;
+    cfg.seed = args.seed;
+    std::vector<std::string> row{std::to_string(t)};
+    for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
+      using L = typename decltype(tag)::type;
+      row.push_back(Table::fmt(mutexbench_median<L>(cfg, args.runs)));
+    });
+    table.add_row(std::move(row));
+  }
+
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n(Y values: aggregate throughput, M steps/sec — the "
+               "paper's figure axis.)\n";
+}
+
+}  // namespace hemlock::bench

@@ -1,0 +1,67 @@
+// bench_fig9_multiwait — reproduces Figure 9, the adversarial
+// multi-waiting benchmark (§5.6).
+//
+// Paper: "an array of 10 shared locks. There is a single dedicated
+// 'leader' thread which loops as follows: acquire all 10 locks in
+// ascending order and then release the locks in reverse order. ...
+// All the other threads loop, picking a single random lock from the
+// set of 10, and then acquire and release that lock. We ignore the
+// number of iterations completed by the non-leader threads."
+//
+// Expected shape: everyone degrades with threads; Ticket good at low
+// counts then falls behind; Hemlock- somewhat worse than CLH/MCS;
+// Hemlock (CTR) worse than Hemlock- — "The CTR optimization is
+// actually harmful under high degrees of multi-waiting."
+//
+// Flags: --duration-ms --runs --max-threads --oversubscribe --csv
+//        --locks (default 10)
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hemlock;
+  using namespace hemlock::bench;
+  Options opts(argc, argv);
+  const auto args = parse_figure_args(opts);
+  const auto nlocks =
+      static_cast<std::uint32_t>(opts.get_int("locks", 10));
+  reject_unknown(opts);
+
+  std::cout << "=== Figure 9: Multi-waiting (leader holds " << nlocks
+            << " locks) ===\n"
+            << host_banner() << "\n"
+            << "duration=" << args.duration_ms << "ms runs=" << args.runs
+            << "\nworst-case waiters per location: CLH/MCS 1, Ticket T-1, "
+               "Hemlock min(T-1, N-1)\n\n";
+
+  const auto sweep = figure_thread_sweep(args.max_threads);
+  std::vector<std::string> headers{"threads"};
+  for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    headers.emplace_back(lock_traits<L>::name);
+  });
+  Table table(headers);
+
+  for (const std::uint32_t t : sweep) {
+    if (t < 2) continue;  // need a leader and at least one non-leader
+    MultiWaitConfig cfg;
+    cfg.threads = t;
+    cfg.num_locks = nlocks;
+    cfg.duration_ms = args.duration_ms;
+    std::vector<std::string> row{std::to_string(t)};
+    for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
+      using L = typename decltype(tag)::type;
+      row.push_back(Table::fmt(multiwait_median<L>(cfg, args.runs), 4));
+    });
+    table.add_row(std::move(row));
+  }
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n(Y values: leader throughput, M steps/sec — one step = "
+               "acquire all locks ascending + release descending.)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// bench_latency — google-benchmark microbenchmarks for the latency
+// observations the figures make at T=1 (§5.1: "At 1 thread the
+// benchmark measures the latency of uncontended acquire and release
+// operations. Ticket Locks are the fastest, followed by Hemlock, CLH
+// and MCS") and for the contended hand-over path (§2's atomic-op
+// accounting: uncontended lock = SWAP, uncontended unlock = CAS for
+// MCS/Hemlock, store for CLH/Ticket).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/lock_registry.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace {
+
+using namespace hemlock;
+
+template <typename L>
+void BM_UncontendedLockUnlock(benchmark::State& state) {
+  CacheAligned<L> lock;
+  for (auto _ : state) {
+    lock.value.lock();
+    lock.value.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename L>
+void BM_UncontendedTryLock(benchmark::State& state) {
+  CacheAligned<L> lock;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lock.value.try_lock());
+    lock.value.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Two-thread handover: measures the contended transfer path (the
+// Grant protocol for Hemlock, queue hand-off for MCS/CLH). Thread
+// count fixed at 2 via benchmark's threading support; both threads
+// run the same loop so every acquisition is (usually) contended.
+// The lock has static duration (one per instantiation): thread-safe
+// to initialize, alive across benchmark repetitions, and type-stable
+// — which also satisfies HemlockAh's Appendix-B lifetime requirement.
+template <typename L>
+void BM_ContendedPingPong(benchmark::State& state) {
+  static CacheAligned<L> lock;
+  for (auto _ : state) {
+    lock.value.lock();
+    lock.value.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define LATENCY_BENCHES(L)                                           \
+  BENCHMARK_TEMPLATE(BM_UncontendedLockUnlock, L)->Name(            \
+      std::string("uncontended/") + lock_traits<L>::name);          \
+  BENCHMARK_TEMPLATE(BM_ContendedPingPong, L)                        \
+      ->Name(std::string("pingpong2/") + lock_traits<L>::name)       \
+      ->Threads(2)                                                   \
+      ->UseRealTime();
+
+}  // namespace
+
+LATENCY_BENCHES(Hemlock)
+LATENCY_BENCHES(HemlockNaive)
+LATENCY_BENCHES(HemlockFaa)
+LATENCY_BENCHES(HemlockAh)
+LATENCY_BENCHES(HemlockOhv1)
+LATENCY_BENCHES(HemlockOhv2)
+LATENCY_BENCHES(McsLock)
+LATENCY_BENCHES(McsK42Lock)
+LATENCY_BENCHES(ClhLock)
+LATENCY_BENCHES(TicketLock)
+LATENCY_BENCHES(TasLock)
+LATENCY_BENCHES(TtasLock)
+
+BENCHMARK_TEMPLATE(BM_UncontendedTryLock, Hemlock)
+    ->Name("uncontended-trylock/hemlock");
+BENCHMARK_TEMPLATE(BM_UncontendedTryLock, McsLock)
+    ->Name("uncontended-trylock/mcs");
+BENCHMARK_TEMPLATE(BM_UncontendedTryLock, TicketLock)
+    ->Name("uncontended-trylock/ticket");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// bench_ring_token — the §5.5 token-ring validation of CTR.
+//
+// Paper: "We can show similar benefits from CTR with a simple program
+// where a set of concurrent threads are configured in a ring, and
+// circulate a single token. A thread waits for its mailbox to become
+// non-zero, clears the mailbox, and deposits the token in its
+// successor's mailbox. Using CAS, SWAP or Fetch-and-Add to busy-wait
+// improves the circulation rate as compared to the naive form which
+// uses loads."
+//
+// Flags: --threads (ring size, default 8) --duration-ms --runs --csv
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "harness/mutexbench.hpp"  // host_banner
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/pause.hpp"
+#include "runtime/timing.hpp"
+#include "runtime/topology.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace hemlock;
+
+enum class WaitKind { kLoad, kCas, kSwap, kFaa };
+
+const char* wait_name(WaitKind k) {
+  switch (k) {
+    case WaitKind::kLoad: return "load (naive)";
+    case WaitKind::kCas: return "CAS";
+    case WaitKind::kSwap: return "SWAP";
+    case WaitKind::kFaa: return "FAA";
+  }
+  return "?";
+}
+
+/// Wait until the mailbox is non-zero and clear it, with the selected
+/// polling primitive; returns the observed token.
+std::uint64_t take(std::atomic<std::uint64_t>& box, WaitKind kind,
+                   std::atomic<bool>& stop) {
+  for (;;) {
+    if (stop.load(std::memory_order_relaxed)) return 0;
+    switch (kind) {
+      case WaitKind::kLoad: {
+        const std::uint64_t v = box.load(std::memory_order_acquire);
+        if (v != 0) {
+          box.store(0, std::memory_order_release);  // S->M upgrade
+          return v;
+        }
+        break;
+      }
+      case WaitKind::kCas: {
+        std::uint64_t e = 1;
+        if (box.compare_exchange_weak(e, 0, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+          return 1;
+        }
+        break;
+      }
+      case WaitKind::kSwap: {
+        const std::uint64_t v = box.exchange(0, std::memory_order_acq_rel);
+        if (v != 0) return v;
+        break;
+      }
+      case WaitKind::kFaa: {
+        if (box.fetch_add(0, std::memory_order_acquire) != 0) {
+          box.store(0, std::memory_order_release);  // line already in M
+          return 1;
+        }
+        break;
+      }
+    }
+    cpu_relax();
+  }
+}
+
+double run_ring(WaitKind kind, std::uint32_t threads,
+                std::int64_t duration_ms) {
+  struct Shared {
+    std::vector<CacheAligned<std::atomic<std::uint64_t>>> boxes;
+    CacheAligned<std::atomic<bool>> stop{false};
+    SpinBarrier barrier;
+    Shared(std::uint32_t n, std::uint32_t parties)
+        : boxes(n), barrier(parties) {}
+  };
+  auto shared = std::make_unique<Shared>(threads, threads + 1);
+
+  std::vector<std::uint64_t> laps(threads, 0);
+  std::vector<std::thread> workers;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& my_box = shared->boxes[t].value;
+      auto& next_box = shared->boxes[(t + 1) % threads].value;
+      std::uint64_t count = 0;
+      shared->barrier.arrive_and_wait();
+      if (t == 0) next_box.store(1, std::memory_order_release);  // inject
+      while (!shared->stop.value.load(std::memory_order_relaxed)) {
+        if (take(my_box, kind, shared->stop.value) == 0) break;
+        next_box.store(1, std::memory_order_release);
+        ++count;
+      }
+      laps[t] = count;
+      shared->barrier.arrive_and_wait();
+    });
+  }
+  shared->barrier.arrive_and_wait();
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  shared->stop.value.store(true, std::memory_order_relaxed);
+  shared->barrier.arrive_and_wait();
+  const std::int64_t elapsed = timer.elapsed_ns();
+  for (auto& w : workers) w.join();
+
+  std::uint64_t hops = 0;
+  for (auto l : laps) hops += l;
+  return ops_per_sec(hops, elapsed) / 1e6;  // M hops/sec
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto threads = static_cast<std::uint32_t>(opts.get_int(
+      "threads", std::min<std::int64_t>(8, topology().logical_cpus)));
+  const auto duration_ms = opts.get_int("duration-ms", 300);
+  const int runs = static_cast<int>(opts.get_int("runs", 3));
+  const bool csv = opts.has("csv");
+  // Tolerate the common figure-bench flags from driver scripts.
+  (void)opts.get_int("max-threads", 0);
+  (void)opts.has("oversubscribe");
+  if (!opts.unconsumed().empty()) {
+    std::cerr << "unknown option(s)\n";
+    return 2;
+  }
+
+  std::cout << "=== §5.5 token ring: busy-wait primitive vs circulation "
+               "rate ===\n"
+            << host_banner() << "\n"
+            << "ring=" << threads << " threads, duration=" << duration_ms
+            << "ms, median of " << runs << "\n\n";
+
+  Table table({"waiting primitive", "M hops/sec"});
+  for (const WaitKind k :
+       {WaitKind::kLoad, WaitKind::kCas, WaitKind::kSwap, WaitKind::kFaa}) {
+    Summary s;
+    for (int r = 0; r < runs; ++r) {
+      s.add(run_ring(k, threads, duration_ms));
+    }
+    table.add_row({wait_name(k), Table::fmt(s.median())});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n(paper: RMW-based waiting improves the circulation rate "
+               "over the naive load form.)\n";
+  return 0;
+}

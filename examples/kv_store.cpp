@@ -1,0 +1,84 @@
+// kv_store — MiniKV with a Hemlock central mutex: the Figure-8
+// architecture as an application (coarse-grained locking around a
+// read-mostly store), with live §5.4 profiling.
+//
+//   build/examples/kv_store [readers] [seconds]
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/hemlock.hpp"
+#include "minikv/db.hpp"
+#include "minikv/db_bench.hpp"
+#include "runtime/thread_rec.hpp"
+#include "stats/lock_profiler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hemlock;
+  const int readers = argc > 1 ? std::atoi(argv[1]) : 8;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
+  constexpr std::uint64_t kKeys = 50000;
+
+  // The central mutex is a Hemlock — swap the template argument to
+  // run the same store on MCS, CLH, Ticket, std::mutex, ...
+  minikv::DB<Hemlock> db;
+
+  std::cout << "populating " << kKeys << " keys (fillseq)...\n";
+  minikv::fill_seq(db, kKeys, 100);
+  std::cout << "tables=" << db.num_tables()
+            << " compactions=" << db.compactions() << "\n";
+
+  ThreadRegistry::reset_profile();
+  LockProfiler::enable(true);
+
+  // Read-mostly workload with a background writer, like LevelDB under
+  // a mixed load: readers do random gets; the writer keeps updating.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      Xoshiro256 prng(77 + r);
+      std::string value;
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto k = prng.below(kKeys);
+        if (!db.get(minikv::bench_key(k), &value).is_ok()) {
+          std::cerr << "lost key!\n";
+          std::abort();
+        }
+        ++n;
+      }
+      reads.fetch_add(n);
+    });
+  }
+  std::thread writer([&] {
+    Xoshiro256 prng(1234);
+    std::uint64_t version = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto k = prng.below(kKeys);
+      db.put(minikv::bench_key(k), "updated-" + std::to_string(++version));
+    }
+  });
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(seconds * 1000)));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  writer.join();
+  LockProfiler::enable(false);
+
+  std::cout << "\nreaders=" << readers << " duration=" << seconds << "s\n"
+            << "aggregate reads: " << reads.load() << " ("
+            << static_cast<double>(reads.load()) / seconds / 1e6
+            << " M reads/sec)\n"
+            << "block cache: " << db.cache_hits() << " hits, "
+            << db.cache_misses() << " misses\n\n"
+            << collect_lock_usage_profile().describe()
+            << "(single central lock => the paper's §5.4 prediction: "
+               "purely local spinning)\n";
+  ThreadRegistry::reset_profile();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// quickstart — the 5-minute tour of the Hemlock library.
+//
+//   build/examples/quickstart
+//
+// Shows: creating a Hemlock (one word!), RAII guards, try_lock,
+// std::scoped_lock interop, a multi-threaded counter, and the
+// per-thread Grant record that makes it all work.
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/hemlock.hpp"
+#include "locks/lockable.hpp"
+#include "runtime/thread_rec.hpp"
+
+int main() {
+  // A Hemlock is a single word: the tail of its implicit queue.
+  hemlock::Hemlock lock;
+  static_assert(sizeof(lock) == sizeof(void*));
+  std::cout << "sizeof(Hemlock) = " << sizeof(lock) << " bytes\n";
+
+  // 1. Plain lock/unlock — context-free: nothing passes between them.
+  lock.lock();
+  std::cout << "acquired (uncontended path: one atomic SWAP)\n";
+  lock.unlock();
+
+  // 2. RAII — our guard or any std::lock-family adapter works.
+  {
+    hemlock::LockGuard<hemlock::Hemlock> g(lock);
+    std::cout << "guarded critical section\n";
+  }
+  {
+    std::scoped_lock g(lock);  // BasicLockable-compatible
+    std::cout << "std::scoped_lock works too\n";
+  }
+
+  // 3. try_lock — a single CAS (paper §2).
+  if (lock.try_lock()) {
+    std::cout << "try_lock succeeded\n";
+    lock.unlock();
+  }
+
+  // 4. Real contention: 8 threads, one shared counter.
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100000; ++i) {
+        hemlock::with_lock(lock, [&] { ++counter; });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::cout << "counter = " << counter << " (expected 800000)\n";
+
+  // 5. The entire per-thread cost: one Grant word (on its own cache
+  // line), registered automatically on first use.
+  std::cout << "this thread's Grant word is at " << &hemlock::self().grant.value
+            << " and is currently "
+            << (hemlock::self().grant.value.load() == hemlock::kGrantEmpty
+                    ? "empty"
+                    : "busy")
+            << "\n";
+  std::cout << "threads ever registered: "
+            << hemlock::ThreadRegistry::ever_registered() << "\n";
+  return counter == 800000 ? 0 : 1;
+}

@@ -1,0 +1,165 @@
+#include "coherence/cache_model.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace hemlock::coherence {
+
+CacheModel::CacheModel(Protocol protocol, std::uint32_t cores)
+    : protocol_(protocol), cores_(cores), per_core_(cores) {
+  assert(cores > 0);
+}
+
+std::uint32_t CacheModel::add_line() {
+  std::lock_guard<std::mutex> g(mu_);
+  const auto id = static_cast<std::uint32_t>(states_.size() / cores_);
+  states_.insert(states_.end(), cores_, LineState::kInvalid);
+  return id;
+}
+
+void CacheModel::on_load(std::uint32_t core, std::uint32_t line) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& me = states_[line * cores_ + core];
+  auto& c = per_core_[core];
+  ++c.ops;
+  if (can_read(me)) {
+    ++c.hits;
+    return;
+  }
+  ++c.data_reads;
+  read_miss_locked(core, line);
+}
+
+void CacheModel::on_store(std::uint32_t core, std::uint32_t line) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& me = states_[line * cores_ + core];
+  auto& c = per_core_[core];
+  ++c.ops;
+  if (me == LineState::kModified) {
+    ++c.hits;
+    return;
+  }
+  if (me == LineState::kExclusive) {
+    // Silent E->M upgrade: no offcore transaction.
+    me = LineState::kModified;
+    ++c.hits;
+    return;
+  }
+  write_acquire_locked(core, line, /*is_rmw=*/false);
+}
+
+void CacheModel::on_rmw(std::uint32_t core, std::uint32_t line) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& me = states_[line * cores_ + core];
+  auto& c = per_core_[core];
+  ++c.ops;
+  if (me == LineState::kModified) {
+    ++c.hits;
+    return;
+  }
+  if (me == LineState::kExclusive) {
+    me = LineState::kModified;
+    ++c.hits;
+    return;
+  }
+  write_acquire_locked(core, line, /*is_rmw=*/true);
+}
+
+void CacheModel::read_miss_locked(std::uint32_t core, std::uint32_t line) {
+  LineState* row = &states_[line * cores_];
+  auto& c = per_core_[core];
+  bool any_sharer = false;
+  for (std::uint32_t p = 0; p < cores_; ++p) {
+    if (p == core) continue;
+    switch (row[p]) {
+      case LineState::kModified:
+        // Dirty supplier.
+        ++c.writebacks;
+        row[p] = (protocol_ == Protocol::kMoesi) ? LineState::kOwned
+                                                 : LineState::kShared;
+        any_sharer = true;
+        break;
+      case LineState::kExclusive:
+        row[p] = LineState::kShared;
+        any_sharer = true;
+        break;
+      case LineState::kOwned:  // MOESI: stays O, supplies data
+        any_sharer = true;
+        break;
+      case LineState::kForward:
+        // MESIF: forwarder supplies and demotes to plain S; the
+        // requester becomes the new F below.
+        row[p] = LineState::kShared;
+        any_sharer = true;
+        break;
+      case LineState::kShared:
+        any_sharer = true;
+        break;
+      case LineState::kInvalid:
+        break;
+    }
+  }
+  if (!any_sharer) {
+    row[core] = LineState::kExclusive;
+  } else if (protocol_ == Protocol::kMesif) {
+    row[core] = LineState::kForward;  // newest sharer forwards
+  } else {
+    row[core] = LineState::kShared;
+  }
+}
+
+void CacheModel::write_acquire_locked(std::uint32_t core, std::uint32_t line,
+                                      bool /*is_rmw*/) {
+  LineState* row = &states_[line * cores_];
+  auto& c = per_core_[core];
+  ++c.rfos;
+  if (can_read(row[core])) {
+    // Had the data in S/O/F — ownership upgrade.
+    ++c.upgrades;
+  }
+  for (std::uint32_t p = 0; p < cores_; ++p) {
+    if (p == core) continue;
+    if (row[p] != LineState::kInvalid) {
+      if (row[p] == LineState::kModified || row[p] == LineState::kOwned) {
+        ++c.writebacks;  // dirty peer flushes as it invalidates
+      }
+      row[p] = LineState::kInvalid;
+      ++c.invalidations;
+    }
+  }
+  row[core] = LineState::kModified;
+}
+
+CoherenceCounters CacheModel::counters(std::uint32_t core) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return per_core_[core];
+}
+
+CoherenceCounters CacheModel::total() const {
+  std::lock_guard<std::mutex> g(mu_);
+  CoherenceCounters t;
+  for (const auto& c : per_core_) t += c;
+  return t;
+}
+
+void CacheModel::reset_counters() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& c : per_core_) c = CoherenceCounters{};
+}
+
+LineState CacheModel::state(std::uint32_t core, std::uint32_t line) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return states_[line * cores_ + core];
+}
+
+std::string CacheModel::render_line(std::uint32_t line) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::ostringstream os;
+  for (std::uint32_t p = 0; p < cores_; ++p) {
+    if (p) os << ' ';
+    os << state_letter(states_[line * cores_ + p]);
+  }
+  return os.str();
+}
+
+}  // namespace hemlock::coherence

@@ -1,0 +1,80 @@
+// cache_model.hpp — directory-style invalidation coherence model.
+//
+// Tracks, for each registered cache line and each core, the line's
+// coherence state, and charges every simulated access with the
+// protocol transitions it would cause on real hardware: local hits,
+// offcore data reads, RFOs (write misses and upgrades), peer
+// invalidations and dirty-supply writebacks. Caches are modelled as
+// infinite-capacity for the tracked lines — the benchmark working
+// sets are tiny ("offcore accesses largely reflect cache coherent
+// communications", §5.5), so capacity misses are irrelevant and every
+// offcore event is a coherence event.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "coherence/protocol.hpp"
+
+namespace hemlock::coherence {
+
+/// The model. Thread-safe: all transitions serialize on an internal
+/// mutex, so counts are exact for whatever interleaving the calling
+/// threads actually produce.
+class CacheModel {
+ public:
+  /// `cores` is the number of simulated CPUs (≥ the number of calling
+  /// threads; callers identify themselves with a core id).
+  CacheModel(Protocol protocol, std::uint32_t cores);
+
+  CacheModel(const CacheModel&) = delete;
+  CacheModel& operator=(const CacheModel&) = delete;
+
+  /// Register a fresh cache line (all cores start Invalid); returns
+  /// its id. Every SimAtomic occupies its own line, mirroring the
+  /// library's sequestration discipline.
+  std::uint32_t add_line();
+
+  /// Charge a load by `core` on `line`.
+  void on_load(std::uint32_t core, std::uint32_t line);
+  /// Charge a store.
+  void on_store(std::uint32_t core, std::uint32_t line);
+  /// Charge an atomic read-modify-write (CAS/SWAP/FAA — including
+  /// failed CAS and FAA-of-0, which still take ownership: the CTR
+  /// premise).
+  void on_rmw(std::uint32_t core, std::uint32_t line);
+
+  /// Per-core counters.
+  CoherenceCounters counters(std::uint32_t core) const;
+  /// Sum over all cores.
+  CoherenceCounters total() const;
+  /// Zero all counters (line states persist).
+  void reset_counters();
+
+  /// Current state of `line` in `core`'s cache (tests).
+  LineState state(std::uint32_t core, std::uint32_t line) const;
+  /// Protocol in force.
+  Protocol protocol() const { return protocol_; }
+  /// Core count.
+  std::uint32_t cores() const { return cores_; }
+
+  /// Debug rendering of a line's state vector, e.g. "M I I S".
+  std::string render_line(std::uint32_t line) const;
+
+ private:
+  // REQUIRES mu_ held.
+  void read_miss_locked(std::uint32_t core, std::uint32_t line);
+  void write_acquire_locked(std::uint32_t core, std::uint32_t line,
+                            bool is_rmw);
+
+  Protocol protocol_;
+  std::uint32_t cores_;
+  mutable std::mutex mu_;
+  // states_[line * cores_ + core]
+  std::vector<LineState> states_;
+  std::vector<CoherenceCounters> per_core_;
+};
+
+}  // namespace hemlock::coherence

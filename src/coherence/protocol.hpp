@@ -1,0 +1,96 @@
+// protocol.hpp — cache-coherence protocol vocabulary.
+//
+// Table 2 of the paper measures "offcore accesses" — memory requests
+// that cannot be satisfied from a core's local cache, dominated here
+// by coherence misses on the lock words. PMU counters are unavailable
+// in this reproduction environment (see DESIGN.md's substitution
+// table), so src/coherence re-derives those counts mechanistically: a
+// single-writer invalidation protocol simulated over exactly the
+// cache lines the lock algorithms touch.
+//
+// Three protocol flavours are modelled, matching the paper's hosts:
+//   * MESIF — Intel X5-2 (§5.1; Goodman & Hum [30])
+//   * MOESI — SPARC T7-2 and AMD EPYC (§5.2-5.3)
+//   * MESI  — the textbook baseline [31]
+// §2.1's CTR argument is protocol-level: polling with loads leaves
+// the line in S and forces an S→M upgrade on the hand-over's critical
+// path; polling with CAS/FAA keeps the line in M so the consume is a
+// local hit.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hemlock::coherence {
+
+/// Per-(line, core) coherence state.
+enum class LineState : std::uint8_t {
+  kInvalid,    ///< I — no permission
+  kShared,     ///< S — read permission, clean w.r.t. this core
+  kExclusive,  ///< E — sole reader, clean; silent upgrade to M
+  kModified,   ///< M — sole owner, dirty
+  kOwned,      ///< O — MOESI: dirty but shared (supplier on reads)
+  kForward,    ///< F — MESIF: designated clean supplier among sharers
+};
+
+/// Which protocol the model enforces.
+enum class Protocol : std::uint8_t { kMesi, kMesif, kMoesi };
+
+/// Printable protocol name.
+constexpr std::string_view protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kMesi: return "MESI";
+    case Protocol::kMesif: return "MESIF";
+    case Protocol::kMoesi: return "MOESI";
+  }
+  return "?";
+}
+
+/// Printable state letter.
+constexpr char state_letter(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return 'I';
+    case LineState::kShared: return 'S';
+    case LineState::kExclusive: return 'E';
+    case LineState::kModified: return 'M';
+    case LineState::kOwned: return 'O';
+    case LineState::kForward: return 'F';
+  }
+  return '?';
+}
+
+/// True when the state grants read permission.
+constexpr bool can_read(LineState s) { return s != LineState::kInvalid; }
+/// True when the state grants write permission without a bus/dir op.
+constexpr bool can_write_silently(LineState s) {
+  return s == LineState::kModified;
+}
+
+/// Event counters in the spirit of the paper's measurement: the sum
+/// offcore_requests.all_data_rd + offcore_requests.demand_rfo
+/// (footnote 10) is offcore_total().
+struct CoherenceCounters {
+  std::uint64_t data_reads = 0;   ///< offcore read requests (load misses)
+  std::uint64_t rfos = 0;         ///< offcore read-for-ownership (write misses + S/O/F→M upgrades)
+  std::uint64_t upgrades = 0;     ///< subset of rfos: had the data, needed ownership
+  std::uint64_t invalidations = 0;///< peer lines invalidated by our writes
+  std::uint64_t writebacks = 0;   ///< dirty lines supplied/flushed on remote requests
+  std::uint64_t hits = 0;         ///< satisfied locally
+  std::uint64_t ops = 0;          ///< total simulated accesses
+
+  /// The paper's "OffCore" metric.
+  std::uint64_t offcore_total() const { return data_reads + rfos; }
+
+  CoherenceCounters& operator+=(const CoherenceCounters& o) {
+    data_reads += o.data_reads;
+    rfos += o.rfos;
+    upgrades += o.upgrades;
+    invalidations += o.invalidations;
+    writebacks += o.writebacks;
+    hits += o.hits;
+    ops += o.ops;
+    return *this;
+  }
+};
+
+}  // namespace hemlock::coherence

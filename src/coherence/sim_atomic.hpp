@@ -1,0 +1,100 @@
+// sim_atomic.hpp — atomics instrumented against the coherence model.
+//
+// A SimAtomic behaves exactly like a std::atomic<T> (the value
+// updates really happen, so the simulated lock algorithms actually
+// synchronize), but every access additionally drives the CacheModel's
+// transition machinery, charging the issuing *simulated core* with
+// the offcore events the access would cost on hardware. The calling
+// thread's core identity comes from a thread_local set by the driver
+// (sim_bench.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "coherence/cache_model.hpp"
+
+namespace hemlock::coherence {
+
+/// The calling thread's simulated core id (set by SimCoreBinding).
+std::uint32_t current_core();
+
+/// RAII binding of this OS thread to a simulated core id.
+class SimCoreBinding {
+ public:
+  explicit SimCoreBinding(std::uint32_t core);
+  ~SimCoreBinding();
+  SimCoreBinding(const SimCoreBinding&) = delete;
+  SimCoreBinding& operator=(const SimCoreBinding&) = delete;
+};
+
+/// Tag: place a SimAtomic on an existing line instead of a fresh one
+/// (models intra-line adjacency, e.g. the head field "adjacent to the
+/// tail" in the paper's 2-word MCS/CLH lock bodies, §5.1).
+struct ShareLine {
+  std::uint32_t line;
+};
+
+/// Atomic word living on its own simulated cache line (or, with
+/// ShareLine, co-resident with another word).
+template <typename T>
+class SimAtomic {
+ public:
+  /// Register a line in `model` and initialize the value.
+  explicit SimAtomic(CacheModel* model, T init = T{})
+      : model_(model), line_(model->add_line()), value_(init) {}
+
+  /// Place on an existing line (false/true-sharing studies and the
+  /// MCS/CLH head-next-to-tail layout).
+  SimAtomic(CacheModel* model, ShareLine share, T init = T{})
+      : model_(model), line_(share.line), value_(init) {}
+
+  SimAtomic(const SimAtomic&) = delete;
+  SimAtomic& operator=(const SimAtomic&) = delete;
+
+  /// Plain load (charged as a read).
+  T load() const {
+    model_->on_load(current_core(), line_);
+    return value_.load(std::memory_order_acquire);
+  }
+
+  /// Plain store (charged as a write).
+  void store(T v) {
+    model_->on_store(current_core(), line_);
+    value_.store(v, std::memory_order_release);
+  }
+
+  /// Atomic exchange (charged as an RMW).
+  T exchange(T v) {
+    model_->on_rmw(current_core(), line_);
+    return value_.exchange(v, std::memory_order_acq_rel);
+  }
+
+  /// Atomic compare-and-swap; returns the *previous* value like the
+  /// paper's CAS. Failed CAS is still an RMW (owns the line — the CTR
+  /// premise).
+  T compare_and_swap(T expected, T desired) {
+    model_->on_rmw(current_core(), line_);
+    T e = expected;
+    value_.compare_exchange_strong(e, desired, std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+    return e;
+  }
+
+  /// Atomic fetch-and-add (FAA(0) is the paper's
+  /// read-with-intent-to-write).
+  T fetch_add(T delta) {
+    model_->on_rmw(current_core(), line_);
+    return value_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  /// The model line backing this variable (tests).
+  std::uint32_t line() const { return line_; }
+
+ private:
+  CacheModel* model_;
+  std::uint32_t line_;
+  std::atomic<T> value_;
+};
+
+}  // namespace hemlock::coherence

@@ -1,0 +1,44 @@
+#include "coherence/sim_bench.hpp"
+
+#include "coherence/sim_atomic.hpp"
+#include "coherence/sim_locks.hpp"
+
+namespace hemlock::coherence {
+
+namespace {
+thread_local std::uint32_t t_sim_core = 0;
+}  // namespace
+
+std::uint32_t current_core() { return t_sim_core; }
+
+SimCoreBinding::SimCoreBinding(std::uint32_t core) { t_sim_core = core; }
+SimCoreBinding::~SimCoreBinding() { t_sim_core = 0; }
+
+std::vector<Table2Row> run_table2(Protocol protocol, std::uint32_t threads,
+                                  std::uint32_t iters) {
+  // Paper Table 2 reference values (Oracle X5-2, 32 threads).
+  std::vector<Table2Row> rows;
+  rows.push_back({"mcs",
+                  run_sim_bench<SimMcsLock>(protocol, threads, iters)
+                      .offcore_per_pair(),
+                  10.6});
+  rows.push_back({"clh",
+                  run_sim_bench<SimClhLock>(protocol, threads, iters)
+                      .offcore_per_pair(),
+                  11.1});
+  rows.push_back({"ticket",
+                  run_sim_bench<SimTicketLock>(protocol, threads, iters)
+                      .offcore_per_pair(),
+                  45.9});
+  rows.push_back({"hemlock",
+                  run_sim_bench<SimHemlockCtr>(protocol, threads, iters)
+                      .offcore_per_pair(),
+                  6.81});
+  rows.push_back({"hemlock-",
+                  run_sim_bench<SimHemlockNaive>(protocol, threads, iters)
+                      .offcore_per_pair(),
+                  7.92});
+  return rows;
+}
+
+}  // namespace hemlock::coherence

@@ -1,0 +1,96 @@
+// sim_bench.hpp — driver that reproduces Table 2's OffCore column.
+//
+// Runs T threads through `iters` lock/unlock pairs each on a
+// simulated lock (sim_locks.hpp) over a CacheModel, and reports the
+// offcore accesses per lock-unlock pair — the paper's Table 2 metric
+// ("the OffCore column reports the number of offcore accesses ...
+// per lock-unlock pair", measured at 32 threads with empty critical
+// and non-critical sections).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coherence/cache_model.hpp"
+#include "coherence/protocol.hpp"
+#include "coherence/sim_atomic.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock::coherence {
+
+/// Simulated-benchmark outcome.
+struct SimBenchResult {
+  CoherenceCounters totals;       ///< summed over cores
+  std::uint64_t pairs = 0;        ///< lock-unlock pairs completed
+  double offcore_per_pair() const {
+    return pairs ? static_cast<double>(totals.offcore_total()) /
+                       static_cast<double>(pairs)
+                 : 0.0;
+  }
+  double invalidations_per_pair() const {
+    return pairs ? static_cast<double>(totals.invalidations) /
+                       static_cast<double>(pairs)
+                 : 0.0;
+  }
+};
+
+/// Execute the empty-critical-section MutexBench shape on SimLock.
+/// SimLock must be constructible from (CacheModel*, threads) and
+/// expose lock()/unlock() keyed on current_core().
+///
+/// `ncs_relax` inserts a short un-simulated pause between pairs. On
+/// real hardware every lock operation costs ~100ns of coherence
+/// latency, so under an empty critical section waiters are always
+/// queued; in the simulator the model-mutex holder can otherwise
+/// blast through its whole loop un-contended (system-mutex handoff
+/// bias), which would measure the *un*contended protocol by accident.
+/// The pause restores realistic queue formation without adding any
+/// simulated memory traffic.
+template <typename SimLock>
+SimBenchResult run_sim_bench(Protocol protocol, std::uint32_t threads,
+                             std::uint32_t iters,
+                             std::uint32_t ncs_relax = 64) {
+  CacheModel model(protocol, threads);
+  SimLock lock(&model, threads);
+  SpinBarrier barrier(threads);
+
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        SimCoreBinding bind(t);
+        barrier.arrive_and_wait();
+        for (std::uint32_t i = 0; i < iters; ++i) {
+          lock.lock();
+          lock.unlock();
+          for (std::uint32_t s = 0; s < ncs_relax; ++s) cpu_relax();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  SimBenchResult res;
+  res.totals = model.total();
+  res.pairs = static_cast<std::uint64_t>(threads) * iters;
+  return res;
+}
+
+/// Table 2 row: algorithm name -> simulated offcore per pair, with
+/// the paper's measured reference value for EXPERIMENTS.md.
+struct Table2Row {
+  std::string name;
+  double offcore_sim;
+  double paper_offcore;  ///< the paper's Table 2 value (X5-2, 32 thr)
+};
+
+/// Run the full Table 2 set (MCS, CLH, Ticket, Hemlock, Hemlock-)
+/// under `protocol` at `threads` threads.
+std::vector<Table2Row> run_table2(Protocol protocol, std::uint32_t threads,
+                                  std::uint32_t iters);
+
+}  // namespace hemlock::coherence

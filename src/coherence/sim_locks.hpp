@@ -1,0 +1,192 @@
+// sim_locks.hpp — the paper's five figure algorithms re-expressed
+// over SimAtomic, so the coherence model can charge exactly the
+// memory traffic each protocol step costs (Table 2's OffCore column).
+//
+// Each simulated lock protects a single instance (the Table 2
+// benchmark has one central lock), with per-thread structures indexed
+// by the simulated core id. The value updates are real atomics, so
+// the algorithms genuinely synchronize while being metered.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coherence/sim_atomic.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock::coherence {
+
+/// Classic Ticket Lock (global spinning on now-serving).
+class SimTicketLock {
+ public:
+  SimTicketLock(CacheModel* model, std::uint32_t /*threads*/)
+      : next_(model, 0), serving_(model, 0) {}
+
+  void lock() {
+    const std::uint64_t my = next_.fetch_add(1);
+    while (serving_.load() != my) cpu_relax();
+  }
+  void unlock() { serving_.store(serving_.load() + 1); }
+
+ private:
+  SimAtomic<std::uint64_t> next_;
+  SimAtomic<std::uint64_t> serving_;
+};
+
+/// Classic MCS (local spinning on own node; nodes recycled per
+/// thread, so the reinitialization stores the paper blames for
+/// MCS/CLH's elevated offcore rates are charged faithfully). The
+/// owner pointer (head) lives in the lock body "in a field adjacent
+/// to the tail" (§5.1) — the same cache line — so the head traffic
+/// that Hemlock's context-freedom avoids (§1) is charged too.
+class SimMcsLock {
+ public:
+  SimMcsLock(CacheModel* model, std::uint32_t threads)
+      : tail_(model, 0), head_(model, ShareLine{tail_.line()}, 0) {
+    nodes_.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      nodes_.push_back(std::make_unique<Node>(model));
+    }
+  }
+
+  void lock() {
+    const std::uint32_t me = current_core();
+    Node& n = *nodes_[me];
+    n.next.store(0);
+    n.locked.store(1);
+    const std::uint64_t pred = tail_.exchange(me + 1);
+    if (pred != 0) {
+      nodes_[pred - 1]->next.store(me + 1);
+      while (n.locked.load() != 0) cpu_relax();
+    }
+    // Record the owner's node for the context-free unlock (executes
+    // inside the effective critical section, §1).
+    head_.store(me + 1);
+  }
+
+  void unlock() {
+    const std::uint32_t me = current_core();
+    Node& n = *nodes_[head_.load() - 1];  // dependent load via head
+    std::uint64_t succ = n.next.load();
+    if (succ == 0) {
+      if (tail_.compare_and_swap(me + 1, 0) == me + 1) return;
+      while ((succ = n.next.load()) == 0) cpu_relax();
+    }
+    nodes_[succ - 1]->locked.store(0);
+  }
+
+ private:
+  // A real (padded) McsNode is ONE cache line holding both fields, so
+  // a successor's arrival store to `next` invalidates the line the
+  // node's owner is spinning on via `locked` — a coupling cost the
+  // model must charge.
+  struct Node {
+    explicit Node(CacheModel* m)
+        : next(m, 0), locked(m, ShareLine{next.line()}, 0) {}
+    SimAtomic<std::uint64_t> next;
+    SimAtomic<std::uint64_t> locked;  // same line as next
+  };
+  SimAtomic<std::uint64_t> tail_;
+  SimAtomic<std::uint64_t> head_;  // same line as tail_
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+/// CLH (local spinning on the predecessor's node; nodes migrate, and
+/// the release->reuse reinitialization store is charged, as for MCS).
+/// Scott's standard-interface variant stores the owner's node in a
+/// head field adjacent to the tail (same cache line), charged like
+/// MCS's.
+class SimClhLock {
+ public:
+  SimClhLock(CacheModel* model, std::uint32_t threads)
+      : tail_(model, /*dummy=*/threads + 1),
+        head_(model, ShareLine{tail_.line()}, 0) {
+    // Node ids are 1-based; node threads+1 is the initial dummy.
+    for (std::uint32_t i = 0; i < threads + 1; ++i) {
+      nodes_.push_back(std::make_unique<SimAtomic<std::uint64_t>>(model, 0));
+    }
+    my_node_.assign(threads, 0);
+    for (std::uint32_t t = 0; t < threads; ++t) my_node_[t] = t + 1;
+  }
+
+  void lock() {
+    const std::uint32_t me = current_core();
+    const std::uint64_t mine = my_node_[me];
+    node(mine).store(1);  // reinitialize for this epoch
+    const std::uint64_t pred = tail_.exchange(mine);
+    while (node(pred).load() != 0) cpu_relax();
+    // Acquired: the predecessor's node migrates to us for future use,
+    // and the head field records our enqueued node for unlock.
+    my_node_[me] = pred;
+    head_.store(mine);
+  }
+
+  void unlock() {
+    node(head_.load()).store(0);  // dependent load via head
+  }
+
+ private:
+  SimAtomic<std::uint64_t>& node(std::uint64_t id) { return *nodes_[id - 1]; }
+
+  SimAtomic<std::uint64_t> tail_;
+  SimAtomic<std::uint64_t> head_;  // same line as tail_
+  std::vector<std::unique_ptr<SimAtomic<std::uint64_t>>> nodes_;
+  std::vector<std::uint64_t> my_node_;  // thread-private
+};
+
+/// Hemlock (Listings 1-2). `Ctr` selects the waiting policy: CAS/FAA
+/// polling (Listing 2) versus plain loads + a clearing store
+/// (Listing 1, "Hemlock-"). The Grant value 1 stands for the single
+/// lock's address.
+template <bool Ctr>
+class SimHemlockLock {
+ public:
+  SimHemlockLock(CacheModel* model, std::uint32_t threads) : tail_(model, 0) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      grants_.push_back(std::make_unique<SimAtomic<std::uint64_t>>(model, 0));
+    }
+  }
+
+  void lock() {
+    const std::uint32_t me = current_core();
+    const std::uint64_t pred = tail_.exchange(me + 1);
+    if (pred != 0) {
+      SimAtomic<std::uint64_t>& g = *grants_[pred - 1];
+      if constexpr (Ctr) {
+        // Listing 2 line 9: CAS-poll; the failed CAS already owns the
+        // line, so the successful consume is a local hit.
+        while (g.compare_and_swap(1, 0) != 1) cpu_relax();
+      } else {
+        // Listing 1 lines 11-12: load-poll then clearing store — the
+        // store pays the S->M upgrade CTR exists to avoid.
+        while (g.load() != 1) cpu_relax();
+        g.store(0);
+      }
+    }
+  }
+
+  void unlock() {
+    const std::uint32_t me = current_core();
+    const std::uint64_t v = tail_.compare_and_swap(me + 1, 0);
+    if (v != me + 1) {
+      SimAtomic<std::uint64_t>& g = *grants_[me];
+      g.store(1);
+      if constexpr (Ctr) {
+        // Listing 2 line 15: FAA(0) — read with intent to write.
+        while (g.fetch_add(0) != 0) cpu_relax();
+      } else {
+        while (g.load() != 0) cpu_relax();
+      }
+    }
+  }
+
+ private:
+  SimAtomic<std::uint64_t> tail_;
+  std::vector<std::unique_ptr<SimAtomic<std::uint64_t>>> grants_;
+};
+
+using SimHemlockCtr = SimHemlockLock<true>;
+using SimHemlockNaive = SimHemlockLock<false>;
+
+}  // namespace hemlock::coherence

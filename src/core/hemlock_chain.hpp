@@ -1,0 +1,182 @@
+// hemlock_chain.hpp — the Appendix C park/unpark-capable variant.
+//
+// "To allow purely local spinning and enable the use of park-unpark
+// waiting constructs, we can replace the per-thread Grant field with
+// a per-thread pointer to a chain of waiting elements, each of which
+// represents a waiting thread. The elements on T's chain are T's
+// immediate successors for various locks. Waiting elements contain a
+// next field, a flag and a reference to the lock being waited on and
+// can be allocated on-stack. Instead of busy waiting on the
+// predecessor's Grant field, waiting threads use CAS to push their
+// element onto the predecessor's chain, and then busy-wait on the
+// flag in their element. The contended unlock(L) operator detaches
+// the thread's own chain, using SWAP of null, traverses the detached
+// chain, and sets the flag in the element that references L. (At most
+// one element will reference L). Any residual non-matching elements
+// are returned to the chain. The detach-and-scan phase repeats until
+// a matching successor is found and ownership is transferred."
+//
+// Each waiter spins briefly on its private flag then parks on it via
+// futex — the park/unpark construct the chain exists to enable. The
+// waker's futex_wake may land after the (stack-allocated) element is
+// already popped and its frame reused; that is the standard
+// wake-after-free futex idiom — the syscall either finds no waiters
+// or spuriously wakes an unrelated one, and every wait loop here
+// re-checks its predicate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/hemlock.hpp"
+#include "locks/lock_traits.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/futex.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+namespace detail {
+
+/// On-stack waiting element (Appendix C: next + flag + lock ref).
+struct alignas(kCacheLineSize) ChainElem {
+  ChainElem* next = nullptr;
+  std::atomic<std::uint32_t> flag{0};  ///< 0 = waiting, 1 = granted
+  const void* lock_addr = nullptr;
+};
+
+/// Per-thread chain head: this thread's immediate successors, one
+/// element per lock they wait on. Sole occupant of its line.
+struct ChainRec {
+  CacheAligned<std::atomic<ChainElem*>> head{nullptr};
+};
+
+/// The calling thread's chain record.
+inline ChainRec& chain_self() {
+  static thread_local ChainRec rec;
+  return rec;
+}
+
+}  // namespace detail
+
+/// Hemlock with per-thread successor chains and futex parking.
+/// Strictly local waiting (each waiter has a private flag), at the
+/// cost of the unlock-side detach-and-scan.
+class HemlockChain {
+ public:
+  HemlockChain() = default;
+  HemlockChain(const HemlockChain&) = delete;
+  HemlockChain& operator=(const HemlockChain&) = delete;
+
+  /// Acquire: enqueue on the Tail; if contended, push an on-stack
+  /// element onto the predecessor's chain and wait on our own flag.
+  void lock() {
+    detail::ChainRec& me = detail::chain_self();
+    detail::ChainRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
+    if (pred == nullptr) return;
+
+    detail::ChainElem elem;
+    elem.lock_addr = this;
+    // Treiber push onto the predecessor's chain.
+    detail::ChainElem* h = pred->head.value.load(std::memory_order_relaxed);
+    do {
+      elem.next = h;
+    } while (!pred->head.value.compare_exchange_weak(
+        h, &elem, std::memory_order_release, std::memory_order_relaxed));
+
+    // Spin-then-park on our private flag.
+    for (std::uint32_t spins = 0; spins < kSpinsBeforePark; ++spins) {
+      if (elem.flag.load(std::memory_order_acquire) != 0) return;
+      cpu_relax();
+    }
+    while (elem.flag.load(std::memory_order_acquire) == 0) {
+      futex_wait(&elem.flag, 0);
+    }
+  }
+
+  /// Non-blocking attempt (CAS on Tail).
+  bool try_lock() {
+    detail::ChainRec* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, &detail::chain_self(),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Release: uncontended CAS, else detach-and-scan for the unique
+  /// element referencing this lock, re-attaching bystanders.
+  void unlock() {
+    detail::ChainRec& me = detail::chain_self();
+    detail::ChainRec* expected = &me;
+    if (tail_.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
+    // A successor exists but may not have pushed its element yet;
+    // repeat the detach-and-scan until it appears.
+    for (;;) {
+      detail::ChainElem* list =
+          me.head.value.exchange(nullptr, std::memory_order_acq_rel);
+      detail::ChainElem* match = nullptr;
+      detail::ChainElem* keep_head = nullptr;
+      detail::ChainElem* keep_tail = nullptr;
+      while (list != nullptr) {
+        detail::ChainElem* next = list->next;
+        if (list->lock_addr == this) {
+          match = list;  // at most one element references L
+        } else {
+          list->next = keep_head;
+          keep_head = list;
+          if (keep_tail == nullptr) keep_tail = list;
+        }
+        list = next;
+      }
+      if (keep_head != nullptr) {
+        // Splice the bystanders back (they are other locks' waiters;
+        // their unlocks — also by this thread — will find them).
+        detail::ChainElem* h = me.head.value.load(std::memory_order_relaxed);
+        do {
+          keep_tail->next = h;
+        } while (!me.head.value.compare_exchange_weak(
+            h, keep_head, std::memory_order_release,
+            std::memory_order_relaxed));
+      }
+      if (match != nullptr) {
+        // Transfer ownership. After the flag store the element (on
+        // the successor's stack) may vanish at any moment; the wake
+        // below tolerates that (see file comment).
+        match->flag.store(1, std::memory_order_release);
+        futex_wake(&match->flag, 1);
+        return;
+      }
+      cpu_relax();
+    }
+  }
+
+  /// Racy emptiness snapshot for tests.
+  bool appears_unlocked() const noexcept {
+    return tail_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  static constexpr std::uint32_t kSpinsBeforePark = 512;
+
+  std::atomic<detail::ChainRec*> tail_{nullptr};
+};
+static_assert(sizeof(HemlockChain) == sizeof(void*));
+
+template <>
+struct lock_traits<HemlockChain> {
+  static constexpr const char* name = "hemlock-chain";
+  static constexpr std::size_t lock_words = 1;
+  static constexpr std::size_t held_words = 0;
+  static constexpr std::size_t wait_words =
+      sizeof(detail::ChainElem) / sizeof(void*);  // on-stack element
+  static constexpr std::size_t thread_words = 1;  // chain head
+  static constexpr bool nontrivial_init = false;
+  static constexpr bool is_fifo = true;
+  static constexpr bool has_trylock = true;
+  static constexpr Spinning spinning = Spinning::kLocal;  // private flags
+};
+
+}  // namespace hemlock

@@ -1,0 +1,143 @@
+// hemlock_cv.hpp — the paper's §6 future-work variant: Grant as a
+// bounded buffer of capacity 1 protected by a per-thread mutex and
+// condition variable.
+//
+// "An interesting variation we intend to explore in the future is to
+// replace the simplistic spinning on the Grant field with a
+// per-thread condition variable and mutex pair that protect the Grant
+// field, allowing threads to use the same waiting policy as the
+// platform mutex and condition variable primitives. ... This
+// construction yields 2 interesting properties: (a) the new lock
+// enjoys a fast-path, for uncontended locking, that doesn't require
+// any underlying mutex or condition variable operations, (b) even if
+// the underlying system mutex isn't FIFO, our new lock provides
+// strict FIFO admission."
+//
+// Space: one word per lock (Tail) plus, per thread, {mutex, condvar,
+// Grant} — attractive "for systems where locks outnumber threads."
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "core/hemlock.hpp"
+#include "locks/lock_traits.hpp"
+
+namespace hemlock {
+
+namespace detail {
+
+/// Per-thread state for HemlockCv: the Grant mailbox plus the
+/// mutex/condvar pair that implements the bounded-buffer waiting
+/// policy. Registered lazily per thread; drained at thread exit.
+struct CvRec {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uintptr_t grant = 0;  // protected by mu
+
+  ~CvRec() {
+    // Appendix A note applies here too: the mailbox must drain before
+    // the memory is reclaimed (a tardy successor may still consume).
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return grant == 0; });
+  }
+};
+
+/// The calling thread's CvRec.
+inline CvRec& cv_self() {
+  static thread_local CvRec rec;
+  return rec;
+}
+
+}  // namespace detail
+
+/// Blocking Hemlock: spins never, parks in the OS via condvars, yet
+/// preserves strict FIFO admission and the uncontended
+/// single-atomic-op fast path.
+class HemlockCv {
+ public:
+  HemlockCv() = default;
+  HemlockCv(const HemlockCv&) = delete;
+  HemlockCv& operator=(const HemlockCv&) = delete;
+
+  /// Acquire. Uncontended: one SWAP, no mutex/condvar operations
+  /// (property (a) above). Contended: block on the predecessor's
+  /// condvar until this lock's address fills its mailbox, then
+  /// consume ("take" from the bounded buffer) and notify.
+  void lock() {
+    detail::CvRec& me = detail::cv_self();
+    detail::CvRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      std::unique_lock<std::mutex> lk(pred->mu);
+      pred->cv.wait(lk, [&] { return pred->grant == lock_word(); });
+      pred->grant = 0;
+      // Wake the predecessor's producer side (its next contended
+      // unlock waits for the mailbox to empty) and any co-waiters
+      // monitoring the same mailbox for other locks. Notify while
+      // HOLDING the mutex: the predecessor's thread-exit destructor
+      // may destroy the condvar as soon as it can observe grant == 0
+      // under the mutex, so an unlocked notify could touch a dead
+      // object (caught by TSan in the churn stress).
+      pred->cv.notify_all();
+    }
+  }
+
+  /// Non-blocking attempt (CAS on Tail; still no cv operations).
+  bool try_lock() {
+    detail::CvRec* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, &detail::cv_self(),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Release. Uncontended: one CAS. Contended: "put" the lock address
+  /// into our bounded-buffer mailbox — waiting first, if necessary,
+  /// for a previous handover to drain — and notify the successor.
+  void unlock() {
+    detail::CvRec& me = detail::cv_self();
+    detail::CvRec* expected = &me;
+    if (!tail_.compare_exchange_strong(expected, nullptr,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+      std::unique_lock<std::mutex> lk(me.mu);
+      me.cv.wait(lk, [&] { return me.grant == 0; });  // buffer empty?
+      me.grant = lock_word();
+      me.cv.notify_all();  // under the mutex; see lock() for why
+    }
+  }
+
+  /// Racy emptiness snapshot for tests.
+  bool appears_unlocked() const noexcept {
+    return tail_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::uintptr_t lock_word() const noexcept {
+    return reinterpret_cast<std::uintptr_t>(this);
+  }
+
+  std::atomic<detail::CvRec*> tail_{nullptr};
+};
+static_assert(sizeof(HemlockCv) == sizeof(void*));
+
+template <>
+struct lock_traits<HemlockCv> {
+  static constexpr const char* name = "hemlock-cv";
+  static constexpr std::size_t lock_words = 1;
+  static constexpr std::size_t held_words = 0;
+  static constexpr std::size_t wait_words = 0;
+  // mutex + condvar + grant, in words (platform-dependent; reported
+  // for this build's libstdc++).
+  static constexpr std::size_t thread_words =
+      (sizeof(std::mutex) + sizeof(std::condition_variable) +
+       sizeof(std::uintptr_t)) /
+      sizeof(void*);
+  static constexpr bool nontrivial_init = false;
+  static constexpr bool is_fifo = true;
+  static constexpr bool has_trylock = true;
+  static constexpr Spinning spinning = Spinning::kFereLocal;
+};
+
+}  // namespace hemlock

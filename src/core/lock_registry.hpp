@@ -1,0 +1,92 @@
+// lock_registry.hpp — compile-time roster of every lock algorithm.
+//
+// The paper's evaluation framework selects lock implementations at
+// run time (via LD_PRELOAD + an environment variable, §5). This
+// registry is our equivalent: benches, tests and the interposition
+// library dispatch from a lock's name (its lock_traits<>::name) to
+// its type, and the parameterized test suites sweep the full roster.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "core/hemlock.hpp"
+#include "core/hemlock_ah.hpp"
+#include "core/hemlock_chain.hpp"
+#include "core/hemlock_cv.hpp"
+#include "core/hemlock_ohv.hpp"
+#include "core/hemlock_overlap.hpp"
+#include "locks/anderson.hpp"
+#include "locks/clh.hpp"
+#include "locks/lock_traits.hpp"
+#include "locks/mcs.hpp"
+#include "locks/mcs_k42.hpp"
+#include "locks/system.hpp"
+#include "locks/tas.hpp"
+#include "locks/ticket.hpp"
+
+namespace hemlock {
+
+/// Value-carrier for a lock type (locks are not copyable; the
+/// registry traffics in tags instead).
+template <typename L>
+struct lock_tag {
+  using type = L;
+};
+
+/// Default Anderson capacity used by registry consumers; bounded by
+/// the harness's maximum thread sweep.
+using AndersonDefault = AndersonLock<1024>;
+
+/// Every algorithm in the library, core contribution first, then the
+/// paper's baselines, then the reference system mutexes.
+using AllLockTags = std::tuple<
+    lock_tag<Hemlock>, lock_tag<HemlockNaive>, lock_tag<HemlockFaa>,
+    lock_tag<HemlockFutex>, lock_tag<HemlockOverlap>, lock_tag<HemlockAh>,
+    lock_tag<HemlockOhv1>, lock_tag<HemlockOhv2>, lock_tag<HemlockCv>,
+    lock_tag<HemlockChain>, lock_tag<McsLock>, lock_tag<McsK42Lock>,
+    lock_tag<ClhLock>, lock_tag<TicketLock>, lock_tag<TasLock>,
+    lock_tag<TtasLock>, lock_tag<TtasBackoffLock>,
+    lock_tag<AndersonDefault>, lock_tag<PthreadMutex>>;
+
+/// The five algorithms the paper's figures plot: MCS, CLH, Ticket,
+/// Hemlock (CTR) and Hemlock- (naive).
+using PaperFigureLockTags =
+    std::tuple<lock_tag<McsLock>, lock_tag<ClhLock>, lock_tag<TicketLock>,
+               lock_tag<Hemlock>, lock_tag<HemlockNaive>>;
+
+/// Invoke fn(lock_tag<L>{}) for every lock type in Tags.
+template <typename Tags = AllLockTags, typename Fn>
+void for_each_lock_type(Fn&& fn) {
+  std::apply([&](auto... tags) { (fn(tags), ...); }, Tags{});
+}
+
+/// Invoke fn(lock_tag<L>{}) for the lock whose traits name matches;
+/// returns false (without invoking fn) for unknown names.
+template <typename Tags = AllLockTags, typename Fn>
+bool with_lock_type(std::string_view name, Fn&& fn) {
+  bool found = false;
+  for_each_lock_type<Tags>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    if (!found && name == lock_traits<L>::name) {
+      found = true;
+      fn(tag);
+    }
+  });
+  return found;
+}
+
+/// Names of all registered algorithms, registry order.
+template <typename Tags = AllLockTags>
+std::vector<std::string> lock_names() {
+  std::vector<std::string> names;
+  for_each_lock_type<Tags>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    names.emplace_back(lock_traits<L>::name);
+  });
+  return names;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,251 @@
+// waiting.hpp — busy-wait policies for the Grant mailbox protocol.
+//
+// The paper's Coherence Traffic Reduction optimization (§2.1) is a
+// *waiting policy*: instead of polling a Grant word with plain loads
+// (which pulls the line into S-state and forces an S→M upgrade when
+// the waiter finally clears it), the waiter polls with an atomic
+// read-modify-write — CAS (Listing 2 line 9) or fetch-and-add of 0
+// ("read-with-intent-to-write") — so the line is already in M-state
+// in the waiter's cache at the moment of hand-over. The unlock-side
+// wait (Listing 2 line 15) uses FAA(0) because the Grant word "will
+// be written by that same thread in subsequent unlock operations".
+//
+// Each policy provides:
+//   wait_and_consume(g, expect): block until g == expect, then clear
+//       g to kGrantEmpty (the successor's acknowledgement, §2), with
+//       acquire semantics on the observation and release on the clear.
+//   wait_until_empty(g): block until g == kGrantEmpty (the unlock-side
+//       drain), with acquire semantics.
+//
+// "Because of the simple communication pattern, back-off in the
+// busy-waiting loop is not useful" (§2.1) — none of the policies
+// back off; AdaptiveWaiting only escalates to sched_yield for
+// oversubscribed *test* environments, never by default in benches.
+// Each policy additionally provides:
+//   publish(g, value): the unlock-side handover store. Plain release
+//       store for the spinning policies; the parking policy adds the
+//       futex wake that its sleepers depend on.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <type_traits>
+
+#include "runtime/futex.hpp"
+#include "runtime/pause.hpp"
+#include "runtime/thread_rec.hpp"
+
+namespace hemlock {
+
+/// Listing 1 waiting: plain-load polling, then a store to clear.
+/// This is "Hemlock-" in the paper's figures (no CTR).
+struct PoliteWaiting {
+  static constexpr const char* name = "load";
+
+  static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    g.store(value, std::memory_order_release);
+  }
+
+  static void wait_and_consume(std::atomic<GrantWord>& g,
+                               GrantWord expect) noexcept {
+    while (g.load(std::memory_order_acquire) != expect) {
+      cpu_relax();
+    }
+    // Acknowledge receipt: restore the mailbox to empty so the
+    // predecessor may reuse it (the single store the paper counts as
+    // Hemlock's only extra critical-path burden vs MCS/CLH, §2).
+    g.store(kGrantEmpty, std::memory_order_release);
+  }
+
+  static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
+    while (g.load(std::memory_order_acquire) != kGrantEmpty) {
+      cpu_relax();
+    }
+  }
+};
+
+/// Listing 2 waiting: CTR via CAS-polling. Each failed CAS still
+/// acquires the line in M-state, so the eventual successful consume
+/// needs no S→M upgrade transaction on the critical hand-over path.
+struct CtrCasWaiting {
+  static constexpr const char* name = "ctr-cas";
+
+  static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    g.store(value, std::memory_order_release);
+  }
+
+  static void wait_and_consume(std::atomic<GrantWord>& g,
+                               GrantWord expect) noexcept {
+    for (;;) {
+      GrantWord e = expect;
+      if (g.compare_exchange_weak(e, kGrantEmpty, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+        return;
+      }
+      cpu_relax();
+    }
+  }
+
+  static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
+    // FAA(0) as read-with-intent-to-write (paper Listing 2 line 15):
+    // we expect to write this word in our own subsequent unlocks.
+    while (g.fetch_add(0, std::memory_order_acquire) != kGrantEmpty) {
+      cpu_relax();
+    }
+  }
+};
+
+/// §2.1's alternative CTR encoding: poll with fetch-and-add of 0
+/// (LOCK:XADD on x86) and clear with a normal store once the expected
+/// address appears — "we simply replace the load instruction in the
+/// traditional busy-wait loop with fetch-and-add of 0".
+struct CtrFaaWaiting {
+  static constexpr const char* name = "ctr-faa";
+
+  static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    g.store(value, std::memory_order_release);
+  }
+
+  static void wait_and_consume(std::atomic<GrantWord>& g,
+                               GrantWord expect) noexcept {
+    while (g.fetch_add(0, std::memory_order_acquire) != expect) {
+      cpu_relax();
+    }
+    g.store(kGrantEmpty, std::memory_order_release);
+  }
+
+  static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
+    while (g.fetch_add(0, std::memory_order_acquire) != kGrantEmpty) {
+      cpu_relax();
+    }
+  }
+};
+
+/// Spin-then-park waiting via futex — the paper's Appendix C opening:
+/// "threads in the Hemlock slow-path could optionally be made to wait
+/// politely, voluntarily surrendering their CPU and blocking in the
+/// operating system, via constructs such as WaitOnAddress, where a
+/// waiting thread could use WaitOnAddress to monitor its
+/// predecessor's Grant field." futex(2) is Linux's WaitOnAddress.
+///
+/// Mechanics: waiters spin briefly (the usual spin-then-park policy
+/// the paper describes for user-mode locks), then sleep on the low
+/// 32 bits of the Grant word. Every mutation of a Grant word under
+/// this policy goes through publish()/the consume-clear below, which
+/// issue futex_wake_all — so sleeps can never be lost, even when two
+/// lock addresses alias in their low halves (the wake is
+/// unconditional; sleepers re-check their full-width predicate).
+struct FutexWaiting {
+  static constexpr const char* name = "futex";
+  static constexpr std::uint32_t kSpinsBeforePark = 512;
+
+  static_assert(std::endian::native == std::endian::little,
+                "futex word overlay assumes little-endian layout");
+
+  static std::atomic<std::uint32_t>* futex_word(
+      std::atomic<GrantWord>& g) noexcept {
+    // Low 32 bits of the grant word (little-endian: lowest address).
+    return reinterpret_cast<std::atomic<std::uint32_t>*>(&g);
+  }
+
+  static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    g.store(value, std::memory_order_release);
+    futex_wake_all(futex_word(g));
+  }
+
+  static void wait_and_consume(std::atomic<GrantWord>& g,
+                               GrantWord expect) noexcept {
+    for (;;) {
+      for (std::uint32_t i = 0; i < kSpinsBeforePark; ++i) {
+        GrantWord e = expect;
+        if (g.compare_exchange_weak(e, kGrantEmpty,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+          // Acknowledge; the publisher may be parked in its drain.
+          futex_wake_all(futex_word(g));
+          return;
+        }
+        cpu_relax();
+      }
+      const GrantWord seen = g.load(std::memory_order_acquire);
+      if (seen != expect) {
+        futex_wait(futex_word(g), static_cast<std::uint32_t>(seen));
+      }
+    }
+  }
+
+  static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
+    for (;;) {
+      for (std::uint32_t i = 0; i < kSpinsBeforePark; ++i) {
+        if (g.load(std::memory_order_acquire) == kGrantEmpty) return;
+        cpu_relax();
+      }
+      const GrantWord seen = g.load(std::memory_order_acquire);
+      if (seen == kGrantEmpty) return;
+      futex_wait(futex_word(g), static_cast<std::uint32_t>(seen));
+    }
+  }
+};
+
+/// Waiting wrapper used by the Hemlock lock() paths: when the §5.4
+/// profiler is off it defers to the configured policy untouched; when
+/// profiling, it uses a peek-then-consume protocol that makes the
+/// multi-waiting gauge *exact*. The waiter deregisters strictly
+/// before its (then-guaranteed) consume: only this waiter can clear
+/// the observed value (Lemma 9), and no next-epoch waiter can
+/// register on the same Grant word until the owner's drain — which
+/// needs our consume — completes. Hence the gauge can never count a
+/// finished waiter alongside a fresh one.
+template <typename Waiting>
+inline void profiled_wait_and_consume(std::atomic<GrantWord>& g,
+                                      GrantWord expect,
+                                      ThreadRec& pred) noexcept {
+  if (!LockProfiler::enabled()) {
+    Waiting::wait_and_consume(g, expect);
+    return;
+  }
+  LockProfiler::on_wait_begin(pred);
+  while (g.load(std::memory_order_acquire) != expect) {
+    cpu_relax();
+  }
+  LockProfiler::on_wait_end(pred);
+  GrantWord e = expect;
+  const bool consumed = g.compare_exchange_strong(
+      e, kGrantEmpty, std::memory_order_acq_rel, std::memory_order_relaxed);
+  (void)consumed;  // cannot fail: we are the unique consumer of `expect`
+  if constexpr (std::is_same_v<Waiting, FutexWaiting>) {
+    // The publisher may be parked in its drain; the plain CAS above
+    // does not wake it.
+    futex_wake_all(FutexWaiting::futex_word(g));
+  }
+}
+
+/// Load-polling with spin-then-yield escalation. Not part of the
+/// paper's measured configurations; used by the test suite so that
+/// schedules with many more threads than CPUs cannot livelock the CI
+/// machine. Semantically identical to PoliteWaiting.
+struct AdaptiveWaiting {
+  static constexpr const char* name = "adaptive";
+
+  static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    g.store(value, std::memory_order_release);
+  }
+
+  static void wait_and_consume(std::atomic<GrantWord>& g,
+                               GrantWord expect) noexcept {
+    SpinWait w;
+    while (g.load(std::memory_order_acquire) != expect) {
+      w.wait();
+    }
+    g.store(kGrantEmpty, std::memory_order_release);
+  }
+
+  static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
+    SpinWait w;
+    while (g.load(std::memory_order_acquire) != kGrantEmpty) {
+      w.wait();
+    }
+  }
+};
+
+}  // namespace hemlock

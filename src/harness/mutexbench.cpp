@@ -1,0 +1,36 @@
+#include "harness/mutexbench.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "runtime/topology.hpp"
+
+namespace hemlock {
+
+std::vector<std::uint32_t> figure_thread_sweep(std::uint32_t max_threads) {
+  // The paper's log-ish x-axis: 1 2 5 10 20 50 100 200 500 ...
+  static constexpr std::uint32_t kAnchors[] = {1,  2,   5,   10,  20, 50,
+                                               100, 200, 500, 1000};
+  std::vector<std::uint32_t> sweep;
+  for (auto a : kAnchors) {
+    if (a >= max_threads) break;
+    sweep.push_back(a);
+  }
+  if (sweep.empty() || sweep.back() != max_threads) {
+    sweep.push_back(max_threads);
+  }
+  return sweep;
+}
+
+std::uint32_t default_max_threads(bool oversubscribe) {
+  const std::uint32_t cpus = topology().logical_cpus;
+  return oversubscribe ? cpus * 2 : cpus;
+}
+
+std::string host_banner() {
+  std::ostringstream os;
+  os << "host: " << topology().describe();
+  return os.str();
+}
+
+}  // namespace hemlock

@@ -1,0 +1,240 @@
+// mutexbench.hpp — the paper's MutexBench workload driver (§5.1).
+//
+// "The MutexBench benchmark spawns T concurrent threads. Each thread
+// loops as follows: acquire a central lock L; execute a critical
+// section; release L; execute a non-critical section. At the end of a
+// 10 second measurement interval the benchmark reports the total
+// number of aggregate iterations completed by all the threads."
+//
+// Workload knobs reproduce the two figures' configurations:
+//  * Maximum contention (Figures 2/4/6): empty critical and
+//    non-critical sections.
+//  * Moderate contention (Figures 3/5/7): "the non-critical section
+//    generates a uniformly distributed random value in [0-400) and
+//    steps a thread-local C++ std::mt19937 random number generator
+//    (PRNG) that many steps ... The critical section advances a
+//    shared random number generator 5 steps."
+//
+// The same driver powers the multi-waiting benchmark (§5.6 /
+// Figure 9) via run_multiwait_bench.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "locks/lockable.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/prng.hpp"
+#include "runtime/thread_rec.hpp"
+#include "runtime/timing.hpp"
+
+namespace hemlock {
+
+/// MutexBench parameters.
+struct MutexBenchConfig {
+  std::uint32_t threads = 1;
+  std::int64_t duration_ms = 1000;   ///< measurement interval
+  std::uint32_t cs_shared_prng_steps = 0;  ///< CS work: steps of the shared mt19937
+  std::uint32_t ncs_max_prng_steps = 0;    ///< NCS work: uniform [0, max) steps of a thread-local mt19937
+  std::uint64_t seed = 0x5EEDDEADBEEFULL;  ///< workload seed
+};
+
+/// MutexBench outcome for one run.
+struct MutexBenchResult {
+  std::uint64_t total_iterations = 0;        ///< aggregate loop count
+  std::int64_t elapsed_ns = 0;               ///< actual measured interval
+  std::vector<std::uint64_t> per_thread;     ///< per-thread iteration counts
+
+  /// The paper's Y axis: aggregate throughput in M steps/sec.
+  double msteps_per_sec() const {
+    return ops_per_sec(total_iterations, elapsed_ns) / 1e6;
+  }
+  /// Jain's fairness index over per-thread counts (1.0 = perfectly
+  /// fair; FIFO locks should approach it at steady state).
+  double fairness() const {
+    if (per_thread.empty()) return 1.0;
+    double sum = 0.0, sq = 0.0;
+    for (auto v : per_thread) {
+      sum += static_cast<double>(v);
+      sq += static_cast<double>(v) * static_cast<double>(v);
+    }
+    if (sq == 0.0) return 1.0;
+    const double n = static_cast<double>(per_thread.size());
+    return (sum * sum) / (n * sq);
+  }
+};
+
+/// Run MutexBench against lock type L. The lock instance is placed as
+/// the sole occupant of a cache line, matching the paper's layout
+/// discipline. Threads are "free-range unbound" (no pinning), as in
+/// §5.
+template <BasicLockable L>
+MutexBenchResult run_mutexbench(const MutexBenchConfig& cfg) {
+  struct Shared {
+    CacheAligned<L> lock;
+    CacheAligned<std::atomic<bool>> stop{false};
+    CacheAligned<std::mt19937> shared_prng;
+    SpinBarrier barrier;
+    explicit Shared(std::uint32_t parties, std::uint64_t seed)
+        : barrier(parties) {
+      shared_prng.value.seed(static_cast<std::uint32_t>(seed));
+    }
+  };
+  auto shared = std::make_unique<Shared>(cfg.threads + 1, cfg.seed);
+
+  std::vector<std::uint64_t> counts(cfg.threads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+
+  for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)self();  // register this thread's Grant record up front
+      std::mt19937 local_prng(
+          static_cast<std::uint32_t>(cfg.seed + 0x9E37 * (t + 1)));
+      std::uniform_int_distribution<std::uint32_t> ncs_dist(
+          0, cfg.ncs_max_prng_steps > 0 ? cfg.ncs_max_prng_steps - 1 : 0);
+      std::uint64_t iters = 0;
+      // The sink keeps the PRNG stepping from being optimized away.
+      volatile std::uint32_t sink = 0;
+
+      shared->barrier.arrive_and_wait();
+      while (!shared->stop.value.load(std::memory_order_relaxed)) {
+        shared->lock.value.lock();
+        for (std::uint32_t i = 0; i < cfg.cs_shared_prng_steps; ++i) {
+          sink = static_cast<std::uint32_t>(shared->shared_prng.value());
+        }
+        shared->lock.value.unlock();
+        if (cfg.ncs_max_prng_steps > 0) {
+          const std::uint32_t steps = ncs_dist(local_prng);
+          for (std::uint32_t i = 0; i < steps; ++i) {
+            sink = static_cast<std::uint32_t>(local_prng());
+          }
+        }
+        ++iters;
+      }
+      counts[t] = iters;
+      shared->barrier.arrive_and_wait();  // end-of-run rendezvous
+    });
+  }
+
+  shared->barrier.arrive_and_wait();  // release the cohort
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  shared->stop.value.store(true, std::memory_order_relaxed);
+  shared->barrier.arrive_and_wait();  // all workers done counting
+  const std::int64_t elapsed = timer.elapsed_ns();
+  for (auto& w : workers) w.join();
+
+  MutexBenchResult res;
+  res.elapsed_ns = elapsed;
+  res.per_thread = counts;
+  for (auto c : counts) res.total_iterations += c;
+  return res;
+}
+
+/// Multi-waiting benchmark parameters (§5.6): NumLocks shared locks;
+/// one leader acquires all of them in ascending order then releases
+/// in reverse; every other thread repeatedly locks one randomly
+/// chosen lock. The score is leader steps (full up-down sweeps) —
+/// "We ignore the number of iterations completed by the non-leader
+/// threads."
+struct MultiWaitConfig {
+  std::uint32_t threads = 2;       ///< total, including the leader
+  std::uint32_t num_locks = 10;    ///< the paper uses 10
+  std::int64_t duration_ms = 1000;
+  std::uint64_t seed = 0xC0FFEE123ULL;
+};
+
+/// Multi-waiting outcome.
+struct MultiWaitResult {
+  std::uint64_t leader_steps = 0;
+  std::int64_t elapsed_ns = 0;
+  /// The paper's Y axis (Figure 9): leader throughput, M steps/sec.
+  double msteps_per_sec() const {
+    return ops_per_sec(leader_steps, elapsed_ns) / 1e6;
+  }
+};
+
+/// Run the §5.6 multi-waiting benchmark against lock type L.
+template <BasicLockable L>
+MultiWaitResult run_multiwait_bench(const MultiWaitConfig& cfg) {
+  struct Shared {
+    std::vector<CacheAligned<L>> locks;
+    CacheAligned<std::atomic<bool>> stop{false};
+    SpinBarrier barrier;
+    Shared(std::uint32_t nlocks, std::uint32_t parties)
+        : locks(nlocks), barrier(parties) {}
+  };
+  auto shared = std::make_unique<Shared>(cfg.num_locks, cfg.threads + 1);
+
+  std::uint64_t leader_steps = 0;
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+
+  // Leader: acquire all locks ascending, release in reverse order.
+  workers.emplace_back([&] {
+    (void)self();
+    std::uint64_t steps = 0;
+    shared->barrier.arrive_and_wait();
+    while (!shared->stop.value.load(std::memory_order_relaxed)) {
+      for (std::uint32_t i = 0; i < cfg.num_locks; ++i) {
+        shared->locks[i].value.lock();
+      }
+      for (std::uint32_t i = cfg.num_locks; i-- > 0;) {
+        shared->locks[i].value.unlock();
+      }
+      ++steps;
+    }
+    leader_steps = steps;
+    shared->barrier.arrive_and_wait();
+  });
+
+  // Non-leaders: pick one random lock per iteration.
+  for (std::uint32_t t = 1; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)self();
+      Xoshiro256 prng(cfg.seed + t);
+      shared->barrier.arrive_and_wait();
+      while (!shared->stop.value.load(std::memory_order_relaxed)) {
+        auto& lk = shared->locks[prng.below(cfg.num_locks)].value;
+        lk.lock();
+        lk.unlock();
+      }
+      shared->barrier.arrive_and_wait();
+    });
+  }
+
+  shared->barrier.arrive_and_wait();
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  shared->stop.value.store(true, std::memory_order_relaxed);
+  shared->barrier.arrive_and_wait();
+  const std::int64_t elapsed = timer.elapsed_ns();
+  for (auto& w : workers) w.join();
+
+  MultiWaitResult res;
+  res.leader_steps = leader_steps;
+  res.elapsed_ns = elapsed;
+  return res;
+}
+
+/// Thread counts for figure sweeps: approximately the paper's X axis
+/// {1, 2, 5, 10, 20, 50, ...}, clipped to `max_threads`, always
+/// including max_threads itself.
+std::vector<std::uint32_t> figure_thread_sweep(std::uint32_t max_threads);
+
+/// Default sweep ceiling: the host's logical CPU count, doubled when
+/// `oversubscribe` (Figures 4-7 exercise thread counts past the CPU
+/// count; see DESIGN.md's substitution table).
+std::uint32_t default_max_threads(bool oversubscribe);
+
+/// One-line host banner for bench headers (topology + build info).
+std::string host_banner();
+
+}  // namespace hemlock

@@ -1,0 +1,59 @@
+#include "harness/options.hpp"
+
+#include <cstdlib>
+
+namespace hemlock {
+
+Options::Options(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;  // ignore stray positionals
+    arg.erase(0, 2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";  // bare flag
+    }
+  }
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def) const {
+  consumed_[key] = true;
+  auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  consumed_[key] = true;
+  auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& def) const {
+  consumed_[key] = true;
+  auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return def;
+  return it->second;
+}
+
+bool Options::has(const std::string& key) const {
+  consumed_[key] = true;
+  return kv_.count(key) != 0;
+}
+
+std::vector<std::string> Options::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (!consumed_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace hemlock

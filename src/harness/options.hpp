@@ -1,0 +1,44 @@
+// options.hpp — minimal command-line options for the bench binaries.
+//
+// Every bench accepts --key=value / --key value / bare --flag forms,
+// e.g.:  bench_fig2_max_contention --duration-ms=2000 --runs=7
+//        bench_fig8_kv_readrandom --threads=32 --profile
+// Unknown keys are collected and reported so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hemlock {
+
+/// Parsed command line. Keys are stored without the leading dashes.
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  /// Integer-valued option (or `def` if absent).
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  /// Float-valued option.
+  double get_double(const std::string& key, double def) const;
+  /// String-valued option.
+  std::string get_string(const std::string& key,
+                         const std::string& def) const;
+  /// True if --key was present (with or without a value).
+  bool has(const std::string& key) const;
+
+  /// Keys that were parsed but never queried via the getters above;
+  /// benches call this last to reject typos.
+  std::vector<std::string> unconsumed() const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,44 @@
+// runner.hpp — median-of-N repetition, the paper's reporting protocol.
+//
+// "We report the median of 7 independent runs" (§5.1); Figure 8 uses
+// the median of 5. repeat_runs executes any score-producing callable
+// N times and accumulates a Summary whose median() is the reported
+// number.
+#pragma once
+
+#include <string>
+
+#include "harness/mutexbench.hpp"
+#include "stats/summary.hpp"
+
+namespace hemlock {
+
+/// Run `fn` (returning a double score) `runs` times; collect scores.
+template <typename Fn>
+Summary repeat_runs(int runs, Fn&& fn) {
+  Summary s;
+  for (int i = 0; i < runs; ++i) {
+    s.add(fn());
+  }
+  return s;
+}
+
+/// Median MutexBench throughput (M steps/sec) over `runs` runs.
+template <BasicLockable L>
+double mutexbench_median(const MutexBenchConfig& cfg, int runs) {
+  return repeat_runs(runs, [&] {
+           return run_mutexbench<L>(cfg).msteps_per_sec();
+         })
+      .median();
+}
+
+/// Median multi-waiting leader throughput over `runs` runs.
+template <BasicLockable L>
+double multiwait_median(const MultiWaitConfig& cfg, int runs) {
+  return repeat_runs(runs, [&] {
+           return run_multiwait_bench<L>(cfg).msteps_per_sec();
+         })
+      .median();
+}
+
+}  // namespace hemlock

@@ -1,0 +1,63 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hemlock {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << cells[c];
+      os << (c == 0 ? "" : "");
+      // Reset alignment for subsequent columns.
+      os << std::right;
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) rule += "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace hemlock

@@ -1,0 +1,37 @@
+// table.hpp — aligned-text and CSV result tables.
+//
+// Bench binaries print "the same rows/series the paper reports":
+// a human-readable aligned table on stdout and, with --csv, a
+// machine-readable CSV block for replotting the figures.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hemlock {
+
+/// Column-aligned text table with an optional CSV rendering.
+class Table {
+ public:
+  /// Create with header cells.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a data row (must match the header arity).
+  void add_row(std::vector<std::string> cells);
+
+  /// Render aligned text (pads columns to the widest cell).
+  void print(std::ostream& os) const;
+  /// Render RFC-4180-ish CSV (no quoting needed for our cells).
+  void print_csv(std::ostream& os) const;
+
+  /// Format a double with fixed precision, trimming wide exponents.
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,44 @@
+// pthread_interpose.cpp — the LD_PRELOAD surface.
+//
+// Compiled only into libhemlock_preload.so. Defines the strong
+// pthread_mutex_* symbols so a preloaded application's mutexes are
+// transparently replaced by the HEMLOCK_LOCK-selected algorithm —
+// the paper's §5 evaluation mechanism:
+//
+//   LD_PRELOAD=libhemlock_preload.so HEMLOCK_LOCK=hemlock ./app
+//
+// Scope: mutex operations only (see shim_mutex.hpp for the condvar
+// limitation). Internal library synchronization is interposition-safe
+// by construction: the thread registry uses a private raw spinlock
+// and the node pools use only atomics, so no call path below re-enters
+// pthread_mutex_lock.
+#include <pthread.h>
+
+#include "interpose/shim_mutex.hpp"
+
+using hemlock::interpose::ShimMutex;
+
+extern "C" {
+
+int pthread_mutex_init(pthread_mutex_t* m,
+                       const pthread_mutexattr_t* /*attr*/) {
+  // Attributes (recursive/errorcheck/robust) are not modelled — the
+  // paper's framework likewise exposes plain mutex semantics.
+  return ShimMutex::shim_init(m);
+}
+
+int pthread_mutex_destroy(pthread_mutex_t* m) {
+  return ShimMutex::shim_destroy(m);
+}
+
+int pthread_mutex_lock(pthread_mutex_t* m) { return ShimMutex::shim_lock(m); }
+
+int pthread_mutex_trylock(pthread_mutex_t* m) {
+  return ShimMutex::shim_trylock(m);
+}
+
+int pthread_mutex_unlock(pthread_mutex_t* m) {
+  return ShimMutex::shim_unlock(m);
+}
+
+}  // extern "C"

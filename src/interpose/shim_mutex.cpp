@@ -1,0 +1,191 @@
+#include "interpose/shim_mutex.hpp"
+
+#include <errno.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "core/hemlock.hpp"
+#include "core/hemlock_ohv.hpp"
+#include "locks/clh.hpp"
+#include "locks/mcs.hpp"
+#include "locks/tas.hpp"
+#include "locks/ticket.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock::interpose {
+
+namespace {
+
+/// Visit the hosted lock object with the right static type. Every
+/// algorithm here fits ShimMutex::storage (checked below).
+template <typename Fn>
+decltype(auto) dispatch(LockKind kind, unsigned char* storage, Fn&& fn) {
+  switch (kind) {
+    case LockKind::kHemlock:
+      return fn(*reinterpret_cast<Hemlock*>(storage));
+    case LockKind::kHemlockNaive:
+      return fn(*reinterpret_cast<HemlockNaive*>(storage));
+    case LockKind::kHemlockFaa:
+      return fn(*reinterpret_cast<HemlockFaa*>(storage));
+    case LockKind::kHemlockOhv1:
+      return fn(*reinterpret_cast<HemlockOhv1*>(storage));
+    case LockKind::kHemlockOhv2:
+      return fn(*reinterpret_cast<HemlockOhv2*>(storage));
+    case LockKind::kMcs:
+      return fn(*reinterpret_cast<McsLock*>(storage));
+    case LockKind::kClh:
+      return fn(*reinterpret_cast<ClhLock*>(storage));
+    case LockKind::kTicket:
+      return fn(*reinterpret_cast<TicketLock*>(storage));
+    case LockKind::kTas:
+      return fn(*reinterpret_cast<TasLock*>(storage));
+    case LockKind::kTtas:
+      return fn(*reinterpret_cast<TtasLock*>(storage));
+  }
+  __builtin_unreachable();
+}
+
+template <typename L>
+constexpr bool fits = sizeof(L) <= sizeof(ShimMutex::storage) &&
+                      alignof(L) <= 8;
+static_assert(fits<Hemlock> && fits<HemlockNaive> && fits<HemlockFaa> &&
+              fits<HemlockOhv1> && fits<HemlockOhv2> && fits<McsLock> &&
+              fits<ClhLock> && fits<TicketLock> && fits<TasLock> &&
+              fits<TtasLock>);
+
+void construct(LockKind kind, unsigned char* storage) {
+  switch (kind) {
+    case LockKind::kHemlock: new (storage) Hemlock(); break;
+    case LockKind::kHemlockNaive: new (storage) HemlockNaive(); break;
+    case LockKind::kHemlockFaa: new (storage) HemlockFaa(); break;
+    case LockKind::kHemlockOhv1: new (storage) HemlockOhv1(); break;
+    case LockKind::kHemlockOhv2: new (storage) HemlockOhv2(); break;
+    case LockKind::kMcs: new (storage) McsLock(); break;
+    case LockKind::kClh: new (storage) ClhLock(); break;
+    case LockKind::kTicket: new (storage) TicketLock(); break;
+    case LockKind::kTas: new (storage) TasLock(); break;
+    case LockKind::kTtas: new (storage) TtasLock(); break;
+  }
+}
+
+void destruct(LockKind kind, unsigned char* storage) {
+  // Only CLH has a non-trivial destructor (dummy-node recovery,
+  // Table 1's Init column); destroying the rest is a no-op.
+  if (kind == LockKind::kClh) {
+    reinterpret_cast<ClhLock*>(storage)->~ClhLock();
+  }
+}
+
+/// Adopt the pthread_mutex_t storage: fast path when already ours,
+/// else a race-safe lazy initialization keyed on the magic word
+/// (PTHREAD_MUTEX_INITIALIZER is all-zero storage on glibc, so
+/// statically initialized mutexes arrive here with magic == 0).
+ShimMutex* adopt(pthread_mutex_t* m) {
+  auto* sm = reinterpret_cast<ShimMutex*>(m);
+  std::uint32_t cur = sm->magic.load(std::memory_order_acquire);
+  if (cur == ShimMutex::kReady) return sm;
+  std::uint32_t expected = 0;
+  if (sm->magic.compare_exchange_strong(expected, ShimMutex::kIniting,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    sm->kind = selected_lock_kind();
+    construct(sm->kind, sm->storage);
+    sm->magic.store(ShimMutex::kReady, std::memory_order_release);
+    return sm;
+  }
+  // Another thread is adopting; wait for it.
+  while (sm->magic.load(std::memory_order_acquire) != ShimMutex::kReady) {
+    cpu_relax();
+  }
+  return sm;
+}
+
+}  // namespace
+
+bool parse_lock_kind(std::string_view name, LockKind* out) {
+  struct Entry {
+    std::string_view name;
+    LockKind kind;
+  };
+  static constexpr Entry kTable[] = {
+      {"hemlock", LockKind::kHemlock},
+      {"hemlock-", LockKind::kHemlockNaive},
+      {"hemlock-faa", LockKind::kHemlockFaa},
+      {"hemlock-ohv1", LockKind::kHemlockOhv1},
+      {"hemlock-ohv2", LockKind::kHemlockOhv2},
+      {"mcs", LockKind::kMcs},
+      {"clh", LockKind::kClh},
+      {"ticket", LockKind::kTicket},
+      {"tas", LockKind::kTas},
+      {"ttas", LockKind::kTtas},
+  };
+  for (const auto& e : kTable) {
+    if (e.name == name) {
+      *out = e.kind;
+      return true;
+    }
+  }
+  return false;  // includes "hemlock-ah": unsafe for pthread lifetimes
+}
+
+LockKind selected_lock_kind() {
+  static const LockKind kind = [] {
+    const char* env = std::getenv("HEMLOCK_LOCK");
+    if (env == nullptr || env[0] == '\0') return LockKind::kHemlock;
+    LockKind k;
+    if (parse_lock_kind(env, &k)) return k;
+    std::fprintf(stderr,
+                 "[hemlock-interpose] unknown/unsupported HEMLOCK_LOCK=%s "
+                 "(note: hemlock-ah is excluded by design, paper Appendix "
+                 "B); using hemlock\n",
+                 env);
+    return LockKind::kHemlock;
+  }();
+  return kind;
+}
+
+int ShimMutex::shim_init(pthread_mutex_t* m) {
+  std::memset(static_cast<void*>(m), 0, sizeof(*m));
+  adopt(m);
+  return 0;
+}
+
+int ShimMutex::shim_destroy(pthread_mutex_t* m) {
+  auto* sm = reinterpret_cast<ShimMutex*>(m);
+  if (sm->magic.load(std::memory_order_acquire) == kReady) {
+    destruct(sm->kind, sm->storage);
+  }
+  std::memset(static_cast<void*>(m), 0, sizeof(*m));
+  return 0;
+}
+
+int ShimMutex::shim_lock(pthread_mutex_t* m) {
+  ShimMutex* sm = adopt(m);
+  dispatch(sm->kind, sm->storage, [](auto& lock) { lock.lock(); });
+  return 0;
+}
+
+int ShimMutex::shim_trylock(pthread_mutex_t* m) {
+  ShimMutex* sm = adopt(m);
+  // CLH provides no try_lock (paper §2); report EBUSY, which callers
+  // must treat as "retry or lock()" anyway.
+  if (sm->kind == LockKind::kClh) return EBUSY;
+  bool acquired = false;
+  dispatch(sm->kind, sm->storage, [&](auto& lock) {
+    if constexpr (requires(decltype(lock)& l) { l.try_lock(); }) {
+      acquired = lock.try_lock();
+    }
+  });
+  return acquired ? 0 : EBUSY;
+}
+
+int ShimMutex::shim_unlock(pthread_mutex_t* m) {
+  ShimMutex* sm = adopt(m);
+  dispatch(sm->kind, sm->storage, [](auto& lock) { lock.unlock(); });
+  return 0;
+}
+
+}  // namespace hemlock::interpose

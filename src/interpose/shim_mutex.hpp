@@ -1,0 +1,87 @@
+// shim_mutex.hpp — pthread_mutex_t overlay hosting any library lock.
+//
+// The paper's evaluation (§5): "We implemented all user-mode locks
+// within LD_PRELOAD interposition libraries that expose the standard
+// POSIX pthread_mutex_t programming interface ... This allows us to
+// change lock implementations by varying the LD_PRELOAD environment
+// variable and without modifying the application code that uses
+// locks."
+//
+// ShimMutex is that mechanism's core: the selected lock algorithm's
+// state is embedded *inside* the application's pthread_mutex_t
+// storage (40 bytes on glibc/x86-64 — ample: every algorithm here
+// fits in 16). The algorithm is chosen once per process from the
+// HEMLOCK_LOCK environment variable. Statically initialized mutexes
+// (PTHREAD_MUTEX_INITIALIZER — all-zero storage on glibc) are
+// adopted lazily and race-safely on first use.
+//
+// Limitations (documented, matching the technique's scope):
+//  * pthread_cond_* on an interposed mutex is NOT supported — the
+//    real condvar implementation would manipulate raw mutex
+//    internals that no longer exist. The paper's benchmarks
+//    (MutexBench, LevelDB db_bench read paths) do not require it.
+//  * hemlock-ah is deliberately NOT offered: Appendix B shows its
+//    speculative unlock store is unsafe when a pthread mutex's
+//    memory can be freed by its last user (the linux-kernel /
+//    glibc bug-13690 pathology the paper cites).
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace hemlock::interpose {
+
+/// Algorithms the shim can host.
+enum class LockKind : std::uint32_t {
+  kHemlock = 0,   ///< Listing 2 (CTR) — default
+  kHemlockNaive,  ///< Listing 1
+  kHemlockFaa,    ///< §2.1 FAA(0) polling
+  kHemlockOhv1,   ///< Listing 5 (safe fast hand-over)
+  kHemlockOhv2,   ///< Listing 6 (safe fast hand-over)
+  kMcs,
+  kClh,
+  kTicket,
+  kTas,
+  kTtas,
+};
+
+/// Parse a HEMLOCK_LOCK value (lock_traits<>::name strings); returns
+/// false for unknown/unsupported names (including "hemlock-ah").
+bool parse_lock_kind(std::string_view name, LockKind* out);
+
+/// Process-wide selection: $HEMLOCK_LOCK, defaulting to kHemlock;
+/// unknown names fall back to the default (reported on stderr once).
+LockKind selected_lock_kind();
+
+/// The overlay. POSIX storage is adopted in place; all-zero bytes
+/// (PTHREAD_MUTEX_INITIALIZER or fresh pthread_mutex_init) read as
+/// "not yet adopted".
+struct ShimMutex {
+  static constexpr std::uint32_t kReady = 0x48454D4C;    // "HEML"
+  static constexpr std::uint32_t kIniting = 0x494E4954;  // "INIT"
+
+  std::atomic<std::uint32_t> magic;
+  LockKind kind;
+  alignas(8) unsigned char storage[24];
+
+  // ---- the pthread_mutex_* surface -----------------------------------
+  /// pthread_mutex_init: adopt eagerly with the process-wide kind.
+  static int shim_init(pthread_mutex_t* m);
+  /// pthread_mutex_destroy.
+  static int shim_destroy(pthread_mutex_t* m);
+  /// pthread_mutex_lock.
+  static int shim_lock(pthread_mutex_t* m);
+  /// pthread_mutex_trylock (EBUSY when held; algorithms without a
+  /// try_lock — CLH — emulate correctly by locking... see .cpp).
+  static int shim_trylock(pthread_mutex_t* m);
+  /// pthread_mutex_unlock.
+  static int shim_unlock(pthread_mutex_t* m);
+};
+
+static_assert(sizeof(ShimMutex) <= sizeof(pthread_mutex_t),
+              "overlay must fit inside pthread_mutex_t");
+
+}  // namespace hemlock::interpose

@@ -1,0 +1,79 @@
+// anderson.hpp — Anderson's array-based queueing lock.
+//
+// From the paper's related work (§4): "Anderson's array-based
+// queueing lock is based on Ticket Locks but provides local spinning.
+// It employs a waiting array for each lock instance, sized to ensure
+// there is at least one array element for each potentially waiting
+// thread, yielding a potentially large footprint. The maximum number
+// of participating threads must be known in advance when initializing
+// the lock." Included to anchor the space/locality trade-off Hemlock
+// improves on (Table 1 discussion).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/lock_traits.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+/// Array-based queue lock for at most `MaxThreads` concurrent
+/// contenders (callers must guarantee the bound; exceeding it wraps
+/// the slot ring and corrupts the protocol).
+template <std::uint32_t MaxThreads = 64>
+class AndersonLock {
+ public:
+  AndersonLock() {
+    slots_[0].value.store(1, std::memory_order_relaxed);  // slot 0 may run
+    for (std::uint32_t i = 1; i < MaxThreads; ++i) {
+      slots_[i].value.store(0, std::memory_order_relaxed);
+    }
+  }
+  AndersonLock(const AndersonLock&) = delete;
+  AndersonLock& operator=(const AndersonLock&) = delete;
+
+  /// Acquire: take a slot with fetch-and-add, spin locally on it.
+  void lock() {
+    const std::uint64_t ticket =
+        next_.value.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t idx = static_cast<std::uint32_t>(ticket % MaxThreads);
+    while (slots_[idx].value.load(std::memory_order_acquire) == 0) {
+      cpu_relax();
+    }
+    // Consume the permission so the slot is clean for its next lap.
+    slots_[idx].value.store(0, std::memory_order_relaxed);
+    owner_idx_ = idx;  // protected by the lock itself
+  }
+
+  /// Release: enable the next slot in the ring.
+  void unlock() {
+    const std::uint32_t nxt = (owner_idx_ + 1) % MaxThreads;
+    slots_[nxt].value.store(1, std::memory_order_release);
+  }
+
+  /// Max contenders supported.
+  static constexpr std::uint32_t capacity() { return MaxThreads; }
+
+ private:
+  CacheAligned<std::atomic<std::uint64_t>> next_;
+  std::uint32_t owner_idx_ = 0;  ///< valid only while held
+  CacheAligned<std::atomic<std::uint32_t>> slots_[MaxThreads];
+};
+
+template <std::uint32_t N>
+struct lock_traits<AndersonLock<N>> {
+  static constexpr const char* name = "anderson";
+  static constexpr std::size_t lock_words =
+      (sizeof(AndersonLock<N>)) / sizeof(void*);  // the big array footprint
+  static constexpr std::size_t held_words = 0;
+  static constexpr std::size_t wait_words = 0;
+  static constexpr std::size_t thread_words = 0;
+  static constexpr bool nontrivial_init = true;  // slot ring priming
+  static constexpr bool is_fifo = true;
+  static constexpr bool has_trylock = false;
+  static constexpr Spinning spinning = Spinning::kLocal;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,100 @@
+// clh.hpp — CLH queue lock (Craig; Landin & Hagersten), standard
+// interface variant.
+//
+// Matches the paper's baseline (§5.1): "CLH based on Scott's CLH
+// variant with a standard interface, Figure 4.14 of [50]" — the head
+// (owner's node) is stored in the lock body so no context passes from
+// lock to unlock; the lock is pre-initialized with a dummy node that
+// must be recovered at destruction (Table 1's Init column), and nodes
+// *migrate*: on acquisition a thread reclaims its predecessor's node
+// for its own future use (§2.3: "a thread contributes an element but
+// ... recovers a different element from the queue – elements migrate
+// between locks and threads").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/lock_traits.hpp"
+#include "locks/node_pool.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+/// CLH queue element: a single flag, padded to a line. `locked`
+/// transitions true -> false exactly once per enqueue epoch.
+struct alignas(kCacheLineSize) ClhNode {
+  std::atomic<std::uint32_t> locked{0};
+  ClhNode* pool_next = nullptr;  ///< node_pool intrusive link
+};
+static_assert(sizeof(ClhNode) == kCacheLineSize);
+
+/// CLH lock, 2-word body (tail + head) plus the resident dummy
+/// element (Table 1 row "CLH": Lock = 2+E, Init = yes).
+class ClhLock {
+ public:
+  /// Provision the required dummy element (unlocked state).
+  ClhLock() {
+    ClhNode* dummy = NodePool<ClhNode>::acquire();
+    dummy->locked.store(0, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  /// Recover the current dummy element (paper: "When the lock is
+  /// ultimately destroyed, the element must be recovered").
+  ~ClhLock() {
+    ClhNode* dummy = tail_.load(std::memory_order_relaxed);
+    if (dummy != nullptr) NodePool<ClhNode>::release(dummy);
+  }
+
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  /// Acquire. Uncontended: SWAP + one (satisfied) load. Contended:
+  /// spin on the predecessor's node — local spinning, the element is
+  /// not shared with any other waiter.
+  void lock() {
+    ClhNode* n = NodePool<ClhNode>::acquire();
+    n->locked.store(1, std::memory_order_relaxed);
+    // Doorstep: acq_rel publishes our node's locked=1 to the
+    // successor that will spin on it.
+    ClhNode* pred = tail_.exchange(n, std::memory_order_acq_rel);
+    while (pred->locked.load(std::memory_order_acquire) != 0) {
+      cpu_relax();
+    }
+    // Acquired. The predecessor's element now belongs to us (node
+    // migration); keep it for a future acquisition.
+    NodePool<ClhNode>::release(pred);
+    head_ = n;  // protected by the lock itself
+  }
+
+  /// Release: wait-free single store (paper §4: "the unlock operator
+  /// for CLH and Tickets is wait-free"). Our node is inherited by the
+  /// successor (or becomes the lock's dummy if none).
+  void unlock() {
+    ClhNode* n = head_;
+    n->locked.store(0, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<ClhNode*> tail_;
+  ClhNode* head_ = nullptr;  ///< owner's node; valid only while held
+};
+
+template <>
+struct lock_traits<ClhLock> {
+  static constexpr const char* name = "clh";
+  // Table 1: lock body = 2 words + resident dummy element E.
+  static constexpr std::size_t lock_words =
+      2 + sizeof(ClhNode) / sizeof(void*);
+  static constexpr std::size_t held_words = 0;  // Table 1: Held = 0
+  static constexpr std::size_t wait_words = sizeof(ClhNode) / sizeof(void*);
+  static constexpr std::size_t thread_words = 0;
+  static constexpr bool nontrivial_init = true;  // dummy provision/recovery
+  static constexpr bool is_fifo = true;
+  static constexpr bool has_trylock = false;  // paper §2: CLH does not
+  static constexpr Spinning spinning = Spinning::kLocal;
+};
+
+}  // namespace hemlock

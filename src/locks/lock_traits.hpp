@@ -1,0 +1,44 @@
+// lock_traits.hpp — static metadata describing each lock algorithm.
+//
+// Drives Table 1 of the paper (space usage: lock body words, per-held
+// and per-wait element cost, per-thread state, non-trivial init) and
+// lets the parameterized test/bench suites adapt per algorithm
+// (FIFO-ness, try_lock availability, spinning locality).
+#pragma once
+
+#include <cstddef>
+
+namespace hemlock {
+
+/// How threads busy-wait while contending for the lock.
+enum class Spinning {
+  kGlobal,    ///< all waiters poll one word (TAS/TTAS/Ticket)
+  kLocal,     ///< each waiter polls a private word (MCS/CLH/Anderson)
+  kFereLocal, ///< local except under multi-lock holding (Hemlock, §3)
+};
+
+/// Per-algorithm metadata. Every lock type in the library specializes
+/// this template; `E` in the paper's Table 1 (queue-element size) is
+/// reported in words via held_words/wait_words.
+template <typename L>
+struct lock_traits;  // primary template intentionally undefined
+
+/// Convenience: paper Table 1 row, in words (8-byte) like the paper.
+struct SpaceRow {
+  const char* name;
+  std::size_t lock_words;    ///< lock body size
+  std::size_t held_words;    ///< extra space per lock currently held
+  std::size_t wait_words;    ///< extra space per lock being waited on
+  std::size_t thread_words;  ///< per-thread state reserved for locking
+  bool nontrivial_init;      ///< requires non-trivial ctor/dtor (CLH dummy)
+};
+
+/// Materialize the Table 1 row for lock type L from its traits.
+template <typename L>
+SpaceRow space_row() {
+  using T = lock_traits<L>;
+  return SpaceRow{T::name,       T::lock_words,  T::held_words,
+                  T::wait_words, T::thread_words, T::nontrivial_init};
+}
+
+}  // namespace hemlock

@@ -1,0 +1,60 @@
+// lockable.hpp — the lock concept and RAII guards.
+//
+// Every lock in this library (baselines and the Hemlock family)
+// satisfies BasicLockable: lock()/unlock() callable from any thread,
+// with unlock() invoked by the owning thread. Locks additionally
+// advertising TryLockable provide a non-blocking try_lock(). All our
+// locks are therefore drop-in compatible with std::lock_guard,
+// std::unique_lock and std::scoped_lock (C++ Core Guidelines CP.20:
+// "Use RAII, never plain lock()/unlock()").
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+namespace hemlock {
+
+/// A mutual-exclusion lock: lock() blocks until the calling thread
+/// owns the lock; unlock() releases it (caller must be the owner).
+template <typename L>
+concept BasicLockable = requires(L& l) {
+  l.lock();
+  l.unlock();
+};
+
+/// A lock that additionally supports a non-blocking acquisition
+/// attempt. Per the paper (§2), MCS and Hemlock admit trivial
+/// try_lock via CAS; CLH does not (its traits say so).
+template <typename L>
+concept TryLockable = BasicLockable<L> && requires(L& l) {
+  { l.try_lock() } -> std::convertible_to<bool>;
+};
+
+/// Minimal RAII guard, equivalent to std::lock_guard but usable with
+/// our lock concept in contexts where <mutex> is undesirable.
+/// Prefer this (or std::lock_guard) over bare lock()/unlock() pairs.
+template <BasicLockable L>
+class [[nodiscard]] LockGuard {
+ public:
+  /// Acquires `l`; releases it on scope exit.
+  explicit LockGuard(L& l) : lock_(l) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  L& lock_;
+};
+
+/// Runs `fn` inside the critical section guarded by `l` and returns
+/// its result. The paper notes (§2.3 footnote) that lexically scoped
+/// critical sections — lambdas — make site-by-site optimizations like
+/// on-stack Grant fields possible; with_lock is that lexical shape.
+template <BasicLockable L, typename Fn>
+decltype(auto) with_lock(L& l, Fn&& fn) {
+  LockGuard<L> g(l);
+  return std::forward<Fn>(fn)();
+}
+
+}  // namespace hemlock

@@ -1,0 +1,122 @@
+// mcs.hpp — classic MCS queue lock (Mellor-Crummey & Scott, 1991).
+//
+// Configured exactly as the paper's baseline (§5.1): "our
+// implementation stores the current head of the queue – the owner –
+// in a field adjacent to the tail, so the lock body size was 2
+// words", making the lock usable behind the context-free pthread
+// interface (no node passed from lock to unlock); queue nodes are
+// cache-line padded ("we also elected to align and pad the MCS and
+// CLH queue nodes ... to provide a fair comparison") and recycled
+// through the thread-local free stacks of node_pool.hpp (footnote 5).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/lock_traits.hpp"
+#include "locks/node_pool.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+/// MCS queue element. One per (thread, lock-held-or-waited) pair,
+/// padded to a cache line so waiters on different nodes never share.
+struct alignas(kCacheLineSize) McsNode {
+  std::atomic<McsNode*> next{nullptr};
+  std::atomic<std::uint32_t> locked{0};
+  McsNode* pool_next = nullptr;  ///< node_pool intrusive link
+};
+static_assert(sizeof(McsNode) == kCacheLineSize);
+
+/// Classic MCS lock, 2-word body (tail + head).
+class McsLock {
+ public:
+  McsLock() = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  /// Acquire. Uncontended: one SWAP. Contended: enqueue then spin
+  /// locally on the node's own flag.
+  void lock() {
+    McsNode* n = NodePool<McsNode>::acquire();
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->locked.store(1, std::memory_order_relaxed);
+    // Doorstep: swing the tail to our node; acq_rel so the node's
+    // initialization above is published to the successor that will
+    // read it via pred->next, and so we observe the predecessor's
+    // publication symmetrically.
+    McsNode* pred = tail_.exchange(n, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      // Make ourselves reachable from the predecessor, then wait for
+      // the owner's hand-off on our own (local) flag.
+      pred->next.store(n, std::memory_order_release);
+      while (n->locked.load(std::memory_order_acquire) != 0) {
+        cpu_relax();
+      }
+    }
+    // head_ is protected by the lock itself (paper §1: such accesses
+    // "execute within the effective critical section").
+    head_ = n;
+  }
+
+  /// Non-blocking attempt (paper §2: "MCS ... allow[s] trivial
+  /// implementations of the TryLock operations – using CAS instead
+  /// of SWAP").
+  bool try_lock() {
+    McsNode* n = NodePool<McsNode>::acquire();
+    n->next.store(nullptr, std::memory_order_relaxed);
+    n->locked.store(1, std::memory_order_relaxed);
+    McsNode* expected = nullptr;
+    if (tail_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      head_ = n;
+      return true;
+    }
+    NodePool<McsNode>::release(n);
+    return false;
+  }
+
+  /// Release. Uncontended: one CAS. Contended: wait for the arriving
+  /// successor's back-link, then hand off with a single store (the
+  /// non-wait-free window both MCS and Hemlock share, §2).
+  void unlock() {
+    McsNode* n = head_;
+    McsNode* succ = n->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      McsNode* expected = n;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        NodePool<McsNode>::release(n);
+        return;
+      }
+      // A successor swapped in but has not linked yet; its store to
+      // n->next is imminent.
+      while ((succ = n->next.load(std::memory_order_acquire)) == nullptr) {
+        cpu_relax();
+      }
+    }
+    succ->locked.store(0, std::memory_order_release);
+    NodePool<McsNode>::release(n);
+  }
+
+ private:
+  std::atomic<McsNode*> tail_{nullptr};
+  McsNode* head_ = nullptr;  ///< owner's node; valid only while held
+};
+
+template <>
+struct lock_traits<McsLock> {
+  static constexpr const char* name = "mcs";
+  static constexpr std::size_t lock_words = 2;  // tail + head (Table 1)
+  static constexpr std::size_t held_words = sizeof(McsNode) / sizeof(void*);
+  static constexpr std::size_t wait_words = sizeof(McsNode) / sizeof(void*);
+  static constexpr std::size_t thread_words = 0;
+  static constexpr bool nontrivial_init = false;
+  static constexpr bool is_fifo = true;
+  static constexpr bool has_trylock = true;
+  static constexpr Spinning spinning = Spinning::kLocal;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,116 @@
+// node_pool.hpp — thread-local free stacks of queue elements.
+//
+// Implements the paper's footnote 5 exactly: "to avoid malloc and its
+// locks, we instead use a thread-local stack of free queue nodes. In
+// the lock operator, we first try to allocate from that free list,
+// and then fall back to malloc only as necessary. In unlock, we
+// return nodes to that free list. ... We reclaim the elements from
+// the stack when T1 exits. A stack is convenient for locality."
+//
+// Nodes handed out by a pool are only ever *returned* by the same
+// thread for MCS (nodes go back in unlock). CLH nodes migrate between
+// threads (§2.3), so a node allocated from thread A's pool may be
+// retired into thread B's pool — the pool therefore owns node memory
+// collectively via a global retirement list swept at thread exit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+#include "runtime/cacheline.hpp"
+
+namespace hemlock {
+
+/// Thread-local LIFO free list of cache-line-padded nodes of type
+/// Node. Node must be default-constructible and expose an intrusive
+/// `Node* pool_next` member.
+///
+/// Lifetime: nodes are heap blocks. Because CLH nodes migrate across
+/// threads, a node freed into this thread's pool may have been minted
+/// by another thread's pool; we therefore never assume ownership for
+/// deallocation purposes per-thread. Instead every minted node is
+/// also threaded onto a global all-nodes list (lock-free push) and
+/// the whole arena is reclaimed at process exit. This wastes at most
+/// (max concurrently waited/held locks) nodes per thread — the same
+/// high-water behaviour as the paper's implementation, which
+/// "currently do[es]n't bother to trim the thread-local stack".
+template <typename Node>
+class NodePool {
+ public:
+  /// Pop a node from the calling thread's free stack, minting a new
+  /// one if the stack is empty.
+  static Node* acquire() {
+    Node*& head = local_head();
+    if (Node* n = head) {
+      head = n->pool_next;
+      n->pool_next = nullptr;
+      return n;
+    }
+    return mint();
+  }
+
+  /// Push a node onto the calling thread's free stack.
+  static void release(Node* n) noexcept {
+    Node*& head = local_head();
+    n->pool_next = head;
+    head = n;
+  }
+
+  /// Nodes minted process-wide (diagnostic; bounds footprint tests).
+  static std::size_t minted() noexcept {
+    return minted_count().load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Block {
+    Node node;
+    Block* all_next = nullptr;
+  };
+
+  static Node* mint() {
+    auto* b = new Block();
+    // Thread onto the global arena list for end-of-process reclaim.
+    Block* head = all_head().load(std::memory_order_relaxed);
+    do {
+      b->all_next = head;
+    } while (!all_head().compare_exchange_weak(head, b,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+    minted_count().fetch_add(1, std::memory_order_relaxed);
+    return &b->node;
+  }
+
+  static Node*& local_head() {
+    thread_local Node* head = nullptr;
+    return head;
+  }
+
+  static std::atomic<Block*>& all_head() {
+    static std::atomic<Block*> head{nullptr};
+    return head;
+  }
+
+  static std::atomic<std::size_t>& minted_count() {
+    static std::atomic<std::size_t> c{0};
+    return c;
+  }
+
+  // Sweeps the arena when the process tears down. Registered once via
+  // a function-local static in all_head() users; nodes must not be in
+  // any queue by then (all locks destroyed / threads joined).
+  struct Sweeper {
+    ~Sweeper() {
+      Block* b = NodePool::all_head().exchange(nullptr,
+                                               std::memory_order_acquire);
+      while (b != nullptr) {
+        Block* next = b->all_next;
+        delete b;
+        b = next;
+      }
+    }
+  };
+  static inline Sweeper sweeper_{};
+};
+
+}  // namespace hemlock

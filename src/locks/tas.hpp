@@ -1,0 +1,144 @@
+// tas.hpp — test-and-set and test-and-test-and-set spin locks.
+//
+// Baselines from the paper's related work (§4): "Simple test-and-set
+// or polite test-and-test-and-set locks are compact and exhibit
+// excellent latency for uncontended operations, but fail to scale and
+// may allow unfairness and even indefinite starvation." They anchor
+// the non-FIFO, global-spinning end of the comparison space.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/lock_traits.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+/// Crude test-and-set lock: every acquisition attempt is an atomic
+/// exchange, even while the lock is held (maximum coherence abuse).
+class TasLock {
+ public:
+  /// Acquire; spins with exchange until the flag was clear.
+  void lock() noexcept {
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      cpu_relax();
+    }
+  }
+
+  /// Non-blocking attempt; true on acquisition.
+  bool try_lock() noexcept {
+    return flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  /// Release (caller owns the lock).
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+/// Polite test-and-test-and-set: spin on a plain load (line stays
+/// shared among waiters) and attempt the exchange only when the lock
+/// is observed free — Anderson's classic improvement [5], cited in
+/// §2.1 when the paper argues CTR inverts this wisdom for Hemlock's
+/// 1-to-1 Grant protocol.
+class TtasLock {
+ public:
+  /// Acquire.
+  void lock() noexcept {
+    for (;;) {
+      if (flag_.load(std::memory_order_relaxed) == 0 &&
+          flag_.exchange(1, std::memory_order_acquire) == 0) {
+        return;
+      }
+      cpu_relax();
+    }
+  }
+
+  /// Non-blocking attempt; true on acquisition.
+  bool try_lock() noexcept {
+    return flag_.load(std::memory_order_relaxed) == 0 &&
+           flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  /// Release (caller owns the lock).
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+/// TTAS with bounded exponential backoff between attempts: trades
+/// fairness and handover latency for reduced coherence storms at high
+/// thread counts.
+class TtasBackoffLock {
+ public:
+  /// Acquire.
+  void lock() noexcept {
+    std::uint32_t ceiling = kMinBackoff;
+    for (;;) {
+      if (flag_.load(std::memory_order_relaxed) == 0 &&
+          flag_.exchange(1, std::memory_order_acquire) == 0) {
+        return;
+      }
+      for (std::uint32_t i = 0; i < ceiling; ++i) cpu_relax();
+      ceiling = ceiling < kMaxBackoff ? ceiling * 2 : kMaxBackoff;
+    }
+  }
+
+  /// Non-blocking attempt; true on acquisition.
+  bool try_lock() noexcept {
+    return flag_.load(std::memory_order_relaxed) == 0 &&
+           flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  /// Release (caller owns the lock).
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr std::uint32_t kMinBackoff = 4;
+  static constexpr std::uint32_t kMaxBackoff = 4096;
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+template <>
+struct lock_traits<TasLock> {
+  static constexpr const char* name = "tas";
+  static constexpr std::size_t lock_words = 1;
+  static constexpr std::size_t held_words = 0;
+  static constexpr std::size_t wait_words = 0;
+  static constexpr std::size_t thread_words = 0;
+  static constexpr bool nontrivial_init = false;
+  static constexpr bool is_fifo = false;
+  static constexpr bool has_trylock = true;
+  static constexpr Spinning spinning = Spinning::kGlobal;
+};
+
+template <>
+struct lock_traits<TtasLock> {
+  static constexpr const char* name = "ttas";
+  static constexpr std::size_t lock_words = 1;
+  static constexpr std::size_t held_words = 0;
+  static constexpr std::size_t wait_words = 0;
+  static constexpr std::size_t thread_words = 0;
+  static constexpr bool nontrivial_init = false;
+  static constexpr bool is_fifo = false;
+  static constexpr bool has_trylock = true;
+  static constexpr Spinning spinning = Spinning::kGlobal;
+};
+
+template <>
+struct lock_traits<TtasBackoffLock> {
+  static constexpr const char* name = "ttas-backoff";
+  static constexpr std::size_t lock_words = 1;
+  static constexpr std::size_t held_words = 0;
+  static constexpr std::size_t wait_words = 0;
+  static constexpr std::size_t thread_words = 0;
+  static constexpr bool nontrivial_init = false;
+  static constexpr bool is_fifo = false;
+  static constexpr bool has_trylock = true;
+  static constexpr Spinning spinning = Spinning::kGlobal;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,71 @@
+// ticket.hpp — classic Ticket Lock.
+//
+// Baseline from the paper (§1, §5): "Ticket Locks are simple and
+// compact, requiring just two words for each lock instance and no
+// per-thread data. They perform well in the absence of contention
+// ... Under contention, however, performance suffers because all
+// threads contending for a given lock will busy-wait on a central
+// location." FIFO; uncontended acquire is one fetch-and-add and
+// uncontended release a plain store (Table: atomic counts, §2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/lock_traits.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+/// Classic two-word ticket lock (dispenser + now-serving).
+class TicketLock {
+ public:
+  /// Acquire: draw a ticket, spin until it is served (global
+  /// spinning — every waiter polls now_serving_).
+  void lock() noexcept {
+    const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    while (now_serving_.load(std::memory_order_acquire) != my) {
+      cpu_relax();
+    }
+  }
+
+  /// Opportunistic non-blocking attempt: succeeds only when no ticket
+  /// is outstanding. NOTE: the paper (§2) observes Ticket Locks do
+  /// not admit a *trivial* try_lock via CAS-instead-of-SWAP the way
+  /// MCS/Hemlock do; this CAS-on-dispenser form is a documented
+  /// extension and preserves correctness (it never draws a ticket it
+  /// cannot immediately use).
+  bool try_lock() noexcept {
+    std::uint64_t served = now_serving_.load(std::memory_order_relaxed);
+    std::uint64_t expected = served;
+    return next_.compare_exchange_strong(expected, served + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Release: advance now-serving (a wait-free plain store; the paper
+  /// notes Ticket/CLH unlock is wait-free, unlike MCS/Hemlock).
+  void unlock() noexcept {
+    now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> now_serving_{0};
+};
+
+template <>
+struct lock_traits<TicketLock> {
+  static constexpr const char* name = "ticket";
+  static constexpr std::size_t lock_words = 2;  // Table 1: Lock = 2
+  static constexpr std::size_t held_words = 0;
+  static constexpr std::size_t wait_words = 0;
+  static constexpr std::size_t thread_words = 0;
+  static constexpr bool nontrivial_init = false;
+  static constexpr bool is_fifo = true;
+  static constexpr bool has_trylock = true;  // extension, see try_lock()
+  static constexpr Spinning spinning = Spinning::kGlobal;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,62 @@
+#include "minikv/arena.hpp"
+
+#include <cassert>
+
+namespace hemlock::minikv {
+
+Arena::Arena() = default;
+
+Arena::~Arena() {
+  for (char* b : blocks_) delete[] b;
+}
+
+char* Arena::allocate(std::size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_remaining_ -= bytes;
+    return result;
+  }
+  return allocate_fallback(bytes);
+}
+
+char* Arena::allocate_aligned(std::size_t bytes) {
+  constexpr std::size_t kAlign = alignof(void*);
+  const std::size_t mod =
+      reinterpret_cast<std::uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  const std::size_t slop = (mod == 0 ? 0 : kAlign - mod);
+  const std::size_t needed = bytes + slop;
+  if (needed <= alloc_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_remaining_ -= needed;
+    return result;
+  }
+  // Fresh blocks from new[] are suitably aligned already.
+  return allocate_fallback(bytes);
+}
+
+char* Arena::allocate_fallback(std::size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocations get their own block so the current block's
+    // remaining space is not wasted.
+    return allocate_new_block(bytes);
+  }
+  alloc_ptr_ = allocate_new_block(kBlockSize);
+  alloc_remaining_ = kBlockSize;
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::allocate_new_block(std::size_t block_bytes) {
+  char* block = new char[block_bytes];
+  blocks_.push_back(block);
+  memory_usage_.fetch_add(block_bytes + sizeof(char*),
+                          std::memory_order_relaxed);
+  return block;
+}
+
+}  // namespace hemlock::minikv

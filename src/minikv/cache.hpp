@@ -1,0 +1,167 @@
+// cache.hpp — sharded LRU block cache, LevelDB-style.
+//
+// LevelDB routes every table block read through a ShardedLRUCache;
+// MiniKV reproduces that layer so the Figure-8 readrandom workload
+// has the same memory behaviour (hot blocks served from cache, cold
+// reads paying the decode cost). Shards each have their own mutex —
+// these are *internal* locks, distinct from the DB's central mutex
+// that the benchmark contends on (and they use std::mutex so cache
+// overhead stays constant while the central lock algorithm varies).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace hemlock::minikv {
+
+/// Key for a cached block: (table id, block index).
+struct BlockKey {
+  std::uint64_t table_id;
+  std::uint32_t block_index;
+
+  bool operator==(const BlockKey& o) const {
+    return table_id == o.table_id && block_index == o.block_index;
+  }
+};
+
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& k) const {
+    // 64-bit mix of the two fields (splitmix64 finalizer).
+    std::uint64_t x = k.table_id * 0x9E3779B97F4A7C15ULL + k.block_index;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+/// One LRU shard: hash map + intrusive recency list, byte-budgeted.
+template <typename V>
+class LruShard {
+ public:
+  /// Set the shard's byte capacity.
+  void set_capacity(std::size_t bytes) { capacity_ = bytes; }
+
+  /// Look up; promotes to most-recently-used on hit.
+  std::shared_ptr<V> lookup(const BlockKey& key) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.value;
+  }
+
+  /// Insert (replacing any existing entry), evicting LRU entries
+  /// until within capacity.
+  void insert(const BlockKey& key, std::shared_ptr<V> value,
+              std::size_t charge) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      usage_ -= it->second.charge;
+      lru_.erase(it->second.lru_pos);
+      map_.erase(it);
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), charge, lru_.begin()});
+    usage_ += charge;
+    while (usage_ > capacity_ && !lru_.empty()) {
+      const BlockKey victim = lru_.back();
+      lru_.pop_back();
+      auto vit = map_.find(victim);
+      usage_ -= vit->second.charge;
+      map_.erase(vit);
+      ++evictions_;
+    }
+  }
+
+  /// Remove a specific key if present.
+  void erase(const BlockKey& key) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    usage_ -= it->second.charge;
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+  }
+
+  /// Bytes currently cached.
+  std::size_t usage() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return usage_;
+  }
+  /// Hit/miss/eviction counters (monotone).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<V> value;
+    std::size_t charge;
+    typename std::list<BlockKey>::iterator lru_pos;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 0;
+  std::size_t usage_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  std::list<BlockKey> lru_;
+  std::unordered_map<BlockKey, Entry, BlockKeyHash> map_;
+};
+
+/// Sharded LRU cache (16 shards, hash-partitioned) — the LevelDB
+/// block-cache shape.
+template <typename V>
+class ShardedLruCache {
+ public:
+  static constexpr std::size_t kNumShards = 16;
+
+  /// Total capacity in bytes, split evenly across shards.
+  explicit ShardedLruCache(std::size_t capacity_bytes) {
+    for (auto& s : shards_) s.set_capacity(capacity_bytes / kNumShards + 1);
+  }
+
+  /// Look up a block.
+  std::shared_ptr<V> lookup(const BlockKey& key) {
+    return shard(key).lookup(key);
+  }
+  /// Insert a block with its byte charge.
+  void insert(const BlockKey& key, std::shared_ptr<V> value,
+              std::size_t charge) {
+    shard(key).insert(key, std::move(value), charge);
+  }
+  /// Drop a block.
+  void erase(const BlockKey& key) { shard(key).erase(key); }
+
+  /// Aggregate statistics across shards.
+  std::uint64_t hits() const { return sum(&LruShard<V>::hits); }
+  std::uint64_t misses() const { return sum(&LruShard<V>::misses); }
+  std::uint64_t evictions() const { return sum(&LruShard<V>::evictions); }
+  std::size_t usage() const {
+    std::size_t u = 0;
+    for (const auto& s : shards_) u += s.usage();
+    return u;
+  }
+
+ private:
+  LruShard<V>& shard(const BlockKey& key) {
+    return shards_[BlockKeyHash{}(key) % kNumShards];
+  }
+  template <typename Fn>
+  std::uint64_t sum(Fn fn) const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += (s.*fn)();
+    return total;
+  }
+
+  LruShard<V> shards_[kNumShards];
+};
+
+}  // namespace hemlock::minikv

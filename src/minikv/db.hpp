@@ -1,0 +1,212 @@
+// db.hpp — the MiniKV database: LevelDB's locking architecture with a
+// pluggable central mutex.
+//
+// This is the Figure-8 substrate. The paper: "LevelDB uses
+// coarse-grained locking, protecting the database with a single
+// central mutex: DBImpl::Mutex. Profiling indicates contention on
+// that lock via leveldb::DBImpl::Get()." DB<Lock> reproduces that
+// architecture faithfully:
+//
+//  * ONE central mutex (the template parameter — Hemlock, MCS, CLH,
+//    Ticket, ... are swapped in exactly where the paper's LD_PRELOAD
+//    interposition swapped pthread_mutex implementations);
+//  * Get() takes the central mutex *briefly* to snapshot the current
+//    memtable + table-version (LevelDB: MakeRoomForWrite/Version
+//    refs), then searches OUTSIDE the lock — so the benchmark's
+//    critical sections are short and arrival-rate-bound, as in the
+//    paper's profile;
+//  * Put() serializes whole writes under the mutex (LevelDB's writer
+//    queue collapses to this under db_bench's single-writer fill);
+//  * memtable flushes happen inline under the mutex when the
+//    memtable exceeds its budget (no background threads — determinism
+//    for tests; the flush is off the readrandom hot path anyway).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "locks/lockable.hpp"
+#include "minikv/cache.hpp"
+#include "minikv/memtable.hpp"
+#include "minikv/slice.hpp"
+#include "minikv/status.hpp"
+#include "minikv/table.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace hemlock::minikv {
+
+/// DB tuning knobs (a small subset of leveldb::Options).
+struct DbOptions {
+  /// Memtable budget before an inline flush to an immutable table.
+  std::size_t write_buffer_bytes = 1 << 20;  // 1 MiB
+  /// Block cache capacity. Sized to hold db_bench-scale working sets:
+  /// LevelDB's reads are effectively memory-speed in the paper's
+  /// Figure-8 runs (the OS page cache holds the whole database), and
+  /// the benchmark's subject is the central mutex, not disk I/O.
+  std::size_t block_cache_bytes = 256 << 20;  // 256 MiB
+  /// Entries per table block.
+  std::size_t block_fanout = ImmutableTable::kDefaultBlockFanout;
+  /// Merge all immutable tables into one when their count exceeds
+  /// this (MiniKV's stand-in for LevelDB's compaction, keeping the
+  /// read path's table fan-out bounded).
+  std::size_t compaction_trigger = 8;
+};
+
+/// Version: the immutable set of tables current at some instant.
+/// Snapshotted (shared_ptr copy) under the central mutex, searched
+/// outside it — newest table first, exactly LevelDB's read path
+/// across levels.
+struct TableVersion {
+  std::vector<std::shared_ptr<ImmutableTable>> tables;  // newest first
+};
+
+/// MiniKV database with central mutex of type CentralLock.
+template <BasicLockable CentralLock>
+class DB {
+ public:
+  explicit DB(DbOptions options = DbOptions{})
+      : options_(options),
+        cache_(options.block_cache_bytes),
+        mem_(std::make_shared<MemTable>()),
+        version_(std::make_shared<TableVersion>()) {}
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  /// Insert or overwrite key -> value.
+  Status put(const Slice& key, const Slice& value) {
+    LockGuard<CentralLock> g(mu_.value);
+    mem_->add(next_seq_++, key, value);
+    if (mem_->approximate_memory_usage() >= options_.write_buffer_bytes) {
+      flush_memtable_locked();
+    }
+    return Status::ok();
+  }
+
+  /// Point lookup. The central-mutex critical section is only the
+  /// snapshot of (memtable, version); the search runs unlocked.
+  Status get(const Slice& key, std::string* value) {
+    std::shared_ptr<MemTable> mem;
+    std::shared_ptr<TableVersion> version;
+    {
+      LockGuard<CentralLock> g(mu_.value);  // DBImpl::Mutex
+      mem = mem_;
+      version = version_;
+    }
+    if (mem->get(key, value)) return Status::ok();
+    for (const auto& table : version->tables) {  // newest first
+      // Key-range filter, as LevelDB's Version::Get does per table
+      // file — fillseq produces disjoint table ranges, so this keeps
+      // the read path at ~one candidate table per lookup.
+      if (key.compare(table->smallest()) < 0 ||
+          key.compare(table->largest()) > 0) {
+        continue;
+      }
+      if (table_get(*table, key, value)) return Status::ok();
+    }
+    return Status::not_found();
+  }
+
+  /// Force the current memtable into an immutable table.
+  void flush() {
+    LockGuard<CentralLock> g(mu_.value);
+    flush_memtable_locked();
+  }
+
+  /// Number of immutable tables (diagnostics/tests).
+  std::size_t num_tables() {
+    LockGuard<CentralLock> g(mu_.value);
+    return version_->tables.size();
+  }
+
+  /// Entries currently buffered in the active memtable.
+  std::size_t memtable_entries() {
+    LockGuard<CentralLock> g(mu_.value);
+    return mem_->entries();
+  }
+
+  /// Block cache statistics (hit ratio sanity in tests/benches).
+  std::uint64_t cache_hits() const { return cache_.hits(); }
+  std::uint64_t cache_misses() const { return cache_.misses(); }
+  /// Number of merge compactions performed.
+  std::uint64_t compactions() const { return compactions_; }
+
+ private:
+  /// REQUIRES: central mutex held.
+  void flush_memtable_locked() {
+    if (mem_->entries() == 0) return;
+    auto sorted = mem_->snapshot_sorted();
+    auto table = std::make_shared<ImmutableTable>(
+        next_table_id_++, std::move(sorted), options_.block_fanout);
+    // Copy-on-write version bump: concurrent readers keep their
+    // snapshot; new readers see the new table first.
+    auto next = std::make_shared<TableVersion>();
+    next->tables.reserve(version_->tables.size() + 1);
+    next->tables.push_back(std::move(table));
+    for (const auto& t : version_->tables) next->tables.push_back(t);
+    if (next->tables.size() > options_.compaction_trigger) {
+      compact_locked(next.get());
+    }
+    version_ = std::move(next);
+    mem_ = std::make_shared<MemTable>();
+  }
+
+  /// Full merge compaction: fold every table (newest wins per key)
+  /// into a single replacement table. REQUIRES: central mutex held;
+  /// `v` not yet published (readers keep their old snapshots).
+  void compact_locked(TableVersion* v) {
+    std::vector<std::pair<std::string, std::string>> merged;
+    std::unordered_set<std::string> seen;
+    for (const auto& table : v->tables) {  // newest first: first wins
+      for (std::size_t b = 0; b < table->num_blocks(); ++b) {
+        const auto block = table->read_block(b);
+        for (const auto& [k, val] : block->entries) {
+          if (seen.insert(k).second) merged.emplace_back(k, val);
+        }
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) {
+                return Slice(a.first).compare(Slice(b.first)) < 0;
+              });
+    auto compacted = std::make_shared<ImmutableTable>(
+        next_table_id_++, std::move(merged), options_.block_fanout);
+    v->tables.clear();
+    v->tables.push_back(std::move(compacted));
+    ++compactions_;
+  }
+
+  /// Search one table through the block cache (unlocked).
+  bool table_get(const ImmutableTable& table, const Slice& key,
+                 std::string* value) {
+    const std::int64_t idx = table.block_for(key);
+    if (idx < 0) return false;
+    const BlockKey bkey{table.id(), static_cast<std::uint32_t>(idx)};
+    std::shared_ptr<Block> block = cache_.lookup(bkey);
+    if (block == nullptr) {
+      block = table.read_block(static_cast<std::size_t>(idx));
+      cache_.insert(bkey, block, block->charge());
+    }
+    return block->get(key, value);
+  }
+
+  DbOptions options_;
+  CacheAligned<CentralLock> mu_;  ///< THE central mutex (DBImpl::Mutex)
+  ShardedLruCache<Block> cache_;
+
+  // All fields below are protected by mu_ (readers snapshot the two
+  // shared_ptrs under mu_ and then operate on immutable state).
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<TableVersion> version_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_table_id_ = 1;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace hemlock::minikv

@@ -1,0 +1,118 @@
+// db_bench.hpp — MiniKV's equivalent of LevelDB's db_bench driver.
+//
+// Reproduces the paper's Figure-8 methodology (§5.4):
+//   "We first populated a database        [fillseq, 1 thread]
+//    and then collected data              [readrandom, T threads,
+//                                          fixed duration]
+//    ... Each thread loops, generating random keys and then tries to
+//    read the associated value from the database."
+// Keys use db_bench's 16-digit zero-padded decimal format.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minikv/db.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/prng.hpp"
+#include "runtime/thread_rec.hpp"
+#include "runtime/timing.hpp"
+
+namespace hemlock::minikv {
+
+/// db_bench's key format: 16-digit zero-padded decimal.
+inline std::string bench_key(std::uint64_t k) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llu",
+                static_cast<unsigned long long>(k));
+  return std::string(buf, 16);
+}
+
+/// fillseq: populate keys [0, n) in order with `value_size`-byte
+/// values from a single thread (the paper's
+/// `db_bench --threads=1 --benchmarks=fillseq`).
+template <BasicLockable L>
+void fill_seq(DB<L>& db, std::uint64_t n, std::size_t value_size = 100) {
+  std::string value(value_size, 'v');
+  for (std::uint64_t k = 0; k < n; ++k) {
+    db.put(bench_key(k), value);
+  }
+  db.flush();
+}
+
+/// readrandom parameters.
+struct ReadRandomConfig {
+  std::uint32_t threads = 1;
+  std::int64_t duration_ms = 1000;  ///< the paper used 50 s runs
+  std::uint64_t num_keys = 100000;  ///< keyspace to draw from
+  std::uint64_t seed = 0xDBDBDBDBULL;
+};
+
+/// readrandom outcome.
+struct ReadRandomResult {
+  std::uint64_t total_reads = 0;
+  std::uint64_t found = 0;
+  std::int64_t elapsed_ns = 0;
+
+  /// Figure 8's Y axis: millions of operations per second.
+  double mops_per_sec() const {
+    return ops_per_sec(total_reads, elapsed_ns) / 1e6;
+  }
+};
+
+/// readrandom: T threads read uniformly random existing keys for the
+/// configured duration; reports aggregate throughput.
+template <BasicLockable L>
+ReadRandomResult run_readrandom(DB<L>& db, const ReadRandomConfig& cfg) {
+  struct Shared {
+    CacheAligned<std::atomic<bool>> stop{false};
+    SpinBarrier barrier;
+    explicit Shared(std::uint32_t parties) : barrier(parties) {}
+  };
+  auto shared = std::make_unique<Shared>(cfg.threads + 1);
+
+  std::vector<std::uint64_t> reads(cfg.threads, 0), hits(cfg.threads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(cfg.threads);
+  for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      (void)self();  // register the Grant record before the run
+      Xoshiro256 prng(cfg.seed + 0x1234567 * (t + 1));
+      std::string value;
+      std::uint64_t r = 0, h = 0;
+      shared->barrier.arrive_and_wait();
+      while (!shared->stop.value.load(std::memory_order_relaxed)) {
+        const std::uint64_t k =
+            prng.below(static_cast<std::uint32_t>(cfg.num_keys));
+        if (db.get(bench_key(k), &value).is_ok()) ++h;
+        ++r;
+      }
+      reads[t] = r;
+      hits[t] = h;
+      shared->barrier.arrive_and_wait();
+    });
+  }
+
+  shared->barrier.arrive_and_wait();
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  shared->stop.value.store(true, std::memory_order_relaxed);
+  shared->barrier.arrive_and_wait();
+  const std::int64_t elapsed = timer.elapsed_ns();
+  for (auto& w : workers) w.join();
+
+  ReadRandomResult res;
+  res.elapsed_ns = elapsed;
+  for (std::uint32_t t = 0; t < cfg.threads; ++t) {
+    res.total_reads += reads[t];
+    res.found += hits[t];
+  }
+  return res;
+}
+
+}  // namespace hemlock::minikv

@@ -1,0 +1,73 @@
+// slice.hpp — non-owning byte-string view, LevelDB-style.
+//
+// MiniKV is this repository's stand-in for the paper's LevelDB 1.20
+// workload (Figure 8, §5.4). Slice mirrors leveldb::Slice: a cheap
+// (pointer, length) view used across the memtable, table and cache
+// layers so lookups never copy keys.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hemlock::minikv {
+
+/// Non-owning view of a byte string. The referenced storage must
+/// outlive the Slice (typical sources: arena-allocated entries,
+/// std::string locals held across the call).
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, std::size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  /// Pointer to the first byte.
+  const char* data() const { return data_; }
+  /// Length in bytes.
+  std::size_t size() const { return size_; }
+  /// True when empty.
+  bool empty() const { return size_ == 0; }
+
+  /// Byte at index i (no bounds check beyond assertions in callers).
+  char operator[](std::size_t i) const { return data_[i]; }
+
+  /// Drop the first n bytes from the view.
+  void remove_prefix(std::size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Owned copy.
+  std::string to_string() const { return std::string(data_, size_); }
+  /// std::string_view of the same bytes.
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way byte-wise comparison (<0, 0, >0), memcmp semantics.
+  int compare(const Slice& b) const {
+    const std::size_t n = size_ < b.size_ ? size_ : b.size_;
+    int r = std::memcmp(data_, b.data_, n);
+    if (r == 0) {
+      if (size_ < b.size_) r = -1;
+      else if (size_ > b.size_) r = +1;
+    }
+    return r;
+  }
+
+  /// True when `x` is a prefix of this slice.
+  bool starts_with(const Slice& x) const {
+    return size_ >= x.size_ && std::memcmp(data_, x.data_, x.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+}  // namespace hemlock::minikv

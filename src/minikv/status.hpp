@@ -1,0 +1,54 @@
+// status.hpp — operation result type, LevelDB-style.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace hemlock::minikv {
+
+/// Result of a DB operation: OK, NotFound, or an error with a
+/// message. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Success.
+  static Status ok() { return Status(); }
+  /// Key absent (not an error for Get).
+  static Status not_found(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  /// Invalid usage (e.g. operations on a closed DB).
+  static Status invalid_argument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  /// Data integrity failure.
+  static Status corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+
+  /// True on success.
+  bool is_ok() const { return code_ == Code::kOk; }
+  /// True when the key was absent.
+  bool is_not_found() const { return code_ == Code::kNotFound; }
+  /// True for corruption errors.
+  bool is_corruption() const { return code_ == Code::kCorruption; }
+
+  /// Human-readable rendering.
+  std::string to_string() const {
+    switch (code_) {
+      case Code::kOk: return "OK";
+      case Code::kNotFound: return "NotFound: " + msg_;
+      case Code::kInvalidArgument: return "InvalidArgument: " + msg_;
+      case Code::kCorruption: return "Corruption: " + msg_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  enum class Code { kOk, kNotFound, kInvalidArgument, kCorruption };
+  Status() : code_(Code::kOk) {}
+  Status(Code c, std::string msg) : code_(c), msg_(std::move(msg)) {}
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace hemlock::minikv

@@ -1,0 +1,68 @@
+#include "minikv/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hemlock::minikv {
+
+bool Block::get(const Slice& key, std::string* value) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& kv, const Slice& k) {
+        return Slice(kv.first).compare(k) < 0;
+      });
+  if (it == entries.end() || Slice(it->first) != key) return false;
+  *value = it->second;
+  return true;
+}
+
+std::size_t Block::charge() const {
+  std::size_t bytes = sizeof(Block);
+  for (const auto& [k, v] : entries) {
+    bytes += k.size() + v.size() + 2 * sizeof(std::string);
+  }
+  return bytes;
+}
+
+ImmutableTable::ImmutableTable(
+    std::uint64_t id, std::vector<std::pair<std::string, std::string>> sorted,
+    std::size_t block_fanout)
+    : id_(id), entries_(sorted.size()) {
+  assert(block_fanout > 0);
+  assert(std::is_sorted(sorted.begin(), sorted.end(),
+                        [](const auto& a, const auto& b) {
+                          return Slice(a.first).compare(Slice(b.first)) < 0;
+                        }));
+  if (!sorted.empty()) {
+    smallest_ = sorted.front().first;
+    largest_ = sorted.back().first;
+  }
+  for (std::size_t i = 0; i < sorted.size(); i += block_fanout) {
+    const std::size_t end = std::min(i + block_fanout, sorted.size());
+    block_first_keys_.push_back(sorted[i].first);
+    blocks_.emplace_back(std::make_move_iterator(sorted.begin() + i),
+                         std::make_move_iterator(sorted.begin() + end));
+  }
+}
+
+std::int64_t ImmutableTable::block_for(const Slice& key) const {
+  if (blocks_.empty()) return -1;
+  // Last block whose first key is <= key.
+  const auto it = std::upper_bound(
+      block_first_keys_.begin(), block_first_keys_.end(), key,
+      [](const Slice& k, const std::string& first) {
+        return k.compare(Slice(first)) < 0;
+      });
+  if (it == block_first_keys_.begin()) return -1;  // key below the table
+  return static_cast<std::int64_t>(
+      std::distance(block_first_keys_.begin(), it) - 1);
+}
+
+std::shared_ptr<Block> ImmutableTable::read_block(std::size_t idx) const {
+  assert(idx < blocks_.size());
+  auto block = std::make_shared<Block>();
+  block->entries = blocks_[idx];  // deliberate copy: the "decode" cost
+  return block;
+}
+
+}  // namespace hemlock::minikv

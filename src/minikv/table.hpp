@@ -1,0 +1,80 @@
+// table.hpp — immutable sorted tables ("SSTables") for flushed data.
+//
+// When the memtable reaches its flush threshold the DB freezes it
+// into an ImmutableTable: entries packed into fixed-fanout blocks
+// with a sparse index of block-first-keys. Point lookups binary
+// search the index, fetch the block (through the DB's block cache —
+// cache.hpp), and binary search inside it. This mirrors LevelDB's
+// table/block/cache structure closely enough that the Figure-8
+// readrandom workload exercises the same code shape: a short central-
+// mutex critical section, then block-cache + search work outside it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minikv/slice.hpp"
+
+namespace hemlock::minikv {
+
+/// A decoded block: a sorted run of key/value pairs. Blocks are
+/// immutable and shared via shared_ptr (the block cache hands out
+/// references that outlive evictions).
+struct Block {
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  /// Binary search inside the block.
+  bool get(const Slice& key, std::string* value) const;
+
+  /// Approximate byte charge for cache accounting.
+  std::size_t charge() const;
+};
+
+/// Immutable sorted table built from a memtable snapshot.
+class ImmutableTable {
+ public:
+  /// Build from sorted, de-duplicated entries (memtable snapshot).
+  /// `id` must be process-unique (block-cache key space).
+  ImmutableTable(std::uint64_t id,
+                 std::vector<std::pair<std::string, std::string>> sorted,
+                 std::size_t block_fanout = kDefaultBlockFanout);
+
+  ImmutableTable(const ImmutableTable&) = delete;
+  ImmutableTable& operator=(const ImmutableTable&) = delete;
+
+  /// Process-unique table id.
+  std::uint64_t id() const { return id_; }
+  /// Number of blocks.
+  std::size_t num_blocks() const { return blocks_.size(); }
+  /// Total number of entries.
+  std::size_t num_entries() const { return entries_; }
+
+  /// Index of the block that could contain `key`, or -1 when out of
+  /// range (key below the table's first key or table empty).
+  std::int64_t block_for(const Slice& key) const;
+
+  /// Materialize block `idx` (the cache-miss path: in LevelDB this is
+  /// a disk read + decode; here it is a copy out of the table's
+  /// storage, preserving the cost asymmetry vs. a cache hit).
+  std::shared_ptr<Block> read_block(std::size_t idx) const;
+
+  /// First key of the table (empty if no entries).
+  const std::string& smallest() const { return smallest_; }
+  /// Last key of the table.
+  const std::string& largest() const { return largest_; }
+
+  static constexpr std::size_t kDefaultBlockFanout = 16;
+
+ private:
+  std::uint64_t id_;
+  std::size_t entries_;
+  std::string smallest_, largest_;
+  // block_first_keys_[i] is the first key in blocks_[i]; sorted.
+  std::vector<std::string> block_first_keys_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> blocks_;
+};
+
+}  // namespace hemlock::minikv

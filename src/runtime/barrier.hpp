@@ -1,0 +1,55 @@
+// barrier.hpp — sense-reversing centralized barrier.
+//
+// Benchmark threads must begin their measured loops simultaneously;
+// staggered starts would let early threads bank uncontended
+// iterations and distort the contention curves (Figures 2-9). A
+// sense-reversing barrier is reusable across rounds with no reset
+// step, which the multi-round median-of-N runner relies on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+/// Reusable centralized barrier for a fixed party count.
+/// Not on any measured path: used only at phase boundaries.
+class SpinBarrier {
+ public:
+  /// `parties` is the number of threads that must arrive per phase.
+  explicit SpinBarrier(std::uint32_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Block until all parties have arrived at this phase.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.value.load(std::memory_order_relaxed);
+    if (remaining_.value.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arriver: re-arm the count, then flip the sense to
+      // release the cohort. Release ordering publishes the re-armed
+      // count before waiters can start the next phase.
+      remaining_.value.store(parties_, std::memory_order_relaxed);
+      sense_.value.store(my_sense, std::memory_order_release);
+    } else {
+      SpinWait waiter;
+      while (sense_.value.load(std::memory_order_acquire) != my_sense) {
+        waiter.wait();
+      }
+    }
+  }
+
+  /// Party count this barrier was built for.
+  std::uint32_t parties() const noexcept { return parties_; }
+
+ private:
+  std::uint32_t parties_;
+  CacheAligned<std::atomic<std::uint32_t>> remaining_;
+  CacheAligned<std::atomic<bool>> sense_{false};
+};
+
+}  // namespace hemlock

@@ -1,0 +1,53 @@
+// futex.hpp — thin wrappers over the Linux futex syscall.
+//
+// Appendix C and §6 of the paper discuss polite waiting policies
+// (WaitOnAddress / park-unpark) as alternatives to pure spinning.
+// hemlock_cv and hemlock_chain use these wrappers for their blocking
+// tiers. On non-Linux builds the wrappers degrade to spinning, which
+// is semantically safe (futex wakeups are permitted to be spurious in
+// both directions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+/// Sleep while *addr == expected. May wake spuriously; callers must
+/// re-check their predicate in a loop.
+inline void futex_wait(std::atomic<std::uint32_t>* addr,
+                       std::uint32_t expected) noexcept {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+#else
+  if (addr->load(std::memory_order_acquire) == expected) cpu_relax();
+#endif
+}
+
+/// Wake up to `count` waiters blocked in futex_wait on addr.
+inline void futex_wake(std::atomic<std::uint32_t>* addr,
+                       std::uint32_t count) noexcept {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAKE_PRIVATE, count, nullptr, nullptr, 0);
+#else
+  (void)addr;
+  (void)count;
+#endif
+}
+
+/// Wake every waiter on addr.
+inline void futex_wake_all(std::atomic<std::uint32_t>* addr) noexcept {
+  futex_wake(addr, 0x7FFFFFFF);
+}
+
+}  // namespace hemlock

@@ -1,0 +1,78 @@
+// pause.hpp — busy-wait pacing primitives.
+//
+// The paper's busy-wait loops all use the Intel PAUSE instruction
+// (§5: "All lock busy-wait loops used the Intel PAUSE instruction").
+// cpu_relax() is the portable equivalent. SpinWait adds an optional
+// spin-then-yield escalation used by tests so that heavily
+// oversubscribed schedules cannot livelock; benchmarks use bare
+// cpu_relax() to match the paper.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace hemlock {
+
+/// One polite busy-wait beat: de-pipelines the spin loop, reduces
+/// power, and on hyperthreaded cores yields issue slots to the
+/// sibling (which may be the lock owner).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Surrender the CPU to the scheduler. Used by SpinWait's escalation
+/// tier, never on benchmark fast paths.
+inline void cpu_yield() noexcept {
+#if defined(__linux__)
+  sched_yield();
+#endif
+}
+
+/// Escalating waiter: spins with cpu_relax() for `spin_limit`
+/// iterations, then starts interleaving sched_yield() so that waiting
+/// threads make progress even when the machine is oversubscribed
+/// (more runnable threads than logical CPUs — the SPARC experiments
+/// in §5.2 run up to 512 threads in exactly this regime).
+class SpinWait {
+ public:
+  explicit SpinWait(std::uint32_t spin_limit = kDefaultSpinLimit) noexcept
+      : spin_limit_(spin_limit) {}
+
+  /// One wait beat; call inside the poll loop.
+  void wait() noexcept {
+    if (iterations_ < spin_limit_) {
+      ++iterations_;
+      cpu_relax();
+    } else {
+      cpu_yield();
+    }
+  }
+
+  /// Restart the escalation schedule (call after observing progress).
+  void reset() noexcept { iterations_ = 0; }
+
+  /// How many beats have elapsed since the last reset.
+  std::uint64_t iterations() const noexcept { return iterations_; }
+
+  static constexpr std::uint32_t kDefaultSpinLimit = 4096;
+
+ private:
+  std::uint32_t spin_limit_;
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace hemlock

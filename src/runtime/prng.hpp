@@ -1,0 +1,89 @@
+// prng.hpp — fast pseudo-random number generators for workloads.
+//
+// The paper's moderate-contention workload (§5.1, Figure 3) steps C++
+// std::mt19937 generators; the benchmarks use std::mt19937 directly
+// for fidelity. Everything else in the harness (key generation,
+// random lock selection in the multi-waiting benchmark, test
+// schedules) uses the cheaper generators here so PRNG cost does not
+// distort lock measurements.
+#pragma once
+
+#include <cstdint>
+
+namespace hemlock {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Stateless-feeling stream
+/// stepper; primary use is seeding Xoshiro streams so that per-thread
+/// generators are decorrelated.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** (Blackman & Vigna 2018): 4x64-bit state, excellent
+/// statistical quality, ~1ns/step. Satisfies UniformRandomBitGenerator
+/// so it composes with <random> distributions when needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 per the reference implementation's guidance.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift
+  /// rejection method; bound must be nonzero.
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    std::uint64_t x = next() & 0xFFFFFFFFULL;
+    std::uint64_t m = x * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        x = next() & 0xFFFFFFFFULL;
+        m = x * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace hemlock

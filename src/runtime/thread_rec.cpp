@@ -1,0 +1,130 @@
+#include "runtime/thread_rec.hpp"
+
+#include <algorithm>
+
+#include "runtime/pause.hpp"
+
+namespace hemlock {
+
+std::atomic<bool> LockProfiler::enabled_{false};
+
+namespace {
+
+// Registry guard. Deliberately NOT std::mutex: under the LD_PRELOAD
+// interposition library every pthread_mutex (and therefore every
+// std::mutex) in the process is replaced by a library lock whose
+// lock() path registers the thread — which would re-enter this
+// registry. A private raw spinlock breaks that recursion. Nothing
+// here is on a lock fast path.
+class RegistrySpinLock {
+ public:
+  void lock() noexcept {
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      cpu_relax();
+    }
+  }
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+struct RegistryGuard {
+  explicit RegistryGuard(RegistrySpinLock& l) : lock(l) { lock.lock(); }
+  ~RegistryGuard() { lock.unlock(); }
+  RegistrySpinLock& lock;
+};
+
+RegistrySpinLock g_registry_mu;
+ThreadRec* g_head = nullptr;
+std::uint32_t g_ever = 0;
+std::uint32_t g_live = 0;
+ThreadRegistry::RetiredProfile g_retired;
+
+// Holder gives the thread_local a destructor that drains the Grant
+// word (paper Appendix A) before deregistering.
+struct Holder {
+  ThreadRec rec;
+
+  Holder() { ThreadRegistry::register_rec(&rec); }
+
+  ~Holder() {
+    // A tardy successor (Overlap variant) may not yet have fetched
+    // and cleared our Grant; its acknowledgement store must land
+    // before this memory is reclaimed.
+    SpinWait waiter;
+    while (rec.grant.value.load(std::memory_order_acquire) != kGrantEmpty) {
+      waiter.wait();
+    }
+    ThreadRegistry::deregister_rec(&rec);
+  }
+};
+
+}  // namespace
+
+ThreadRec& self() {
+  static thread_local Holder holder;
+  return holder.rec;
+}
+
+void ThreadRegistry::register_rec(ThreadRec* rec) {
+  RegistryGuard g(g_registry_mu);
+  rec->id = g_ever++;
+  rec->registry_next = g_head;
+  g_head = rec;
+  ++g_live;
+  rec->live.store(true, std::memory_order_release);
+}
+
+void ThreadRegistry::deregister_rec(ThreadRec* rec) {
+  RegistryGuard g(g_registry_mu);
+  rec->live.store(false, std::memory_order_release);
+  ThreadRec** link = &g_head;
+  while (*link != nullptr && *link != rec) link = &(*link)->registry_next;
+  if (*link == rec) *link = rec->registry_next;
+  --g_live;
+  // Preserve this thread's profiling contribution past its exit.
+  g_retired.nested_acquires +=
+      rec->nested_acquires.load(std::memory_order_relaxed);
+  g_retired.max_held = std::max(
+      g_retired.max_held, rec->max_held.load(std::memory_order_relaxed));
+  g_retired.max_grant_waiters =
+      std::max(g_retired.max_grant_waiters,
+               rec->max_grant_waiters.load(std::memory_order_relaxed));
+}
+
+ThreadRegistry::RetiredProfile ThreadRegistry::retired_profile() {
+  RegistryGuard g(g_registry_mu);
+  return g_retired;
+}
+
+void ThreadRegistry::for_each(const std::function<void(ThreadRec&)>& fn) {
+  RegistryGuard g(g_registry_mu);
+  for (ThreadRec* r = g_head; r != nullptr; r = r->registry_next) {
+    if (r->live.load(std::memory_order_acquire)) fn(*r);
+  }
+}
+
+std::uint32_t ThreadRegistry::ever_registered() {
+  RegistryGuard g(g_registry_mu);
+  return g_ever;
+}
+
+std::uint32_t ThreadRegistry::live_count() {
+  RegistryGuard g(g_registry_mu);
+  return g_live;
+}
+
+void ThreadRegistry::reset_profile() {
+  RegistryGuard g(g_registry_mu);
+  g_retired = RetiredProfile{};
+  for (ThreadRec* r = g_head; r != nullptr; r = r->registry_next) {
+    r->held_count.store(0, std::memory_order_relaxed);
+    r->max_held.store(0, std::memory_order_relaxed);
+    r->nested_acquires.store(0, std::memory_order_relaxed);
+    r->grant_waiters.store(0, std::memory_order_relaxed);
+    r->max_grant_waiters.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hemlock

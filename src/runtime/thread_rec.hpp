@@ -1,0 +1,171 @@
+// thread_rec.hpp — the per-thread record holding the Grant word.
+//
+// Hemlock's entire per-thread footprint is one word: the Grant field
+// (paper §1: "requiring just one word per thread plus one word per
+// lock"). ThreadRec sequesters that word as the sole occupant of a
+// cache line (§2.3) and adds, on separate *cold* lines, the registry
+// linkage and optional profiling counters used to reproduce the §5.4
+// application characterization (locks held simultaneously,
+// multi-waiting degree). The cold state is never touched on lock
+// fast paths unless profiling is explicitly enabled.
+//
+// Lifetime rule (paper Appendix A): "When ultimately destroying a
+// thread, it is necessary to wait while the thread's Grant field
+// [transitions] back to null before reclaiming the memory underlying
+// Grant." ThreadRec's destructor enforces exactly that, which makes
+// the Overlap variant (deferred acknowledgement) safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "runtime/cacheline.hpp"
+
+namespace hemlock {
+
+/// Values stored in a Grant word: null (0), a lock address, or — for
+/// the Optimized Hand-Over Variant 1 (paper Listing 5) — a lock
+/// address with the low bit set (L|1, "successor certainly exists").
+using GrantWord = std::uintptr_t;
+inline constexpr GrantWord kGrantEmpty = 0;
+
+/// Per-thread locking record. Obtain the calling thread's record with
+/// self(); records are registered for the lifetime of the thread and
+/// enumerable via ThreadRegistry for tests and profilers.
+struct ThreadRec {
+  // ---- hot line: the Grant mailbox ------------------------------------
+  /// The singleton mailbox between this thread and whichever waiter is
+  /// its immediate successor on some lock's queue. Protocol invariants
+  /// (paper §2): only this thread stores a non-null value here (during
+  /// its unlock), and the only store performed by *another* thread is
+  /// the successor's acknowledgement clearing it back to null.
+  CacheAligned<std::atomic<GrantWord>> grant{kGrantEmpty};
+
+  // ---- cold line(s): registry + profiling ------------------------------
+  /// Intrusive registry link; managed by ThreadRegistry.
+  ThreadRec* registry_next = nullptr;
+  /// Dense id assigned at registration (stable for the thread's life).
+  std::uint32_t id = 0;
+  /// True between registration and deregistration.
+  std::atomic<bool> live{false};
+
+  // Profiling counters (§5.4 characterization). Updated only when
+  // LockProfiler is enabled; all relaxed — they are statistics, not
+  // synchronization.
+  std::atomic<std::uint32_t> held_count{0};       ///< locks currently held
+  std::atomic<std::uint32_t> max_held{0};         ///< high-water mark of held_count
+  std::atomic<std::uint64_t> nested_acquires{0};  ///< lock() calls made while >=1 lock held
+  std::atomic<std::uint32_t> grant_waiters{0};    ///< threads now spinning on this->grant
+  std::atomic<std::uint32_t> max_grant_waiters{0};///< high-water mark of grant_waiters
+
+  ThreadRec() = default;
+  ThreadRec(const ThreadRec&) = delete;
+  ThreadRec& operator=(const ThreadRec&) = delete;
+};
+
+// Grant occupies the record's first cache line by itself: CacheAligned
+// pads it to a full line and everything after it therefore starts on
+// the next line. (Checked at runtime in tests/test_runtime.cpp since
+// offsetof on this type is conditionally-supported.)
+static_assert(alignof(ThreadRec) >= kCacheLineSize);
+
+/// The calling thread's record. First call registers the thread; the
+/// record is deregistered (after draining its Grant word) when the
+/// thread exits.
+ThreadRec& self();
+
+/// Global roster of live ThreadRecs (meta-level: registration and
+/// enumeration take an internal mutex; nothing here is on a lock fast
+/// path).
+class ThreadRegistry {
+ public:
+  /// Invoke fn(rec) for every currently-live record. The registry
+  /// mutex is held for the whole walk, so records cannot be unlinked
+  /// mid-traversal; fn must not register/deregister threads.
+  static void for_each(const std::function<void(ThreadRec&)>& fn);
+
+  /// Number of threads ever registered (monotone).
+  static std::uint32_t ever_registered();
+  /// Number of currently-live registered threads.
+  static std::uint32_t live_count();
+
+  /// Reset the §5.4 profiling counters on every live record and the
+  /// retired tally.
+  static void reset_profile();
+
+  /// Profiling counters folded in from threads that have already
+  /// exited (their ThreadRecs are gone; the registry accumulates
+  /// their contribution at deregistration so post-run collection sees
+  /// the whole workload).
+  struct RetiredProfile {
+    std::uint64_t nested_acquires = 0;
+    std::uint32_t max_held = 0;
+    std::uint32_t max_grant_waiters = 0;
+  };
+  static RetiredProfile retired_profile();
+
+  // Internal: called by self()'s per-thread holder at thread start /
+  // exit. Not for direct use.
+  static void register_rec(ThreadRec* rec);
+  static void deregister_rec(ThreadRec* rec);
+};
+
+/// Global profiling switch for the §5.4 characterization counters.
+/// Off by default; the fast-path cost when off is one relaxed bool
+/// load per instrumented site (and the instrumented sites themselves
+/// are compiled only into the profiling hooks, not the lock
+/// algorithms' inner loops).
+class LockProfiler {
+ public:
+  /// Enable/disable counter updates globally.
+  static void enable(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  /// Whether counters are being collected.
+  static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // ---- hooks called by instrumented lock implementations --------------
+
+  /// A thread acquired a lock (post-CS-entry).
+  static void on_acquire(ThreadRec& me) noexcept {
+    if (!enabled()) return;
+    std::uint32_t prior = me.held_count.fetch_add(1, std::memory_order_relaxed);
+    if (prior >= 1) me.nested_acquires.fetch_add(1, std::memory_order_relaxed);
+    bump_max(me.max_held, prior + 1);
+  }
+
+  /// A thread released a lock.
+  static void on_release(ThreadRec& me) noexcept {
+    if (!enabled()) return;
+    me.held_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// A waiter began spinning on `pred`'s Grant word.
+  static void on_wait_begin(ThreadRec& pred) noexcept {
+    if (!enabled()) return;
+    std::uint32_t now = pred.grant_waiters.fetch_add(1, std::memory_order_relaxed) + 1;
+    bump_max(pred.max_grant_waiters, now);
+  }
+
+  /// A waiter stopped spinning on `pred`'s Grant word.
+  static void on_wait_end(ThreadRec& pred) noexcept {
+    if (!enabled()) return;
+    pred.grant_waiters.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  static void bump_max(std::atomic<std::uint32_t>& slot,
+                       std::uint32_t candidate) noexcept {
+    std::uint32_t cur = slot.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !slot.compare_exchange_weak(cur, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace hemlock

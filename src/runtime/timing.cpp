@@ -1,0 +1,16 @@
+#include "runtime/timing.hpp"
+
+namespace hemlock {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+double ops_per_sec(std::uint64_t ops, std::int64_t elapsed_ns) noexcept {
+  if (elapsed_ns <= 0) return 0.0;
+  return static_cast<double>(ops) / (static_cast<double>(elapsed_ns) * 1e-9);
+}
+
+}  // namespace hemlock

@@ -1,0 +1,45 @@
+// timing.hpp — monotonic time sources for the measurement harness.
+//
+// Benchmarks run for a wall-clock interval and report aggregate
+// iterations (paper §5.1: "At the end of a 10 second measurement
+// interval the benchmark reports the total number of aggregate
+// iterations"). Timed loops poll a cached deadline flag rather than
+// calling the clock per iteration, so timing cost stays off the
+// measured path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hemlock {
+
+using Clock = std::chrono::steady_clock;
+
+/// Current monotonic time in nanoseconds.
+std::int64_t now_ns() noexcept;
+
+/// Simple interval stopwatch.
+class Timer {
+ public:
+  Timer() noexcept : start_(now_ns()) {}
+
+  /// Restart the interval at now.
+  void reset() noexcept { start_ = now_ns(); }
+
+  /// Nanoseconds since construction / last reset.
+  std::int64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+
+  /// Seconds since construction / last reset.
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::int64_t start_;
+};
+
+/// Throughput helper: operations per second given a count and an
+/// elapsed interval; returns 0 for degenerate intervals.
+double ops_per_sec(std::uint64_t ops, std::int64_t elapsed_ns) noexcept;
+
+}  // namespace hemlock

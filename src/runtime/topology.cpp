@@ -1,0 +1,79 @@
+#include "runtime/topology.hpp"
+
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace hemlock {
+namespace {
+
+Topology probe() {
+  Topology t;
+  t.logical_cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  if (!cpuinfo) {
+    t.physical_cores = t.logical_cpus;
+    return t;
+  }
+
+  std::set<std::pair<int, int>> cores;  // (physical id, core id)
+  std::set<int> packages;
+  int cur_physical = 0;
+  int cur_core = 0;
+  std::uint32_t processors = 0;
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    // Trim trailing whitespace/tabs from the key.
+    while (!key.empty() && (key.back() == ' ' || key.back() == '\t')) {
+      key.pop_back();
+    }
+    std::string value = line.substr(colon + 1);
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+
+    if (key == "processor") {
+      ++processors;
+    } else if (key == "physical id") {
+      cur_physical = std::atoi(value.c_str());
+      packages.insert(cur_physical);
+    } else if (key == "core id") {
+      cur_core = std::atoi(value.c_str());
+      cores.insert({cur_physical, cur_core});
+    } else if (key == "model name" && t.model_name.empty()) {
+      t.model_name = value;
+    }
+  }
+
+  if (processors > 0) t.logical_cpus = processors;
+  t.sockets = packages.empty() ? 1 : static_cast<std::uint32_t>(packages.size());
+  t.physical_cores =
+      cores.empty() ? t.logical_cpus : static_cast<std::uint32_t>(cores.size());
+  t.smt_ways = t.physical_cores > 0 ? t.logical_cpus / t.physical_cores : 1;
+  if (t.smt_ways == 0) t.smt_ways = 1;
+  return t;
+}
+
+}  // namespace
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << logical_cpus << " logical CPUs (" << sockets << " socket"
+     << (sockets == 1 ? "" : "s") << ", " << physical_cores << " cores, SMT x"
+     << smt_ways << ")";
+  if (!model_name.empty()) os << " — " << model_name;
+  return os.str();
+}
+
+const Topology& topology() {
+  static const Topology t = probe();
+  return t;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,31 @@
+// topology.hpp — CPU topology discovery.
+//
+// The paper reports results across three machines (72-CPU Intel X5-2,
+// 512-CPU SPARC T7-2, 256-CPU AMD EPYC). The bench harness uses the
+// discovered topology to pick default thread sweeps (1..2x logical
+// CPUs, so the oversubscribed regime of Figures 4-7 is exercised) and
+// EXPERIMENTS.md records the host the numbers came from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hemlock {
+
+/// Summary of the host's processor layout.
+struct Topology {
+  std::uint32_t logical_cpus = 1;   ///< schedulable hardware threads
+  std::uint32_t physical_cores = 1; ///< distinct cores (logical/SMT)
+  std::uint32_t sockets = 1;        ///< physical packages
+  std::uint32_t smt_ways = 1;       ///< logical CPUs per core
+  std::string model_name;           ///< e.g. "Intel(R) Xeon(R) ..."
+
+  /// Human-readable one-liner for bench headers.
+  std::string describe() const;
+};
+
+/// Probe /proc/cpuinfo (Linux) with std::thread::hardware_concurrency
+/// as fallback. Cached after the first call; thread-safe.
+const Topology& topology();
+
+}  // namespace hemlock

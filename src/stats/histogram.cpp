@@ -1,0 +1,101 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace hemlock {
+
+Histogram::Histogram(unsigned sub_bucket_bits)
+    : sub_bits_(sub_bucket_bits), sub_count_(1ULL << sub_bucket_bits) {
+  // 64 magnitudes x sub_count_ sub-buckets covers the full u64 range.
+  buckets_.assign(64 * sub_count_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const noexcept {
+  if (value < sub_count_) return static_cast<std::size_t>(value);
+  const unsigned magnitude = 63 - std::countl_zero(value);
+  // Within this magnitude, the top sub_bits_ bits below the leading
+  // bit select the linear sub-bucket.
+  const unsigned shift = magnitude - sub_bits_;
+  const std::uint64_t sub = (value >> shift) & (sub_count_ - 1);
+  return static_cast<std::size_t>((magnitude - sub_bits_ + 1) * sub_count_ +
+                                  sub);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) const noexcept {
+  const std::uint64_t band = index / sub_count_;
+  const std::uint64_t sub = index % sub_count_;
+  if (band == 0) return sub;
+  const unsigned shift = static_cast<unsigned>(band - 1);
+  return ((sub_count_ + sub + 1) << shift) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept { record_n(value, 1); }
+
+void Histogram::record_n(std::uint64_t value, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  buckets_[idx] += count;
+  total_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() != buckets_.size()) {
+    // Geometry mismatch: re-record through the quantile-free path by
+    // folding counts at bucket upper bounds (approximate but safe).
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      if (other.buckets_[i]) record_n(other.bucket_upper(i), other.buckets_[i]);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const noexcept {
+  return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << total_ << " min=" << min() << " p50=" << quantile(0.50)
+     << " p90=" << quantile(0.90) << " p99=" << quantile(0.99)
+     << " max=" << max_;
+  return os.str();
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace hemlock

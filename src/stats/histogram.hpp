@@ -1,0 +1,66 @@
+// histogram.hpp — log-linear latency histogram.
+//
+// Used by the latency benches to report acquire/release and handover
+// latency distributions (the paper's Figure 2 single-thread point is
+// a latency measurement; we extend it with percentiles). Log-linear
+// bucketing (à la HdrHistogram): values are grouped by power-of-two
+// magnitude, each magnitude split into a fixed number of linear
+// sub-buckets, giving bounded relative error across nanoseconds to
+// seconds with a few KB of counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hemlock {
+
+/// Fixed-range log-linear histogram of non-negative 64-bit values.
+/// Thread-compatible (callers serialize or keep one per thread and
+/// merge).
+class Histogram {
+ public:
+  /// `sub_bucket_bits` linear sub-buckets per power of two (default
+  /// 32 sub-buckets → ≤3.1% relative error).
+  explicit Histogram(unsigned sub_bucket_bits = 5);
+
+  /// Record one value.
+  void record(std::uint64_t value) noexcept;
+  /// Record `count` occurrences of value.
+  void record_n(std::uint64_t value, std::uint64_t count) noexcept;
+
+  /// Merge another histogram (same geometry) into this one.
+  void merge(const Histogram& other);
+
+  /// Total recorded count.
+  std::uint64_t count() const noexcept { return total_; }
+  /// Smallest recorded value (0 if empty).
+  std::uint64_t min() const noexcept { return total_ ? min_ : 0; }
+  /// Largest recorded value.
+  std::uint64_t max() const noexcept { return max_; }
+  /// Arithmetic mean of recorded values (bucket-midpoint approximation).
+  double mean() const noexcept;
+
+  /// Value at quantile q in [0,1] (bucket upper-bound approximation).
+  std::uint64_t quantile(double q) const noexcept;
+
+  /// "p50=… p99=… max=…" one-liner for bench output.
+  std::string summary() const;
+
+  /// Remove all recordings.
+  void reset() noexcept;
+
+ private:
+  std::size_t bucket_index(std::uint64_t value) const noexcept;
+  std::uint64_t bucket_upper(std::size_t index) const noexcept;
+
+  unsigned sub_bits_;
+  std::uint64_t sub_count_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,45 @@
+#include "stats/lock_profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "runtime/thread_rec.hpp"
+
+namespace hemlock {
+
+LockUsageProfile collect_lock_usage_profile() {
+  LockUsageProfile p;
+  ThreadRegistry::for_each([&](ThreadRec& rec) {
+    p.nested_acquires += rec.nested_acquires.load(std::memory_order_relaxed);
+    p.max_locks_held = std::max(
+        p.max_locks_held, rec.max_held.load(std::memory_order_relaxed));
+    p.max_grant_waiters =
+        std::max(p.max_grant_waiters,
+                 rec.max_grant_waiters.load(std::memory_order_relaxed));
+  });
+  // Fold in threads that exited during/after the measured interval.
+  const auto retired = ThreadRegistry::retired_profile();
+  p.nested_acquires += retired.nested_acquires;
+  p.max_locks_held = std::max(p.max_locks_held, retired.max_held);
+  p.max_grant_waiters = std::max(p.max_grant_waiters,
+                                 retired.max_grant_waiters);
+  return p;
+}
+
+void reset_lock_usage_profile() { ThreadRegistry::reset_profile(); }
+
+std::string LockUsageProfile::describe() const {
+  std::ostringstream os;
+  os << "lock-usage profile (cf. paper §5.4):\n"
+     << "  lock() calls while already holding a lock : " << nested_acquires
+     << "\n"
+     << "  max locks held simultaneously by a thread : " << max_locks_held
+     << "\n"
+     << "  max threads waiting on any one Grant field: " << max_grant_waiters
+     << "\n"
+     << "  spinning locality                          : "
+     << (purely_local() ? "purely local" : "multi-waiting observed") << "\n";
+  return os.str();
+}
+
+}  // namespace hemlock

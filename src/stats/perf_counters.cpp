@@ -1,0 +1,95 @@
+#include "stats/perf_counters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace hemlock {
+
+#if defined(__linux__)
+
+namespace {
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+std::uint64_t config_for(PerfCounter::Event e) {
+  switch (e) {
+    case PerfCounter::Event::kCacheReferences:
+      return PERF_COUNT_HW_CACHE_REFERENCES;
+    case PerfCounter::Event::kCacheMisses:
+      return PERF_COUNT_HW_CACHE_MISSES;
+    case PerfCounter::Event::kInstructions:
+      return PERF_COUNT_HW_INSTRUCTIONS;
+    case PerfCounter::Event::kCycles:
+      return PERF_COUNT_HW_CPU_CYCLES;
+  }
+  return PERF_COUNT_HW_CACHE_MISSES;
+}
+
+}  // namespace
+
+PerfCounter::PerfCounter(Event event) : event_(event) {
+  perf_event_attr attr{};
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config_for(event);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // count child threads too
+  // pid=0, cpu=-1: this process, any CPU.
+  fd_ = static_cast<int>(perf_event_open(&attr, 0, -1, -1, 0));
+}
+
+PerfCounter::~PerfCounter() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void PerfCounter::start() noexcept {
+  if (fd_ < 0) return;
+  ioctl(fd_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+void PerfCounter::stop() noexcept {
+  if (fd_ < 0) return;
+  ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+std::uint64_t PerfCounter::read() const noexcept {
+  if (fd_ < 0) return 0;
+  std::uint64_t value = 0;
+  if (::read(fd_, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+#else  // !__linux__
+
+PerfCounter::PerfCounter(Event event) : event_(event) {}
+PerfCounter::~PerfCounter() = default;
+void PerfCounter::start() noexcept {}
+void PerfCounter::stop() noexcept {}
+std::uint64_t PerfCounter::read() const noexcept { return 0; }
+
+#endif
+
+const char* PerfCounter::name() const noexcept {
+  switch (event_) {
+    case Event::kCacheReferences: return "cache-references";
+    case Event::kCacheMisses: return "cache-misses";
+    case Event::kInstructions: return "instructions";
+    case Event::kCycles: return "cycles";
+  }
+  return "?";
+}
+
+}  // namespace hemlock

@@ -1,0 +1,80 @@
+// perf_counters.hpp — optional live hardware-counter readings.
+//
+// The paper's Table 2 measures offcore traffic with `perf stat`
+// (offcore_requests.all_data_rd + offcore_requests.demand_rfo,
+// footnote 10). Raw offcore events are model-specific, so this
+// reader exposes the architecturally generic cache events
+// (cache-references / cache-misses / LLC loads+stores), which track
+// the same coherence traffic directionally. Containers and VMs
+// frequently disallow perf_event_open; everything here degrades
+// gracefully to "unavailable" (and the coherence simulator remains
+// Table 2's primary reproduction path — see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hemlock {
+
+/// One live perf counter (process-wide, all CPUs of this process).
+class PerfCounter {
+ public:
+  /// Generic event selector.
+  enum class Event {
+    kCacheReferences,
+    kCacheMisses,
+    kInstructions,
+    kCycles,
+  };
+
+  /// Open the counter; available() reports success.
+  explicit PerfCounter(Event event);
+  ~PerfCounter();
+  PerfCounter(const PerfCounter&) = delete;
+  PerfCounter& operator=(const PerfCounter&) = delete;
+
+  /// True when the kernel granted the event.
+  bool available() const noexcept { return fd_ >= 0; }
+
+  /// Zero and start counting.
+  void start() noexcept;
+  /// Stop counting.
+  void stop() noexcept;
+  /// Current value (0 when unavailable).
+  std::uint64_t read() const noexcept;
+
+  /// The event's human-readable name.
+  const char* name() const noexcept;
+
+ private:
+  Event event_;
+  int fd_ = -1;
+};
+
+/// Convenience: run `fn` with cache-references + cache-misses armed;
+/// returns {references, misses, available}. When the PMU is
+/// inaccessible, runs fn anyway and reports available == false.
+struct CacheTrafficSample {
+  std::uint64_t references = 0;
+  std::uint64_t misses = 0;
+  bool available = false;
+};
+
+template <typename Fn>
+CacheTrafficSample sample_cache_traffic(Fn&& fn) {
+  PerfCounter refs(PerfCounter::Event::kCacheReferences);
+  PerfCounter miss(PerfCounter::Event::kCacheMisses);
+  CacheTrafficSample out;
+  out.available = refs.available() && miss.available();
+  refs.start();
+  miss.start();
+  fn();
+  refs.stop();
+  miss.stop();
+  out.references = refs.read();
+  out.misses = miss.read();
+  return out;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,57 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace hemlock {
+
+double Summary::median() const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return (n % 2 == 1) ? sorted[n / 2]
+                      : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double Summary::min() const {
+  return values_.empty() ? 0.0
+                         : *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  return values_.empty() ? 0.0
+                         : *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::spread() const {
+  const double med = median();
+  if (med == 0.0) return 0.0;
+  return (max() - min()) / med;
+}
+
+std::string Summary::describe() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "median=" << median() << " (n=" << runs()
+     << ", spread=" << spread() * 100.0 << "%)";
+  return os.str();
+}
+
+}  // namespace hemlock

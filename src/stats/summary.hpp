@@ -1,0 +1,47 @@
+// summary.hpp — run-to-run aggregation for benchmark results.
+//
+// The paper reports "the median of 7 independent runs" (§5.1) and
+// "the median of 5 runs" (§5.4). Summary collects per-run scores and
+// exposes exactly those statistics, plus spread measures used by
+// EXPERIMENTS.md to qualify reproduction confidence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hemlock {
+
+/// Accumulates per-run scalar scores (throughput, steps/s, ...).
+class Summary {
+ public:
+  /// Add one run's score.
+  void add(double value) { values_.push_back(value); }
+
+  /// Number of runs recorded.
+  std::size_t runs() const noexcept { return values_.size(); }
+
+  /// Median (the paper's headline statistic). 0 if empty.
+  double median() const;
+  /// Smallest recorded score.
+  double min() const;
+  /// Largest recorded score.
+  double max() const;
+  /// Arithmetic mean.
+  double mean() const;
+  /// Sample standard deviation (0 for fewer than two runs).
+  double stddev() const;
+  /// Relative spread: (max-min)/median; 0 if empty.
+  double spread() const;
+
+  /// All scores, insertion order.
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// "median=… (n=…, spread=…%)" one-liner.
+  std::string describe() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,154 @@
+// test_harness.cpp — the MutexBench framework itself: configuration
+// plumbing, throughput accounting, fairness metric, the multi-waiting
+// driver, thread sweeps, options parsing and table rendering. The
+// benchmark harness is measurement infrastructure; bugs here corrupt
+// every figure, so it gets its own suite.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hemlock.hpp"
+#include "harness/mutexbench.hpp"
+#include "harness/options.hpp"
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "locks/ticket.hpp"
+
+namespace hemlock {
+namespace {
+
+TEST(MutexBench, SingleThreadCountsIterations) {
+  MutexBenchConfig cfg;
+  cfg.threads = 1;
+  cfg.duration_ms = 50;
+  const auto res = run_mutexbench<Hemlock>(cfg);
+  EXPECT_GT(res.total_iterations, 1000u);  // uncontended: millions/sec
+  EXPECT_GT(res.elapsed_ns, 40'000'000);
+  EXPECT_EQ(res.per_thread.size(), 1u);
+  EXPECT_EQ(res.per_thread[0], res.total_iterations);
+  EXPECT_GT(res.msteps_per_sec(), 0.0);
+}
+
+TEST(MutexBench, AggregatesAcrossThreads) {
+  MutexBenchConfig cfg;
+  cfg.threads = 4;
+  cfg.duration_ms = 50;
+  const auto res = run_mutexbench<Hemlock>(cfg);
+  std::uint64_t sum = 0;
+  for (auto c : res.per_thread) sum += c;
+  EXPECT_EQ(sum, res.total_iterations);
+  EXPECT_EQ(res.per_thread.size(), 4u);
+  for (auto c : res.per_thread) EXPECT_GT(c, 0u);
+}
+
+TEST(MutexBench, FifoLockIsFairUnderContention) {
+  MutexBenchConfig cfg;
+  cfg.threads = 4;
+  cfg.duration_ms = 100;
+  const auto res = run_mutexbench<Hemlock>(cfg);
+  // Jain index: FIFO admission should keep threads within a tight
+  // band (1.0 = perfect). Generous bound: scheduling noise exists.
+  EXPECT_GT(res.fairness(), 0.8);
+}
+
+TEST(MutexBench, ModerateWorkloadStepsSharedPrng) {
+  MutexBenchConfig cfg;
+  cfg.threads = 2;
+  cfg.duration_ms = 50;
+  cfg.cs_shared_prng_steps = 5;
+  cfg.ncs_max_prng_steps = 400;
+  const auto res = run_mutexbench<Hemlock>(cfg);
+  EXPECT_GT(res.total_iterations, 0u);
+  // Moderate contention does strictly more work per iteration than
+  // max contention, so it must complete fewer iterations.
+  MutexBenchConfig empty = cfg;
+  empty.cs_shared_prng_steps = 0;
+  empty.ncs_max_prng_steps = 0;
+  const auto res_empty = run_mutexbench<Hemlock>(empty);
+  EXPECT_GT(res_empty.total_iterations, res.total_iterations);
+}
+
+TEST(MultiWaitBench, LeaderCompletesSteps) {
+  MultiWaitConfig cfg;
+  cfg.threads = 4;
+  cfg.num_locks = 10;
+  cfg.duration_ms = 50;
+  const auto res = run_multiwait_bench<Hemlock>(cfg);
+  EXPECT_GT(res.leader_steps, 0u);
+  EXPECT_GT(res.msteps_per_sec(), 0.0);
+}
+
+TEST(MultiWaitBench, WorksAcrossAlgorithms) {
+  MultiWaitConfig cfg;
+  cfg.threads = 3;
+  cfg.num_locks = 4;
+  cfg.duration_ms = 30;
+  EXPECT_GT(run_multiwait_bench<TicketLock>(cfg).leader_steps, 0u);
+  EXPECT_GT(run_multiwait_bench<HemlockNaive>(cfg).leader_steps, 0u);
+}
+
+TEST(ThreadSweep, MatchesPaperAxisShape) {
+  const auto s = figure_thread_sweep(50);
+  EXPECT_EQ(s.front(), 1u);
+  EXPECT_EQ(s.back(), 50u);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+  // Paper anchors present up to the max.
+  EXPECT_NE(std::find(s.begin(), s.end(), 20u), s.end());
+  // Max always included even when not an anchor.
+  const auto s2 = figure_thread_sweep(24);
+  EXPECT_EQ(s2.back(), 24u);
+  const auto s1 = figure_thread_sweep(1);
+  EXPECT_EQ(s1, std::vector<std::uint32_t>{1});
+}
+
+TEST(Runner, MedianOverRuns) {
+  int call = 0;
+  const Summary s = repeat_runs(5, [&] { return static_cast<double>(++call); });
+  EXPECT_EQ(s.runs(), 5u);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Options, ParsesAllForms) {
+  const char* argv[] = {"prog",       "--duration-ms=250", "--runs", "7",
+                        "--csv",      "--name=hemlock",    "--f=2.5"};
+  Options o(7, const_cast<char**>(argv));
+  EXPECT_EQ(o.get_int("duration-ms", 0), 250);
+  EXPECT_EQ(o.get_int("runs", 0), 7);
+  EXPECT_TRUE(o.has("csv"));
+  EXPECT_FALSE(o.has("verbose"));
+  EXPECT_EQ(o.get_string("name", ""), "hemlock");
+  EXPECT_DOUBLE_EQ(o.get_double("f", 0.0), 2.5);
+  EXPECT_EQ(o.get_int("absent", 42), 42);
+  EXPECT_TRUE(o.unconsumed().empty());
+}
+
+TEST(Options, ReportsUnconsumedKeys) {
+  const char* argv[] = {"prog", "--typo=1", "--used=2"};
+  Options o(3, const_cast<char**>(argv));
+  EXPECT_EQ(o.get_int("used", 0), 2);
+  const auto unknown = o.unconsumed();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(TableRender, AlignedAndCsv) {
+  Table t({"a", "bee"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("a"), std::string::npos);
+  EXPECT_NE(text.str().find("---"), std::string::npos);
+  EXPECT_EQ(csv.str(), "a,bee\n1,2\n333,4\n");
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+}
+
+TEST(HostBanner, NonEmpty) {
+  EXPECT_NE(host_banner().find("host:"), std::string::npos);
+  EXPECT_GE(default_max_threads(false), 1u);
+  EXPECT_EQ(default_max_threads(true), default_max_threads(false) * 2);
+}
+
+}  // namespace
+}  // namespace hemlock

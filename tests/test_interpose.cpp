@@ -1,0 +1,128 @@
+// test_interpose.cpp — the pthread_mutex_t shim: overlay geometry,
+// lazy adoption of PTHREAD_MUTEX_INITIALIZER storage, env-var
+// algorithm selection, per-kind mutual exclusion through the shim
+// surface, and a full LD_PRELOAD integration run of the plain-pthreads
+// demo binary against every supported algorithm.
+#include <gtest/gtest.h>
+
+#include <errno.h>
+#include <pthread.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interpose/shim_mutex.hpp"
+
+namespace hemlock::interpose {
+namespace {
+
+TEST(ShimMutex, OverlayFitsPthreadStorage) {
+  EXPECT_LE(sizeof(ShimMutex), sizeof(pthread_mutex_t));
+}
+
+TEST(ShimMutex, ParseKnownNames) {
+  LockKind k;
+  EXPECT_TRUE(parse_lock_kind("hemlock", &k));
+  EXPECT_EQ(k, LockKind::kHemlock);
+  EXPECT_TRUE(parse_lock_kind("hemlock-", &k));
+  EXPECT_EQ(k, LockKind::kHemlockNaive);
+  EXPECT_TRUE(parse_lock_kind("mcs", &k));
+  EXPECT_TRUE(parse_lock_kind("clh", &k));
+  EXPECT_TRUE(parse_lock_kind("ticket", &k));
+  EXPECT_TRUE(parse_lock_kind("hemlock-ohv1", &k));
+  EXPECT_TRUE(parse_lock_kind("hemlock-ohv2", &k));
+  EXPECT_FALSE(parse_lock_kind("bogus", &k));
+}
+
+TEST(ShimMutex, RefusesAggressiveHandOver) {
+  // Appendix B: AH's speculative store is unsafe when the mutex's
+  // memory may be freed by its last user — the shim must not offer it.
+  LockKind k;
+  EXPECT_FALSE(parse_lock_kind("hemlock-ah", &k));
+}
+
+TEST(ShimMutex, InitLockUnlockDestroyRoundTrip) {
+  pthread_mutex_t m;
+  ASSERT_EQ(ShimMutex::shim_init(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_lock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_unlock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_trylock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_unlock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_destroy(&m), 0);
+  // Re-init after destroy must work (POSIX lifecycle).
+  ASSERT_EQ(ShimMutex::shim_init(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_lock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_unlock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_destroy(&m), 0);
+}
+
+TEST(ShimMutex, StaticInitializerAdoptedLazily) {
+  pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;  // never shim_init'ed
+  EXPECT_EQ(ShimMutex::shim_lock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_unlock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_destroy(&m), 0);
+}
+
+TEST(ShimMutex, ConcurrentFirstUseAdoptsExactlyOnce) {
+  for (int round = 0; round < 20; ++round) {
+    pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+    long counter = 0;
+    std::atomic<int> go{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 8; ++t) {
+      ts.emplace_back([&] {
+        go.fetch_add(1);
+        while (go.load() < 8) {
+        }
+        for (int i = 0; i < 1000; ++i) {
+          ShimMutex::shim_lock(&m);
+          ++counter;
+          ShimMutex::shim_unlock(&m);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(counter, 8000);
+    ShimMutex::shim_destroy(&m);
+  }
+}
+
+TEST(ShimMutex, TrylockContract) {
+  pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+  ASSERT_EQ(ShimMutex::shim_trylock(&m), 0);
+  std::thread([&] { EXPECT_EQ(ShimMutex::shim_trylock(&m), EBUSY); }).join();
+  EXPECT_EQ(ShimMutex::shim_unlock(&m), 0);
+  ShimMutex::shim_destroy(&m);
+}
+
+// Full integration: run the plain-pthreads demo binary under
+// LD_PRELOAD for every supported algorithm. The demo exits non-zero
+// if its counters are wrong, so one EXPECT per algorithm covers
+// adoption, exclusion, trylock and destroy through the real dynamic
+// linker path.
+TEST(PreloadIntegration, DemoRunsCorrectlyUnderEveryAlgorithm) {
+#if !defined(HEMLOCK_PRELOAD_SO) || !defined(HEMLOCK_PRELOAD_DEMO)
+  GTEST_SKIP() << "preload paths not configured";
+#else
+  const std::string preload = HEMLOCK_PRELOAD_SO;
+  const std::string demo = HEMLOCK_PRELOAD_DEMO;
+  for (const char* algo :
+       {"hemlock", "hemlock-", "hemlock-faa", "hemlock-ohv1", "hemlock-ohv2",
+        "mcs", "clh", "ticket", "tas", "ttas"}) {
+    const std::string cmd = "LD_PRELOAD=" + preload + " HEMLOCK_LOCK=" +
+                            std::string(algo) + " " + demo + " > /dev/null";
+    EXPECT_EQ(std::system(cmd.c_str()), 0) << "HEMLOCK_LOCK=" << algo;
+  }
+  // Unknown algorithm falls back to the default but still works.
+  const std::string fallback = "LD_PRELOAD=" + preload +
+                               " HEMLOCK_LOCK=nonsense " + demo +
+                               " > /dev/null 2>&1";
+  EXPECT_EQ(std::system(fallback.c_str()), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace hemlock::interpose

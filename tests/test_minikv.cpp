@@ -1,0 +1,378 @@
+// test_minikv.cpp — unit and integration tests for the MiniKV
+// substrate (the Figure-8 LevelDB substitute): slice, varint
+// encoding, arena, skiplist, memtable, immutable tables, the sharded
+// LRU cache, and the DB facade with its pluggable central mutex.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hemlock.hpp"
+#include "locks/mcs.hpp"
+#include "locks/system.hpp"
+#include "minikv/arena.hpp"
+#include "minikv/cache.hpp"
+#include "minikv/db.hpp"
+#include "minikv/db_bench.hpp"
+#include "minikv/memtable.hpp"
+#include "minikv/skiplist.hpp"
+#include "minikv/slice.hpp"
+#include "minikv/status.hpp"
+#include "minikv/table.hpp"
+
+namespace hemlock::minikv {
+namespace {
+
+// ---------------------------------------------------------- Slice --
+TEST(Slice, BasicViewsAndCompare) {
+  Slice a("abc");
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.to_string(), "abc");
+  EXPECT_TRUE(Slice("") .empty());
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);   // prefix sorts first
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+  Slice b("hello world");
+  b.remove_prefix(6);
+  EXPECT_EQ(b.to_string(), "world");
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+// --------------------------------------------------------- varint --
+TEST(Varint, RoundTripsAllWidths) {
+  for (std::uint32_t v : {0u, 1u, 127u, 128u, 300u, 16383u, 16384u,
+                          2097151u, 268435455u, 4294967295u}) {
+    char buf[8];
+    char* end = detail::encode_varint32(buf, v);
+    EXPECT_EQ(static_cast<std::size_t>(end - buf),
+              detail::varint32_length(v));
+    const char* p = buf;
+    EXPECT_EQ(detail::decode_varint32(&p), v);
+    EXPECT_EQ(p, end);
+  }
+}
+
+// ----------------------------------------------------------- Arena --
+TEST(Arena, AllocatesAndAccountsMemory) {
+  Arena arena;
+  EXPECT_EQ(arena.memory_usage(), 0u);
+  char* p1 = arena.allocate(100);
+  ASSERT_NE(p1, nullptr);
+  std::memset(p1, 0xAB, 100);
+  EXPECT_GT(arena.memory_usage(), 0u);
+  // Aligned allocations are pointer-aligned.
+  for (int i = 0; i < 50; ++i) {
+    arena.allocate(3);  // misalign the bump pointer
+    char* q = arena.allocate_aligned(16);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % alignof(void*), 0u);
+  }
+  // Large allocations get dedicated blocks.
+  char* big = arena.allocate(8192);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, 8192);
+}
+
+// -------------------------------------------------------- SkipList --
+struct IntCmp {
+  int operator()(std::uint64_t a, std::uint64_t b) const {
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+};
+
+TEST(SkipListTest, InsertAndContains) {
+  Arena arena;
+  SkipList<std::uint64_t, IntCmp> list(IntCmp{}, &arena);
+  std::mt19937 rng(42);
+  std::set<std::uint64_t> inserted;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng() % 10000 + 1;  // avoid 0 (head key)
+    if (inserted.insert(v).second) list.insert(v);
+  }
+  for (std::uint64_t v = 1; v <= 10000; ++v) {
+    EXPECT_EQ(list.contains(v), inserted.count(v) == 1) << v;
+  }
+}
+
+TEST(SkipListTest, IterationIsSorted) {
+  Arena arena;
+  SkipList<std::uint64_t, IntCmp> list(IntCmp{}, &arena);
+  for (std::uint64_t v : {5u, 1u, 9u, 3u, 7u}) list.insert(v);
+  SkipList<std::uint64_t, IntCmp>::Iterator it(&list);
+  std::vector<std::uint64_t> got;
+  for (it.seek_to_first(); it.valid(); it.next()) got.push_back(it.key());
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 3, 5, 7, 9}));
+  it.seek(4);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 5u);
+  it.seek(10);
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(SkipListTest, ConcurrentReadersWithOneWriter) {
+  Arena arena;
+  SkipList<std::uint64_t, IntCmp> list(IntCmp{}, &arena);
+  constexpr std::uint64_t kMax = 20000;
+  std::atomic<std::uint64_t> watermark{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      std::mt19937 rng(r + 1);
+      while (watermark.load(std::memory_order_acquire) < kMax) {
+        const std::uint64_t w = watermark.load(std::memory_order_acquire);
+        if (w == 0) continue;
+        const std::uint64_t probe = rng() % w + 1;
+        // Everything at or below the watermark must be present.
+        if (!list.contains(probe)) failed.store(true);
+      }
+    });
+  }
+  for (std::uint64_t v = 1; v <= kMax; ++v) {
+    list.insert(v);
+    watermark.store(v, std::memory_order_release);
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// -------------------------------------------------------- MemTable --
+TEST(MemTableTest, AddGetNewestWins) {
+  MemTable mem;
+  std::string v;
+  EXPECT_FALSE(mem.get("k", &v));
+  mem.add(1, "k", "v1");
+  ASSERT_TRUE(mem.get("k", &v));
+  EXPECT_EQ(v, "v1");
+  mem.add(2, "k", "v2");  // overwrite: newest must win
+  ASSERT_TRUE(mem.get("k", &v));
+  EXPECT_EQ(v, "v2");
+  EXPECT_FALSE(mem.get("other", &v));
+  EXPECT_EQ(mem.entries(), 2u);
+}
+
+TEST(MemTableTest, DistinctKeysAndEmptyValues) {
+  MemTable mem;
+  mem.add(1, "a", "");
+  mem.add(2, "ab", "x");
+  mem.add(3, "b", std::string(1000, 'z'));
+  std::string v;
+  ASSERT_TRUE(mem.get("a", &v));
+  EXPECT_EQ(v, "");
+  ASSERT_TRUE(mem.get("ab", &v));
+  EXPECT_EQ(v, "x");
+  ASSERT_TRUE(mem.get("b", &v));
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_FALSE(mem.get("aa", &v));
+}
+
+TEST(MemTableTest, SnapshotSortedDeduplicates) {
+  MemTable mem;
+  mem.add(1, "b", "old-b");
+  mem.add(2, "a", "va");
+  mem.add(3, "b", "new-b");
+  mem.add(4, "c", "vc");
+  const auto snap = mem.snapshot_sorted();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], (std::pair<std::string, std::string>{"a", "va"}));
+  EXPECT_EQ(snap[1], (std::pair<std::string, std::string>{"b", "new-b"}));
+  EXPECT_EQ(snap[2], (std::pair<std::string, std::string>{"c", "vc"}));
+}
+
+// --------------------------------------------------- ImmutableTable --
+std::vector<std::pair<std::string, std::string>> make_sorted(int n) {
+  std::vector<std::pair<std::string, std::string>> v;
+  for (int i = 0; i < n; ++i) {
+    v.emplace_back(bench_key(static_cast<std::uint64_t>(i) * 2),
+                   "val" + std::to_string(i * 2));
+  }
+  return v;
+}
+
+TEST(ImmutableTableTest, BlockLookupFindsEveryKey) {
+  ImmutableTable t(1, make_sorted(100), /*block_fanout=*/7);
+  EXPECT_EQ(t.num_entries(), 100u);
+  EXPECT_EQ(t.num_blocks(), (100 + 6) / 7);
+  std::string v;
+  for (int i = 0; i < 100; ++i) {
+    const auto key = bench_key(static_cast<std::uint64_t>(i) * 2);
+    const std::int64_t b = t.block_for(key);
+    ASSERT_GE(b, 0);
+    auto block = t.read_block(static_cast<std::size_t>(b));
+    ASSERT_TRUE(block->get(key, &v)) << key;
+    EXPECT_EQ(v, "val" + std::to_string(i * 2));
+  }
+}
+
+TEST(ImmutableTableTest, MissesFallInTheRightPlaces) {
+  ImmutableTable t(2, make_sorted(50), 8);
+  std::string v;
+  // Key below the smallest: no candidate block.
+  EXPECT_EQ(t.block_for("0000000000000000"), 0);  // equals first key -> block 0
+  ImmutableTable t2(3, {{"b", "1"}, {"d", "2"}}, 8);
+  EXPECT_EQ(t2.block_for("a"), -1);
+  const std::int64_t b = t2.block_for("c");
+  ASSERT_GE(b, 0);
+  EXPECT_FALSE(t2.read_block(static_cast<std::size_t>(b))->get("c", &v));
+  EXPECT_TRUE(t2.read_block(static_cast<std::size_t>(b))->get("b", &v));
+}
+
+// ------------------------------------------------------------ Cache --
+TEST(CacheTest, HitMissPromoteEvict) {
+  ShardedLruCache<Block> cache(16 * 1024);
+  auto mkblock = [](int tag) {
+    auto b = std::make_shared<Block>();
+    b->entries.emplace_back("k" + std::to_string(tag), "v");
+    return b;
+  };
+  const BlockKey k1{1, 0}, k2{1, 1};
+  EXPECT_EQ(cache.lookup(k1), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.insert(k1, mkblock(1), 100);
+  auto got = cache.lookup(k1);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.insert(k2, mkblock(2), 100);
+  EXPECT_NE(cache.lookup(k2), nullptr);
+  EXPECT_GT(cache.usage(), 0u);
+  cache.erase(k1);
+  EXPECT_EQ(cache.lookup(k1), nullptr);
+}
+
+TEST(CacheTest, EvictsLeastRecentlyUsedUnderPressure) {
+  // Single small capacity: inserting beyond capacity evicts LRU.
+  LruShard<Block> shard;
+  shard.set_capacity(250);
+  auto blk = [] { return std::make_shared<Block>(); };
+  shard.insert(BlockKey{1, 0}, blk(), 100);
+  shard.insert(BlockKey{1, 1}, blk(), 100);
+  // Touch {1,0} so {1,1} is LRU.
+  EXPECT_NE(shard.lookup(BlockKey{1, 0}), nullptr);
+  shard.insert(BlockKey{1, 2}, blk(), 100);  // forces eviction of {1,1}
+  EXPECT_EQ(shard.lookup(BlockKey{1, 1}), nullptr);
+  EXPECT_NE(shard.lookup(BlockKey{1, 0}), nullptr);
+  EXPECT_NE(shard.lookup(BlockKey{1, 2}), nullptr);
+  EXPECT_GE(shard.evictions(), 1u);
+}
+
+TEST(CacheTest, ReplacingSameKeyUpdatesCharge) {
+  LruShard<Block> shard;
+  shard.set_capacity(1000);
+  auto blk = [] { return std::make_shared<Block>(); };
+  shard.insert(BlockKey{7, 7}, blk(), 400);
+  EXPECT_EQ(shard.usage(), 400u);
+  shard.insert(BlockKey{7, 7}, blk(), 100);
+  EXPECT_EQ(shard.usage(), 100u);
+}
+
+// --------------------------------------------------------------- DB --
+TEST(DbTest, PutGetAcrossFlushes) {
+  DbOptions opt;
+  opt.write_buffer_bytes = 16 * 1024;  // force frequent flushes
+  DB<std::mutex> db(opt);
+  constexpr int kKeys = 5000;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(db.put(bench_key(i), "value" + std::to_string(i)).is_ok());
+  }
+  EXPECT_GT(db.num_tables(), 0u);  // flushes happened
+  std::string v;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(db.get(bench_key(i), &v).is_ok()) << i;
+    EXPECT_EQ(v, "value" + std::to_string(i));
+  }
+  EXPECT_TRUE(db.get(bench_key(kKeys + 1), &v).is_not_found());
+}
+
+TEST(DbTest, OverwritesResolveToNewestAcrossTables) {
+  DbOptions opt;
+  opt.write_buffer_bytes = 8 * 1024;
+  DB<std::mutex> db(opt);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      db.put(bench_key(i), "r" + std::to_string(round));
+    }
+    db.flush();
+  }
+  std::string v;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db.get(bench_key(i), &v).is_ok());
+    EXPECT_EQ(v, "r4") << "key " << i;
+  }
+}
+
+TEST(DbTest, CacheServesRepeatedReads) {
+  DB<std::mutex> db;
+  fill_seq(db, 2000, 64);
+  std::string v;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 2000; i += 50) {
+      ASSERT_TRUE(db.get(bench_key(i), &v).is_ok());
+    }
+  }
+  EXPECT_GT(db.cache_hits(), 0u);
+}
+
+// The central integration property: concurrent readers + writer with
+// a *Hemlock* central mutex return coherent values.
+TEST(DbTest, ConcurrentReadersAndWriterWithHemlockMutex) {
+  DbOptions opt;
+  opt.write_buffer_bytes = 64 * 1024;
+  DB<Hemlock> db(opt);
+  constexpr std::uint64_t kKeys = 2000;
+  fill_seq(db, kKeys, 32);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> wrong{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 6; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256 prng(r + 99);
+      std::string v;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto k = prng.below(kKeys);
+        if (!db.get(bench_key(k), &v).is_ok()) {
+          wrong.store(true);  // every key was pre-populated
+        }
+      }
+    });
+  }
+  // Writer keeps overwriting (values change but keys never vanish).
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t k = 0; k < kKeys; k += 37) {
+      db.put(bench_key(k), "round" + std::to_string(round));
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(wrong.load());
+}
+
+TEST(DbBench, FillSeqThenReadRandomFindsEverything) {
+  DB<McsLock> db;
+  fill_seq(db, 10000, 100);
+  ReadRandomConfig cfg;
+  cfg.threads = 4;
+  cfg.duration_ms = 200;
+  cfg.num_keys = 10000;
+  const ReadRandomResult res = run_readrandom(db, cfg);
+  EXPECT_GT(res.total_reads, 0u);
+  EXPECT_EQ(res.total_reads, res.found);  // all keys exist
+  EXPECT_GT(res.mops_per_sec(), 0.0);
+}
+
+TEST(DbBench, KeyFormatMatchesDbBench) {
+  EXPECT_EQ(bench_key(0), "0000000000000000");
+  EXPECT_EQ(bench_key(42), "0000000000000042");
+  EXPECT_EQ(bench_key(9999999999999999ULL), "9999999999999999");
+}
+
+}  // namespace
+}  // namespace hemlock::minikv

@@ -1,0 +1,148 @@
+// test_param_sweeps.cpp — value-parameterized (TEST_P) property
+// sweeps across configuration grids: MutexBench workload points,
+// coherence-simulator protocol × thread-count combinations, histogram
+// geometries, and multi-waiting shapes. These complement the typed
+// suites (which sweep lock *types*) by sweeping *configurations* for
+// a fixed set of invariants.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "coherence/protocol.hpp"
+#include "coherence/sim_bench.hpp"
+#include "coherence/sim_locks.hpp"
+#include "core/hemlock.hpp"
+#include "harness/mutexbench.hpp"
+#include "stats/histogram.hpp"
+
+namespace hemlock {
+namespace {
+
+// ------------------------------------------------------------------
+// MutexBench invariants over a (threads, cs_steps, ncs_steps) grid:
+// iterations conserve across per-thread counts, throughput is
+// positive, and the configured workload terminates.
+using BenchPoint = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+class MutexBenchGrid : public ::testing::TestWithParam<BenchPoint> {};
+
+TEST_P(MutexBenchGrid, ConservesIterationsAndTerminates) {
+  const auto [threads, cs, ncs] = GetParam();
+  MutexBenchConfig cfg;
+  cfg.threads = threads;
+  cfg.duration_ms = 40;
+  cfg.cs_shared_prng_steps = cs;
+  cfg.ncs_max_prng_steps = ncs;
+  const auto res = run_mutexbench<Hemlock>(cfg);
+  std::uint64_t sum = 0;
+  for (auto c : res.per_thread) sum += c;
+  EXPECT_EQ(sum, res.total_iterations);
+  EXPECT_GT(res.total_iterations, 0u);
+  EXPECT_GT(res.msteps_per_sec(), 0.0);
+  EXPECT_LE(res.fairness(), 1.0 + 1e-9);
+  EXPECT_GT(res.fairness(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadGrid, MutexBenchGrid,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),   // threads
+                       ::testing::Values(0u, 5u),            // CS steps
+                       ::testing::Values(0u, 400u)),         // NCS steps
+    [](const ::testing::TestParamInfo<BenchPoint>& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_cs" +
+             std::to_string(std::get<1>(info.param)) + "_ncs" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ------------------------------------------------------------------
+// Coherence-simulator invariants over protocol × threads: counter
+// conservation (hits + offcore == ops classified), the CTR ordering,
+// and zero-traffic uncontended runs — for every protocol the paper's
+// hosts use.
+using SimPoint = std::tuple<coherence::Protocol, std::uint32_t>;
+
+class CoherenceGrid : public ::testing::TestWithParam<SimPoint> {};
+
+TEST_P(CoherenceGrid, CountersConsistentAndCtrOrdered) {
+  const auto [protocol, threads] = GetParam();
+  const auto ctr = coherence::run_sim_bench<coherence::SimHemlockCtr>(
+      protocol, threads, 200);
+  const auto naive = coherence::run_sim_bench<coherence::SimHemlockNaive>(
+      protocol, threads, 200);
+
+  for (const auto* r : {&ctr, &naive}) {
+    // Every simulated access is either a local hit or an offcore
+    // transaction (reads and RFOs partition the misses).
+    EXPECT_EQ(r->totals.hits + r->totals.offcore_total(), r->totals.ops);
+    // Upgrades are a subset of RFOs.
+    EXPECT_LE(r->totals.upgrades, r->totals.rfos);
+    EXPECT_EQ(r->pairs, static_cast<std::uint64_t>(threads) * 200);
+  }
+  if (threads >= 8) {
+    EXPECT_LT(ctr.offcore_per_pair(), naive.offcore_per_pair())
+        << coherence::protocol_name(protocol) << " @ " << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolGrid, CoherenceGrid,
+    ::testing::Combine(::testing::Values(coherence::Protocol::kMesi,
+                                         coherence::Protocol::kMesif,
+                                         coherence::Protocol::kMoesi),
+                       ::testing::Values(1u, 4u, 8u, 12u)),
+    [](const ::testing::TestParamInfo<SimPoint>& info) {
+      return std::string(
+                 coherence::protocol_name(std::get<0>(info.param))) +
+             "_t" + std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------------
+// Histogram relative-error bound over sub-bucket geometries: for b
+// sub-bucket bits the quantile error must stay below 2^-b.
+class HistogramGeometry : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HistogramGeometry, QuantileErrorWithinGeometryBound) {
+  const unsigned bits = GetParam();
+  Histogram h(bits);
+  const double bound = 1.0 / static_cast<double>(1u << bits);
+  for (std::uint64_t v : {100ull, 10'000ull, 1'000'000ull, 123'456'789ull}) {
+    h.reset();
+    for (int i = 0; i < 101; ++i) h.record(v);
+    const double err =
+        std::abs(static_cast<double>(h.quantile(0.5)) -
+                 static_cast<double>(v)) /
+        static_cast<double>(v);
+    EXPECT_LE(err, bound + 1e-12) << "value " << v << " bits " << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, HistogramGeometry,
+                         ::testing::Values(3u, 5u, 7u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------------------------
+// Multi-waiting driver over lock-set sizes: the leader terminates and
+// scores, whatever the lock-array size (including the degenerate 1).
+class MultiWaitShape : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MultiWaitShape, LeaderScoresForAnyLockCount) {
+  MultiWaitConfig cfg;
+  cfg.threads = 4;
+  cfg.num_locks = GetParam();
+  cfg.duration_ms = 40;
+  const auto res = run_multiwait_bench<Hemlock>(cfg);
+  EXPECT_GT(res.leader_steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LockCounts, MultiWaitShape,
+                         ::testing::Values(1u, 2u, 10u, 32u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return "locks" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace hemlock
