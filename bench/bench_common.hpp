@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "api/factory.hpp"
 #include "core/lock_registry.hpp"
 #include "harness/mutexbench.hpp"
 #include "harness/options.hpp"
@@ -27,7 +28,33 @@ struct FigureArgs {
   std::uint32_t max_threads;
   bool csv;
   std::uint64_t seed;
+  /// --lock=<name>[,<name>...]: run these factory algorithms through
+  /// the runtime AnyLock path instead of the default compile-time
+  /// figure roster. Empty = paper-fidelity templated sweep.
+  std::vector<std::string> locks;
 };
+
+/// Validate --lock names against the factory; exits (listing the
+/// roster) on unknown names so typos fail loudly like other flags.
+inline void validate_lock_names(const std::vector<std::string>& locks) {
+  const auto& factory = LockFactory::instance();
+  bool ok = true;
+  for (const auto& name : locks) {
+    if (factory.find(name) == nullptr) {
+      std::fprintf(stderr, "unknown lock algorithm: %s\n", name.c_str());
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "available algorithms:");
+    for (const auto name : factory.names()) {
+      std::fprintf(stderr, " %.*s", static_cast<int>(name.size()),
+                   name.data());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+}
 
 /// Parse the common options; exits on unknown flags.
 inline FigureArgs parse_figure_args(const Options& opts) {
@@ -39,7 +66,51 @@ inline FigureArgs parse_figure_args(const Options& opts) {
       "max-threads", default_max_threads(oversubscribe)));
   a.csv = opts.has("csv");
   a.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5EED));
+  a.locks = opts.get_string_list("lock");
+  if (opts.has("lock") && a.locks.empty()) {
+    // Fail loudly, like unknown names: a bare/empty --lock= silently
+    // running the default roster would misreport what was measured.
+    std::fprintf(stderr, "--lock requires at least one algorithm name\n");
+    std::exit(2);
+  }
+  validate_lock_names(a.locks);
   return a;
+}
+
+/// Table headers for a figure sweep: "threads" plus either the
+/// compile-time figure roster or the --lock names. The single source
+/// for the default-vs-named column logic across the figure benches.
+inline std::vector<std::string> figure_lock_headers(const FigureArgs& args) {
+  std::vector<std::string> headers{"threads"};
+  if (args.locks.empty()) {
+    for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
+      using L = typename decltype(tag)::type;
+      headers.emplace_back(lock_traits<L>::name);
+    });
+  } else {
+    for (const auto& name : args.locks) headers.push_back(name);
+  }
+  return headers;
+}
+
+/// One table cell for a factory-named algorithm: "-" when the
+/// algorithm cannot run at this thread count (Anderson past its
+/// waiting-array capacity), else the formatted value from `measure`.
+/// The capacity rule lives here, once, for every named-sweep bench.
+template <typename MeasureFn>
+std::string guarded_cell(const std::string& name, std::uint32_t threads,
+                         MeasureFn&& measure) {
+  const LockInfo* info = LockFactory::instance().info(name);
+  if (info->max_threads != 0 && threads > info->max_threads) return "-";
+  return measure();
+}
+
+/// MutexBench throughput cell for a factory-named algorithm.
+inline std::string named_cell(const std::string& name,
+                              const MutexBenchConfig& cfg, int runs) {
+  return guarded_cell(name, cfg.threads, [&] {
+    return Table::fmt(mutexbench_median_named(name, cfg, runs));
+  });
 }
 
 /// Reject unrecognized flags loudly.
@@ -53,9 +124,12 @@ inline void reject_unknown(const Options& opts) {
   }
 }
 
-/// Run a MutexBench sweep over the paper's five figure algorithms and
-/// print the table. `cs_steps`/`ncs_steps` select the contention
-/// regime (Figure 2: 0/0; Figure 3: 5/400).
+/// Run a MutexBench sweep and print the table. `cs_steps`/`ncs_steps`
+/// select the contention regime (Figure 2: 0/0; Figure 3: 5/400).
+/// Default: the paper's five figure algorithms via the templated
+/// (zero-dispatch) path. With --lock=<names>: the named factory
+/// algorithms via the runtime AnyLock path — any roster member,
+/// chosen at run time, exactly like the paper's LD_PRELOAD protocol.
 inline void run_figure_bench(const char* title, const char* note,
                              std::uint32_t cs_steps, std::uint32_t ncs_steps,
                              const FigureArgs& args) {
@@ -64,12 +138,7 @@ inline void run_figure_bench(const char* title, const char* note,
             << " (paper: 10s, median of 7)\n\n";
 
   const auto sweep = figure_thread_sweep(args.max_threads);
-  std::vector<std::string> headers{"threads"};
-  for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
-    using L = typename decltype(tag)::type;
-    headers.emplace_back(lock_traits<L>::name);
-  });
-  Table table(headers);
+  Table table(figure_lock_headers(args));
 
   for (const std::uint32_t t : sweep) {
     MutexBenchConfig cfg;
@@ -79,10 +148,16 @@ inline void run_figure_bench(const char* title, const char* note,
     cfg.ncs_max_prng_steps = ncs_steps;
     cfg.seed = args.seed;
     std::vector<std::string> row{std::to_string(t)};
-    for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
-      using L = typename decltype(tag)::type;
-      row.push_back(Table::fmt(mutexbench_median<L>(cfg, args.runs)));
-    });
+    if (args.locks.empty()) {
+      for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
+        using L = typename decltype(tag)::type;
+        row.push_back(Table::fmt(mutexbench_median<L>(cfg, args.runs)));
+      });
+    } else {
+      for (const auto& name : args.locks) {
+        row.push_back(named_cell(name, cfg, args.runs));
+      }
+    }
     table.add_row(std::move(row));
   }
 

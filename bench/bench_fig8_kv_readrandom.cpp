@@ -13,10 +13,14 @@
 // on the Hemlock run.
 //
 // Flags: --duration-ms --runs --max-threads --oversubscribe --csv
-//        --keys --profile
+//        --keys --profile --lock=<name>[,...] (factory algorithms as
+//        the central mutex, via the runtime AnyLock path)
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
 
+#include "api/any_lock.hpp"
 #include "bench_common.hpp"
 #include "minikv/db.hpp"
 #include "minikv/db_bench.hpp"
@@ -58,6 +62,34 @@ double kv_median(std::uint32_t threads, std::int64_t duration_ms,
   return s.median();
 }
 
+/// --lock path: same protocol with a factory-named central mutex
+/// (one warmed DB<AnyLock> per algorithm, reused across the sweep).
+double kv_median_named(const std::string& lock_name, std::uint32_t threads,
+                       std::int64_t duration_ms, std::uint64_t keys,
+                       int runs) {
+  static std::map<std::string, std::unique_ptr<minikv::DB<AnyLock>>> dbs;
+  auto it = dbs.find(lock_name);
+  if (it == dbs.end()) {
+    auto db = std::make_unique<minikv::DB<AnyLock>>(minikv::DbOptions{},
+                                                    lock_name);
+    minikv::fill_seq(*db, g_fill_keys, 100);
+    std::string v;
+    for (std::uint64_t k = 0; k < g_fill_keys; ++k) {
+      (void)db->get(minikv::bench_key(k), &v);
+    }
+    it = dbs.emplace(lock_name, std::move(db)).first;
+  }
+  minikv::ReadRandomConfig cfg;
+  cfg.threads = threads;
+  cfg.duration_ms = duration_ms;
+  cfg.num_keys = keys;
+  Summary s;
+  for (int r = 0; r < runs; ++r) {
+    s.add(minikv::run_readrandom(*it->second, cfg).mops_per_sec());
+  }
+  return s.median();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,20 +111,24 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   const auto sweep = figure_thread_sweep(args.max_threads);
-  std::vector<std::string> headers{"threads"};
-  for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
-    using L = typename decltype(tag)::type;
-    headers.emplace_back(lock_traits<L>::name);
-  });
-  Table table(headers);
+  Table table(figure_lock_headers(args));
 
   for (const std::uint32_t t : sweep) {
     std::vector<std::string> row{std::to_string(t)};
-    for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
-      using L = typename decltype(tag)::type;
-      row.push_back(
-          Table::fmt(kv_median<L>(t, args.duration_ms, keys, args.runs)));
-    });
+    if (args.locks.empty()) {
+      for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
+        using L = typename decltype(tag)::type;
+        row.push_back(
+            Table::fmt(kv_median<L>(t, args.duration_ms, keys, args.runs)));
+      });
+    } else {
+      for (const auto& name : args.locks) {
+        row.push_back(guarded_cell(name, t, [&] {
+          return Table::fmt(
+              kv_median_named(name, t, args.duration_ms, keys, args.runs));
+        }));
+      }
+    }
     table.add_row(std::move(row));
   }
   if (args.csv) {

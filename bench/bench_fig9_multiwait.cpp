@@ -14,7 +14,8 @@
 // actually harmful under high degrees of multi-waiting."
 //
 // Flags: --duration-ms --runs --max-threads --oversubscribe --csv
-//        --locks (default 10)
+//        --locks (default 10) --lock=<name>[,...] (factory algorithms
+//        via the runtime AnyLock path instead of the figure roster)
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -36,12 +37,7 @@ int main(int argc, char** argv) {
                "Hemlock min(T-1, N-1)\n\n";
 
   const auto sweep = figure_thread_sweep(args.max_threads);
-  std::vector<std::string> headers{"threads"};
-  for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
-    using L = typename decltype(tag)::type;
-    headers.emplace_back(lock_traits<L>::name);
-  });
-  Table table(headers);
+  Table table(figure_lock_headers(args));
 
   for (const std::uint32_t t : sweep) {
     if (t < 2) continue;  // need a leader and at least one non-leader
@@ -50,10 +46,18 @@ int main(int argc, char** argv) {
     cfg.num_locks = nlocks;
     cfg.duration_ms = args.duration_ms;
     std::vector<std::string> row{std::to_string(t)};
-    for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
-      using L = typename decltype(tag)::type;
-      row.push_back(Table::fmt(multiwait_median<L>(cfg, args.runs), 4));
-    });
+    if (args.locks.empty()) {
+      for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
+        using L = typename decltype(tag)::type;
+        row.push_back(Table::fmt(multiwait_median<L>(cfg, args.runs), 4));
+      });
+    } else {
+      for (const auto& name : args.locks) {
+        row.push_back(guarded_cell(name, t, [&] {
+          return Table::fmt(multiwait_median_named(name, cfg, args.runs), 4);
+        }));
+      }
+    }
     table.add_row(std::move(row));
   }
   if (args.csv) {

@@ -21,8 +21,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/hemlock.hpp"
-#include "locks/lockable.hpp"
+#include "api/hemlock_api.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/prng.hpp"
 

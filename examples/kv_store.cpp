@@ -1,29 +1,51 @@
-// kv_store — MiniKV with a Hemlock central mutex: the Figure-8
-// architecture as an application (coarse-grained locking around a
-// read-mostly store), with live §5.4 profiling.
+// kv_store — MiniKV with a runtime-selected central mutex: the
+// Figure-8 architecture as an application (coarse-grained locking
+// around a read-mostly store), with live §5.4 profiling.
 //
-//   build/examples/kv_store [readers] [seconds]
+//   build/examples/kv_store [readers] [seconds] [lock-name]
+//
+// The central mutex is an AnyLock resolved through the LockFactory —
+// the same binary runs the store on Hemlock, MCS, CLH, Ticket, ...
+// exactly like the paper swaps pthread_mutex implementations with
+// LD_PRELOAD (§5). Compile-time embedders use DB<Hemlock> instead.
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <thread>
 #include <vector>
 
-#include "core/hemlock.hpp"
+#include "api/hemlock_api.hpp"
 #include "minikv/db.hpp"
 #include "minikv/db_bench.hpp"
-#include "runtime/thread_rec.hpp"
 #include "stats/lock_profiler.hpp"
 
 int main(int argc, char** argv) {
   using namespace hemlock;
   const int readers = argc > 1 ? std::atoi(argv[1]) : 8;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const std::string lock_name = argc > 3 ? argv[3] : "hemlock";
   constexpr std::uint64_t kKeys = 50000;
 
-  // The central mutex is a Hemlock — swap the template argument to
-  // run the same store on MCS, CLH, Ticket, std::mutex, ...
-  minikv::DB<Hemlock> db;
+  const LockInfo* lock_info = LockFactory::instance().info(lock_name);
+  if (lock_info == nullptr) {
+    std::cerr << "unknown lock \"" << lock_name << "\"; available:";
+    for (const auto n : LockFactory::instance().names()) {
+      std::cerr << " " << n;
+    }
+    std::cerr << "\n";
+    return 2;
+  }
+  // readers + 1 writer contend on the central mutex; bounded-capacity
+  // algorithms (Anderson) corrupt their slot ring past the bound.
+  if (lock_info->max_threads != 0 &&
+      static_cast<std::size_t>(readers) + 1 > lock_info->max_threads) {
+    std::cerr << "lock \"" << lock_name << "\" supports at most "
+              << lock_info->max_threads << " concurrent threads (asked "
+              << readers + 1 << ")\n";
+    return 2;
+  }
+  std::cout << "central mutex: " << lock_name << "\n";
+  minikv::DB<AnyLock> db(minikv::DbOptions{}, lock_name);
 
   std::cout << "populating " << kKeys << " keys (fillseq)...\n";
   minikv::fill_seq(db, kKeys, 100);

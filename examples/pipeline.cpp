@@ -17,9 +17,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/hemlock.hpp"
-#include "locks/lockable.hpp"
-#include "runtime/thread_rec.hpp"
+#include "api/hemlock_api.hpp"
 #include "stats/lock_profiler.hpp"
 
 namespace {

@@ -20,7 +20,19 @@
 namespace {
 
 constexpr int kThreads = 8;
-constexpr long kIters = 20000;
+
+/// Iterations per thread; HEMLOCK_DEMO_ITERS overrides (the
+/// interposition integration test dials this down so that sweeping
+/// every algorithm stays fast on small hosts — queue locks hand over
+/// at scheduler speed when cores are scarce).
+long iters() {
+  static const long n = [] {
+    const char* env = std::getenv("HEMLOCK_DEMO_ITERS");
+    const long parsed = env != nullptr ? std::atol(env) : 0;
+    return parsed > 0 ? parsed : 20000;
+  }();
+  return n;
+}
 
 pthread_mutex_t g_static_mu = PTHREAD_MUTEX_INITIALIZER;  // lazy adoption
 pthread_mutex_t g_dynamic_mu;                             // pthread_mutex_init
@@ -29,7 +41,7 @@ long g_dynamic_counter = 0;
 long g_trylock_wins = 0;
 
 void* worker(void*) {
-  for (long i = 0; i < kIters; ++i) {
+  for (long i = 0, n = iters(); i < n; ++i) {
     pthread_mutex_lock(&g_static_mu);
     ++g_static_counter;
     pthread_mutex_unlock(&g_static_mu);
@@ -57,8 +69,8 @@ int main() {
   for (auto& t : threads) pthread_join(t, nullptr);
 
   const long expected_static =
-      static_cast<long>(kThreads) * kIters + g_trylock_wins;
-  const long expected_dynamic = static_cast<long>(kThreads) * kIters;
+      static_cast<long>(kThreads) * iters() + g_trylock_wins;
+  const long expected_dynamic = static_cast<long>(kThreads) * iters();
   std::printf("static counter : %ld (expected %ld)\n", g_static_counter,
               expected_static);
   std::printf("dynamic counter: %ld (expected %ld)\n", g_dynamic_counter,

@@ -1,20 +1,20 @@
 // quickstart — the 5-minute tour of the Hemlock library.
 //
-//   build/examples/quickstart
+//   build/examples/quickstart [lock-name]
 //
 // Shows: creating a Hemlock (one word!), RAII guards, try_lock,
-// std::scoped_lock interop, a multi-threaded counter, and the
-// per-thread Grant record that makes it all work.
+// std::scoped_lock interop, a multi-threaded counter, the per-thread
+// Grant record that makes it all work — and the runtime public API:
+// picking any roster algorithm by name through the LockFactory and
+// driving it through the type-erased AnyLock.
 #include <iostream>
 #include <mutex>
 #include <thread>
 #include <vector>
 
-#include "core/hemlock.hpp"
-#include "locks/lockable.hpp"
-#include "runtime/thread_rec.hpp"
+#include "api/hemlock_api.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   // A Hemlock is a single word: the tail of its implicit queue.
   hemlock::Hemlock lock;
   static_assert(sizeof(lock) == sizeof(void*));
@@ -64,5 +64,40 @@ int main() {
             << "\n";
   std::cout << "threads ever registered: "
             << hemlock::ThreadRegistry::ever_registered() << "\n";
-  return counter == 800000 ? 0 : 1;
+
+  // 6. Runtime selection — the paper swaps algorithms with an
+  // environment variable (§5); the public API swaps them with a
+  // string. Same code, any roster algorithm:
+  const auto& factory = hemlock::LockFactory::instance();
+  std::cout << "\nfactory roster (" << factory.size() << " algorithms):";
+  for (const auto name : factory.names()) std::cout << " " << name;
+  std::cout << "\n";
+
+  const std::string chosen = argc > 1 ? argv[1] : "mcs";
+  if (factory.find(chosen) == nullptr) {
+    std::cerr << "unknown lock \"" << chosen << "\" — pick from the roster "
+              << "above\n";
+    return 2;  // same exit code as the benches' unknown-name path
+  }
+  hemlock::AnyLock any(chosen);  // constructed in-place, no heap
+  std::cout << "AnyLock(\"" << chosen << "\"): fifo="
+            << (any.info().is_fifo ? "yes" : "no")
+            << " trylock=" << (any.info().has_trylock ? "yes" : "no")
+            << " spinning=" << hemlock::spinning_name(any.info().spinning)
+            << " body=" << any.info().lock_words << " word(s)\n";
+
+  long any_counter = 0;
+  threads.clear();
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50000; ++i) {
+        hemlock::with_lock(any, [&] { ++any_counter; });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::cout << "counter via AnyLock(\"" << chosen << "\") = " << any_counter
+            << " (expected 200000)\n";
+
+  return counter == 800000 && any_counter == 200000 ? 0 : 1;
 }

@@ -1,0 +1,189 @@
+// any_lock.hpp — the type-erased lock: one public type for every
+// algorithm in the roster.
+//
+// The paper's evaluation swaps lock algorithms at run time behind a
+// fixed pthread_mutex_t surface (§5); AnyLock is the same idea as a
+// first-class C++ object. It satisfies BasicLockable/TryLockable, so
+// anything written against the lock concept — LockGuard,
+// std::scoped_lock, MiniKV's DB<>, the MutexBench drivers — runs any
+// roster algorithm chosen by a runtime string.
+//
+// Design constraints, in order:
+//  * No heap allocation, ever: the selected lock is constructed
+//    in-place in an inline buffer sized (at compile time) to the
+//    largest algorithm in the roster. A lock that allocated on
+//    construction could not back the pthread interposition shim and
+//    would wreck tail latencies in embedders that create locks on
+//    hot paths.
+//  * One indirect call of overhead: operations dispatch through a
+//    static vtable (one per algorithm, function-pointer thunks; see
+//    lock_vtable<L>). No RTTI, no virtual bases, no double
+//    indirection — bench/bench_any_lock_overhead.cpp measures the
+//    tax instead of assuming it.
+//  * Descriptors travel with the dispatch table: info() exposes the
+//    LockInfo materialized from lock_traits<> so callers can adapt
+//    (FIFO-ness, try_lock availability, contender bounds) without
+//    knowing the concrete type.
+//
+// Note on size: the inline-buffer guarantee makes sizeof(AnyLock)
+// the roster *maximum* — dominated by Anderson's waiting array
+// (~4 KiB at the registry's default capacity), not by the one-word
+// Hemlock. Embedders that need Table-1-sized locks use the concrete
+// templates directly; AnyLock is the flexibility end of that
+// trade-off, matching progress64's stable-C-surface approach.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <tuple>
+
+#include "api/lock_info.hpp"
+#include "core/lock_registry.hpp"
+#include "locks/lockable.hpp"
+
+namespace hemlock {
+
+/// Static dispatch table for one lock algorithm: the LockInfo
+/// descriptor plus in-place lifecycle and operation thunks over raw
+/// storage. The same table serves AnyLock's inline buffer and the
+/// interposition shim's pthread_mutex_t overlay — both are "a lock
+/// hosted in caller-owned bytes".
+struct LockVTable {
+  LockInfo info;
+  void (*construct)(void* storage);  ///< placement-new a fresh lock
+  void (*destroy)(void* storage);    ///< destroy (must be unheld)
+  void (*lock)(void* storage);
+  void (*unlock)(void* storage);
+  /// Non-blocking attempt; algorithms without a native try_lock
+  /// (CLH, Anderson — see info.has_trylock) conservatively fail.
+  bool (*try_lock)(void* storage);
+};
+
+namespace detail {
+
+/// Inline-storage geometry over a lock_tag tuple: the buffer must
+/// hold the largest, most-aligned algorithm in the roster.
+template <typename Tuple>
+struct roster_storage;
+
+template <typename... Ls>
+struct roster_storage<std::tuple<lock_tag<Ls>...>> {
+  static constexpr std::size_t size = std::max({sizeof(Ls)...});
+  static constexpr std::size_t align = std::max({alignof(Ls)...});
+};
+
+}  // namespace detail
+
+/// Runtime name lookup into the factory roster; nullptr for unknown
+/// names. (Defined in factory.cpp — the single name→algorithm
+/// dispatch point in the library.)
+const LockVTable* find_lock(std::string_view name) noexcept;
+
+/// The algorithm a default-constructed AnyLock (and the interposition
+/// shim, absent HEMLOCK_LOCK) selects: the paper's headline lock.
+inline constexpr std::string_view kDefaultLockName = "hemlock";
+
+/// A mutual-exclusion lock whose algorithm is chosen at run time by
+/// name. Satisfies BasicLockable and TryLockable; pinned to its
+/// address like every lock (no copy, no move).
+class AnyLock {
+ public:
+  /// Inline buffer geometry, fixed at compile time from the roster.
+  static constexpr std::size_t kStorageBytes =
+      detail::roster_storage<AllLockTags>::size;
+  static constexpr std::size_t kStorageAlign =
+      detail::roster_storage<AllLockTags>::align;
+
+  /// The default algorithm ("hemlock").
+  AnyLock() : AnyLock(*find_lock(kDefaultLockName)) {}
+
+  /// The named algorithm; throws std::invalid_argument for names not
+  /// in the factory roster (use find_lock()/LockFactory::info() for
+  /// a non-throwing existence check).
+  explicit AnyLock(std::string_view name) : AnyLock(checked(name)) {}
+
+  /// Direct construction from a factory entry (no lookup).
+  explicit AnyLock(const LockVTable& vt) noexcept : vt_(&vt) {
+    vt_->construct(storage_);
+  }
+
+  /// Destroys the hosted lock. Like every lock in the library, the
+  /// lock must be unheld and unawaited.
+  ~AnyLock() { vt_->destroy(storage_); }
+
+  AnyLock(const AnyLock&) = delete;
+  AnyLock& operator=(const AnyLock&) = delete;
+
+  /// Acquire (one indirect call, then the algorithm's own fast path).
+  void lock() { vt_->lock(storage_); }
+  /// Release.
+  void unlock() { vt_->unlock(storage_); }
+  /// Non-blocking attempt; always false when !info().has_trylock.
+  bool try_lock() { return vt_->try_lock(storage_); }
+
+  /// The hosted algorithm's descriptor.
+  const LockInfo& info() const noexcept { return vt_->info; }
+  /// The hosted algorithm's registry name.
+  std::string_view name() const noexcept { return vt_->info.name; }
+
+ private:
+  static const LockVTable& checked(std::string_view name) {
+    const LockVTable* vt = find_lock(name);
+    if (vt == nullptr) {
+      throw std::invalid_argument("hemlock: unknown lock algorithm \"" +
+                                  std::string(name) + "\"");
+    }
+    return *vt;
+  }
+
+  const LockVTable* vt_;
+  alignas(kStorageAlign) unsigned char storage_[kStorageBytes];
+};
+
+static_assert(BasicLockable<AnyLock>);
+static_assert(TryLockable<AnyLock>);
+
+/// The erasure thunks for lock type L, and the one static vtable per
+/// algorithm that AnyLock instances share.
+template <typename L>
+struct LockErasure {
+  // The no-heap guarantee: every algorithm handed to AnyLock must fit
+  // the inline buffer. Trivially true for roster members (the buffer
+  // is sized from the roster); this is the tripwire for future locks
+  // registered without resizing the roster tuple.
+  static_assert(sizeof(L) <= AnyLock::kStorageBytes,
+                "AnyLock's inline buffer must fit every registered lock "
+                "(no heap allocation) — add the type to AllLockTags");
+  static_assert(alignof(L) <= AnyLock::kStorageAlign,
+                "AnyLock's inline buffer must satisfy every registered "
+                "lock's alignment");
+  static_assert(BasicLockable<L>);
+
+  static void construct(void* p) { ::new (p) L(); }
+  static void destroy(void* p) { std::destroy_at(static_cast<L*>(p)); }
+  static void do_lock(void* p) { static_cast<L*>(p)->lock(); }
+  static void do_unlock(void* p) { static_cast<L*>(p)->unlock(); }
+  static bool do_try_lock(void* p) {
+    if constexpr (TryLockable<L>) {
+      return static_cast<L*>(p)->try_lock();
+    } else {
+      return false;  // conservative: an attempt that never succeeds
+    }
+  }
+};
+
+/// The static vtable for lock type L. One per algorithm per process;
+/// AnyLock and the shim hold pointers into these.
+template <typename L>
+inline constexpr LockVTable lock_vtable = {
+    make_lock_info<L>(),        &LockErasure<L>::construct,
+    &LockErasure<L>::destroy,   &LockErasure<L>::do_lock,
+    &LockErasure<L>::do_unlock, &LockErasure<L>::do_try_lock,
+};
+
+}  // namespace hemlock

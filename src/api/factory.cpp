@@ -1,0 +1,76 @@
+#include "api/factory.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "core/lock_registry.hpp"
+
+namespace hemlock {
+
+LockFactory::LockFactory() {
+  entries_.reserve(std::tuple_size_v<AllLockTags>);
+  for_each_lock_type<AllLockTags>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    entries_.push_back(&lock_vtable<L>);
+  });
+  // Registry invariant: names are unique (also asserted by the test
+  // suite against the full roster).
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      assert(entries_[i]->info.name != entries_[j]->info.name);
+    }
+  }
+}
+
+const LockFactory& LockFactory::instance() {
+  static const LockFactory factory;
+  return factory;
+}
+
+const LockVTable* LockFactory::find(std::string_view name) const noexcept {
+  for (const LockVTable* vt : entries_) {
+    if (vt->info.name == name) return vt;
+  }
+  return nullptr;
+}
+
+AnyLock LockFactory::make(std::string_view name) const {
+  const LockVTable* vt = find(name);
+  if (vt == nullptr) {
+    throw std::invalid_argument("hemlock: unknown lock algorithm \"" +
+                                std::string(name) + "\"");
+  }
+  return AnyLock(*vt);  // guaranteed elision: constructed in place
+}
+
+const LockInfo* LockFactory::info(std::string_view name) const noexcept {
+  const LockVTable* vt = find(name);
+  return vt != nullptr ? &vt->info : nullptr;
+}
+
+std::vector<std::string_view> LockFactory::names() const {
+  std::vector<std::string_view> out;
+  out.reserve(entries_.size());
+  for (const LockVTable* vt : entries_) out.push_back(vt->info.name);
+  return out;
+}
+
+const LockVTable* find_lock(std::string_view name) noexcept {
+  // Deliberately allocation-free (no LockFactory::instance()): the
+  // interposition shim resolves HEMLOCK_LOCK through this function
+  // from inside the application's first pthread_mutex_lock, where a
+  // malloc — whose allocator may itself guard state with a pthread
+  // mutex — could re-enter the shim and deadlock. The vtables are
+  // constant-initialized statics; this is pure name comparison.
+  const LockVTable* found = nullptr;
+  for_each_lock_type<AllLockTags>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    if (found == nullptr && name == lock_vtable<L>.info.name) {
+      found = &lock_vtable<L>;
+    }
+  });
+  return found;
+}
+
+}  // namespace hemlock

@@ -1,0 +1,57 @@
+// factory.hpp — the runtime lock roster: name → algorithm, once.
+//
+// The library has exactly one compile-time roster (AllLockTags in
+// core/lock_registry.hpp) and exactly one runtime dispatch point:
+// this factory, self-populated from that roster. Every consumer that
+// turns a *string* into a *lock* goes through here — the
+// LD_PRELOAD shim's HEMLOCK_LOCK, the bench harness's --lock=<name>,
+// examples, tests. Nothing else maintains a name table.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "api/any_lock.hpp"
+
+namespace hemlock {
+
+/// String-keyed runtime roster of every registered lock algorithm.
+/// Immutable after construction; the singleton is built on first use
+/// from AllLockTags and is safe to query from any thread.
+class LockFactory {
+ public:
+  /// The process-wide factory.
+  static const LockFactory& instance();
+
+  /// The entry for `name`, or nullptr if unknown. Entry pointers are
+  /// stable for the life of the process. (The free function
+  /// find_lock() answers the same question without touching the
+  /// factory singleton — allocation-free, for the interposition
+  /// shim's lock path.)
+  const LockVTable* find(std::string_view name) const noexcept;
+
+  /// Construct the named algorithm as an AnyLock. Throws
+  /// std::invalid_argument for unknown names.
+  AnyLock make(std::string_view name) const;
+
+  /// The named algorithm's descriptor, or nullptr if unknown.
+  const LockInfo* info(std::string_view name) const noexcept;
+
+  /// Names of all registered algorithms, registry order.
+  std::vector<std::string_view> names() const;
+
+  /// All entries, registry order (for roster sweeps).
+  const std::vector<const LockVTable*>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Number of registered algorithms.
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  LockFactory();  // populates from AllLockTags
+
+  std::vector<const LockVTable*> entries_;
+};
+
+}  // namespace hemlock

@@ -1,0 +1,21 @@
+// hemlock_api.hpp — the library's public surface, one include.
+//
+//   #include "api/hemlock_api.hpp"
+//
+//   hemlock::AnyLock lk("mcs");                    // runtime choice
+//   hemlock::LockGuard<hemlock::AnyLock> g(lk);    // RAII
+//
+//   auto& f = hemlock::LockFactory::instance();    // roster queries
+//   for (auto name : f.names()) ...
+//
+// Compile-time users (Table-1-sized locks, zero dispatch) reach the
+// concrete templates through the same include: hemlock::Hemlock,
+// hemlock::McsLock, ... — everything in AllLockTags.
+#pragma once
+
+#include "api/any_lock.hpp"
+#include "api/factory.hpp"
+#include "api/lock_info.hpp"
+#include "core/lock_registry.hpp"
+#include "locks/lockable.hpp"
+#include "runtime/thread_rec.hpp"

@@ -1,0 +1,87 @@
+// lock_info.hpp — runtime descriptors for lock algorithms.
+//
+// lock_traits<> (locks/lock_traits.hpp) is compile-time metadata:
+// it parameterizes templates and drives static accounting. LockInfo
+// is the same metadata *materialized as a value* so that runtime
+// consumers — the LockFactory, the interposition shim, benches
+// resolving --lock=<name>, tooling printing rosters — can inspect an
+// algorithm without naming its type. make_lock_info<L>() is the one
+// bridge between the two worlds; nothing else re-states a trait.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "locks/lock_traits.hpp"
+
+namespace hemlock {
+
+/// Human-readable spinning-class label ("global", "local",
+/// "fere-local" — the §3 taxonomy).
+constexpr std::string_view spinning_name(Spinning s) noexcept {
+  switch (s) {
+    case Spinning::kGlobal: return "global";
+    case Spinning::kLocal: return "local";
+    case Spinning::kFereLocal: return "fere-local";
+  }
+  return "?";
+}
+
+/// Value-form of lock_traits<L>, plus the runtime footprint facts a
+/// type-erased holder needs (size/alignment) and two safety bounds
+/// that gate where an algorithm may be deployed.
+struct LockInfo {
+  std::string_view name;     ///< lock_traits<L>::name — the registry key
+  std::size_t lock_words;    ///< Table 1: lock body size, 8-byte words
+  std::size_t held_words;    ///< Table 1: extra space per held lock
+  std::size_t wait_words;    ///< Table 1: extra space per waited-on lock
+  std::size_t thread_words;  ///< Table 1: per-thread locking state
+  bool nontrivial_init;      ///< Table 1: requires non-trivial ctor/dtor
+  bool is_fifo;              ///< FIFO admission order
+  bool has_trylock;          ///< native non-blocking acquisition
+  Spinning spinning;         ///< busy-wait locality class (§3)
+  std::size_t size_bytes;    ///< sizeof(L) — concrete storage footprint
+  std::size_t align_bytes;   ///< alignof(L)
+  /// Upper bound on concurrent contenders (0 = unbounded). Anderson's
+  /// waiting array makes this finite; everything else is unbounded.
+  std::size_t max_threads;
+  /// Safe to host inside an interposed pthread_mutex_t. False for
+  /// hemlock-ah (Appendix B: speculative unlock store vs POSIX mutex
+  /// lifetimes) and hemlock-cv (its parking path uses the very
+  /// pthread primitives being interposed).
+  bool pthread_overlay_safe;
+};
+
+/// Materialize the LockInfo for lock type L from lock_traits<L>.
+/// The max_threads / pthread_overlay_safe fields come from optional
+/// trait members; algorithms that don't declare them get the
+/// permissive defaults (unbounded, overlay-safe).
+template <typename L>
+constexpr LockInfo make_lock_info() noexcept {
+  using T = lock_traits<L>;
+  LockInfo info{};
+  info.name = T::name;
+  info.lock_words = T::lock_words;
+  info.held_words = T::held_words;
+  info.wait_words = T::wait_words;
+  info.thread_words = T::thread_words;
+  info.nontrivial_init = T::nontrivial_init;
+  info.is_fifo = T::is_fifo;
+  info.has_trylock = T::has_trylock;
+  info.spinning = T::spinning;
+  info.size_bytes = sizeof(L);
+  info.align_bytes = alignof(L);
+  if constexpr (requires { T::max_threads; }) {
+    info.max_threads = T::max_threads;
+  } else {
+    info.max_threads = 0;
+  }
+  if constexpr (requires { T::pthread_overlay_safe; }) {
+    info.pthread_overlay_safe = T::pthread_overlay_safe;
+  } else {
+    info.pthread_overlay_safe = true;
+  }
+  return info;
+}
+
+}  // namespace hemlock

@@ -119,6 +119,11 @@ using HemlockAh = HemlockAhBase<CtrCasWaiting>;
 template <>
 struct lock_traits<HemlockAh> : detail::hemlock_traits_base<CtrCasWaiting> {
   static constexpr const char* name = "hemlock-ah";
+  /// Appendix B: AH's speculative unlock store is unsafe when a
+  /// mutex's memory can be freed by its last user (the glibc
+  /// bug-13690 pathology) — the pthread interposition shim must not
+  /// host it.
+  static constexpr bool pthread_overlay_safe = false;
 };
 
 }  // namespace hemlock

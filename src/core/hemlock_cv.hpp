@@ -138,6 +138,12 @@ struct lock_traits<HemlockCv> {
   static constexpr bool is_fifo = true;
   static constexpr bool has_trylock = true;
   static constexpr Spinning spinning = Spinning::kFereLocal;
+  /// The parking path waits on a per-thread std::mutex/condvar — the
+  /// very pthread primitives an interposition library replaces — so
+  /// hosting this lock inside an interposed pthread_mutex_t would
+  /// re-enter the shim (and pthread_cond_wait on an interposed mutex
+  /// is unsupported; see interpose/shim_mutex.hpp).
+  static constexpr bool pthread_overlay_safe = false;
 };
 
 }  // namespace hemlock

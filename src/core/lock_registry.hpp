@@ -2,9 +2,11 @@
 //
 // The paper's evaluation framework selects lock implementations at
 // run time (via LD_PRELOAD + an environment variable, §5). This
-// registry is our equivalent: benches, tests and the interposition
-// library dispatch from a lock's name (its lock_traits<>::name) to
-// its type, and the parameterized test suites sweep the full roster.
+// tuple is the library's single source of truth for *what exists*:
+// the typed test/bench suites sweep it directly, and the runtime
+// LockFactory (api/factory.hpp) self-populates from it. All
+// name→algorithm dispatch happens in the factory; this header only
+// enumerates types.
 #pragma once
 
 #include <string>
@@ -36,9 +38,15 @@ struct lock_tag {
   using type = L;
 };
 
-/// Default Anderson capacity used by registry consumers; bounded by
-/// the harness's maximum thread sweep.
-using AndersonDefault = AndersonLock<1024>;
+/// Default Anderson capacity used by registry consumers. The choice
+/// is a compromise: the waiting array must cover every concurrent
+/// contender (lock() wraps the slot ring past this bound — runtime
+/// consumers check LockInfo::max_threads), but the array also sizes
+/// AnyLock's inline buffer, which must hold the roster's largest
+/// lock. 64 keeps AnyLock at ~4 KiB while covering the thread counts
+/// the test suites and typical hosts use; benches sweeping wider
+/// instantiate AndersonLock<N> directly.
+using AndersonDefault = AndersonLock<64>;
 
 /// Every algorithm in the library, core contribution first, then the
 /// paper's baselines, then the reference system mutexes.
@@ -61,21 +69,6 @@ using PaperFigureLockTags =
 template <typename Tags = AllLockTags, typename Fn>
 void for_each_lock_type(Fn&& fn) {
   std::apply([&](auto... tags) { (fn(tags), ...); }, Tags{});
-}
-
-/// Invoke fn(lock_tag<L>{}) for the lock whose traits name matches;
-/// returns false (without invoking fn) for unknown names.
-template <typename Tags = AllLockTags, typename Fn>
-bool with_lock_type(std::string_view name, Fn&& fn) {
-  bool found = false;
-  for_each_lock_type<Tags>([&](auto tag) {
-    using L = typename decltype(tag)::type;
-    if (!found && name == lock_traits<L>::name) {
-      found = true;
-      fn(tag);
-    }
-  });
-  return found;
 }
 
 /// Names of all registered algorithms, registry order.

@@ -2,10 +2,47 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
+#include "api/any_lock.hpp"
 #include "runtime/topology.hpp"
 
 namespace hemlock {
+
+namespace {
+
+/// Resolve a --lock=<name> to its factory entry, enforcing the
+/// algorithm's contender bound (Anderson's waiting array wraps —
+/// and corrupts the protocol — past LockInfo::max_threads).
+const LockVTable& resolve_named_lock(std::string_view lock_name,
+                                     std::uint32_t threads) {
+  const LockVTable* vt = find_lock(lock_name);
+  if (vt == nullptr) {
+    throw std::invalid_argument("unknown lock algorithm \"" +
+                                std::string(lock_name) + "\"");
+  }
+  if (vt->info.max_threads != 0 && threads > vt->info.max_threads) {
+    throw std::invalid_argument(
+        "lock algorithm \"" + std::string(lock_name) + "\" supports at most " +
+        std::to_string(vt->info.max_threads) + " concurrent threads (asked " +
+        std::to_string(threads) + ")");
+  }
+  return *vt;
+}
+
+}  // namespace
+
+MutexBenchResult run_mutexbench_named(std::string_view lock_name,
+                                      const MutexBenchConfig& cfg) {
+  const LockVTable& vt = resolve_named_lock(lock_name, cfg.threads);
+  return run_mutexbench<AnyLock>(cfg, vt);
+}
+
+MultiWaitResult run_multiwait_bench_named(std::string_view lock_name,
+                                          const MultiWaitConfig& cfg) {
+  const LockVTable& vt = resolve_named_lock(lock_name, cfg.threads);
+  return run_multiwait_bench<AnyLock>(cfg, vt);
+}
 
 std::vector<std::uint32_t> figure_thread_sweep(std::uint32_t max_threads) {
   // The paper's log-ish x-axis: 1 2 5 10 20 50 100 200 500 ...

@@ -21,9 +21,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <random>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -73,20 +75,25 @@ struct MutexBenchResult {
 /// Run MutexBench against lock type L. The lock instance is placed as
 /// the sole occupant of a cache line, matching the paper's layout
 /// discipline. Threads are "free-range unbound" (no pinning), as in
-/// §5.
-template <BasicLockable L>
-MutexBenchResult run_mutexbench(const MutexBenchConfig& cfg) {
+/// §5. Trailing `lock_args` are forwarded to L's constructor — how
+/// the type-erased path (L = AnyLock) names its algorithm; the
+/// templated figure path passes none.
+template <BasicLockable L, typename... LockArgs>
+MutexBenchResult run_mutexbench(const MutexBenchConfig& cfg,
+                                const LockArgs&... lock_args) {
   struct Shared {
     CacheAligned<L> lock;
     CacheAligned<std::atomic<bool>> stop{false};
     CacheAligned<std::mt19937> shared_prng;
     SpinBarrier barrier;
-    explicit Shared(std::uint32_t parties, std::uint64_t seed)
-        : barrier(parties) {
+    explicit Shared(std::uint32_t parties, std::uint64_t seed,
+                    const LockArgs&... la)
+        : lock(la...), barrier(parties) {
       shared_prng.value.seed(static_cast<std::uint32_t>(seed));
     }
   };
-  auto shared = std::make_unique<Shared>(cfg.threads + 1, cfg.seed);
+  auto shared = std::make_unique<Shared>(cfg.threads + 1, cfg.seed,
+                                         lock_args...);
 
   std::vector<std::uint64_t> counts(cfg.threads, 0);
   std::vector<std::thread> workers;
@@ -162,16 +169,24 @@ struct MultiWaitResult {
 };
 
 /// Run the §5.6 multi-waiting benchmark against lock type L.
-template <BasicLockable L>
-MultiWaitResult run_multiwait_bench(const MultiWaitConfig& cfg) {
+/// Trailing `lock_args` are forwarded to every lock's constructor
+/// (deque: lock addresses stay pinned, and emplacement never moves a
+/// — non-movable — lock).
+template <BasicLockable L, typename... LockArgs>
+MultiWaitResult run_multiwait_bench(const MultiWaitConfig& cfg,
+                                    const LockArgs&... lock_args) {
   struct Shared {
-    std::vector<CacheAligned<L>> locks;
+    std::deque<CacheAligned<L>> locks;
     CacheAligned<std::atomic<bool>> stop{false};
     SpinBarrier barrier;
-    Shared(std::uint32_t nlocks, std::uint32_t parties)
-        : locks(nlocks), barrier(parties) {}
+    Shared(std::uint32_t nlocks, std::uint32_t parties,
+           const LockArgs&... la)
+        : barrier(parties) {
+      for (std::uint32_t i = 0; i < nlocks; ++i) locks.emplace_back(la...);
+    }
   };
-  auto shared = std::make_unique<Shared>(cfg.num_locks, cfg.threads + 1);
+  auto shared = std::make_unique<Shared>(cfg.num_locks, cfg.threads + 1,
+                                         lock_args...);
 
   std::uint64_t leader_steps = 0;
   std::vector<std::thread> workers;
@@ -223,6 +238,18 @@ MultiWaitResult run_multiwait_bench(const MultiWaitConfig& cfg) {
   res.elapsed_ns = elapsed;
   return res;
 }
+
+/// Run MutexBench with the algorithm chosen by factory name — the
+/// harness's --lock=<name> path (type-erased via AnyLock; the
+/// templated overloads above remain the paper-fidelity figure path).
+/// Throws std::invalid_argument for unknown names and for
+/// contender-bounded algorithms (Anderson) run past their capacity.
+MutexBenchResult run_mutexbench_named(std::string_view lock_name,
+                                      const MutexBenchConfig& cfg);
+
+/// Multi-waiting counterpart of run_mutexbench_named.
+MultiWaitResult run_multiwait_bench_named(std::string_view lock_name,
+                                          const MultiWaitConfig& cfg);
 
 /// Thread counts for figure sweeps: approximately the paper's X axis
 /// {1, 2, 5, 10, 20, 50, ...}, clipped to `max_threads`, always

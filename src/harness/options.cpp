@@ -43,6 +43,24 @@ std::string Options::get_string(const std::string& key,
   return it->second;
 }
 
+std::vector<std::string> Options::get_string_list(
+    const std::string& key) const {
+  consumed_[key] = true;
+  std::vector<std::string> out;
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return out;
+  const std::string& raw = it->second;
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const std::size_t comma = raw.find(',', start);
+    const std::size_t end = comma == std::string::npos ? raw.size() : comma;
+    if (end > start) out.push_back(raw.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 bool Options::has(const std::string& key) const {
   consumed_[key] = true;
   return kv_.count(key) != 0;

@@ -25,6 +25,9 @@ class Options {
   /// String-valued option.
   std::string get_string(const std::string& key,
                          const std::string& def) const;
+  /// Comma-separated list option (e.g. --lock=hemlock,mcs,clh);
+  /// empty vector when absent. Empty items are dropped.
+  std::vector<std::string> get_string_list(const std::string& key) const;
   /// True if --key was present (with or without a value).
   bool has(const std::string& key) const;
 

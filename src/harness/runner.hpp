@@ -41,4 +41,24 @@ double multiwait_median(const MultiWaitConfig& cfg, int runs) {
       .median();
 }
 
+/// Median MutexBench throughput for a factory-named algorithm — the
+/// --lock=<name> path (resolved through LockFactory; type-erased).
+inline double mutexbench_median_named(std::string_view lock_name,
+                                      const MutexBenchConfig& cfg, int runs) {
+  return repeat_runs(runs, [&] {
+           return run_mutexbench_named(lock_name, cfg).msteps_per_sec();
+         })
+      .median();
+}
+
+/// Median multi-waiting leader throughput for a factory-named
+/// algorithm.
+inline double multiwait_median_named(std::string_view lock_name,
+                                     const MultiWaitConfig& cfg, int runs) {
+  return repeat_runs(runs, [&] {
+           return run_multiwait_bench_named(lock_name, cfg).msteps_per_sec();
+         })
+      .median();
+}
+
 }  // namespace hemlock

@@ -5,79 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <new>
 
-#include "core/hemlock.hpp"
-#include "core/hemlock_ohv.hpp"
-#include "locks/clh.hpp"
-#include "locks/mcs.hpp"
-#include "locks/tas.hpp"
-#include "locks/ticket.hpp"
+#include "api/factory.hpp"
 #include "runtime/pause.hpp"
 
 namespace hemlock::interpose {
 
 namespace {
-
-/// Visit the hosted lock object with the right static type. Every
-/// algorithm here fits ShimMutex::storage (checked below).
-template <typename Fn>
-decltype(auto) dispatch(LockKind kind, unsigned char* storage, Fn&& fn) {
-  switch (kind) {
-    case LockKind::kHemlock:
-      return fn(*reinterpret_cast<Hemlock*>(storage));
-    case LockKind::kHemlockNaive:
-      return fn(*reinterpret_cast<HemlockNaive*>(storage));
-    case LockKind::kHemlockFaa:
-      return fn(*reinterpret_cast<HemlockFaa*>(storage));
-    case LockKind::kHemlockOhv1:
-      return fn(*reinterpret_cast<HemlockOhv1*>(storage));
-    case LockKind::kHemlockOhv2:
-      return fn(*reinterpret_cast<HemlockOhv2*>(storage));
-    case LockKind::kMcs:
-      return fn(*reinterpret_cast<McsLock*>(storage));
-    case LockKind::kClh:
-      return fn(*reinterpret_cast<ClhLock*>(storage));
-    case LockKind::kTicket:
-      return fn(*reinterpret_cast<TicketLock*>(storage));
-    case LockKind::kTas:
-      return fn(*reinterpret_cast<TasLock*>(storage));
-    case LockKind::kTtas:
-      return fn(*reinterpret_cast<TtasLock*>(storage));
-  }
-  __builtin_unreachable();
-}
-
-template <typename L>
-constexpr bool fits = sizeof(L) <= sizeof(ShimMutex::storage) &&
-                      alignof(L) <= 8;
-static_assert(fits<Hemlock> && fits<HemlockNaive> && fits<HemlockFaa> &&
-              fits<HemlockOhv1> && fits<HemlockOhv2> && fits<McsLock> &&
-              fits<ClhLock> && fits<TicketLock> && fits<TasLock> &&
-              fits<TtasLock>);
-
-void construct(LockKind kind, unsigned char* storage) {
-  switch (kind) {
-    case LockKind::kHemlock: new (storage) Hemlock(); break;
-    case LockKind::kHemlockNaive: new (storage) HemlockNaive(); break;
-    case LockKind::kHemlockFaa: new (storage) HemlockFaa(); break;
-    case LockKind::kHemlockOhv1: new (storage) HemlockOhv1(); break;
-    case LockKind::kHemlockOhv2: new (storage) HemlockOhv2(); break;
-    case LockKind::kMcs: new (storage) McsLock(); break;
-    case LockKind::kClh: new (storage) ClhLock(); break;
-    case LockKind::kTicket: new (storage) TicketLock(); break;
-    case LockKind::kTas: new (storage) TasLock(); break;
-    case LockKind::kTtas: new (storage) TtasLock(); break;
-  }
-}
-
-void destruct(LockKind kind, unsigned char* storage) {
-  // Only CLH has a non-trivial destructor (dummy-node recovery,
-  // Table 1's Init column); destroying the rest is a no-op.
-  if (kind == LockKind::kClh) {
-    reinterpret_cast<ClhLock*>(storage)->~ClhLock();
-  }
-}
 
 /// Adopt the pthread_mutex_t storage: fast path when already ours,
 /// else a race-safe lazy initialization keyed on the magic word
@@ -91,8 +25,8 @@ ShimMutex* adopt(pthread_mutex_t* m) {
   if (sm->magic.compare_exchange_strong(expected, ShimMutex::kIniting,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
-    sm->kind = selected_lock_kind();
-    construct(sm->kind, sm->storage);
+    sm->vt = &selected_lock();
+    sm->vt->construct(sm->storage);
     sm->magic.store(ShimMutex::kReady, std::memory_order_release);
     return sm;
   }
@@ -105,46 +39,35 @@ ShimMutex* adopt(pthread_mutex_t* m) {
 
 }  // namespace
 
-bool parse_lock_kind(std::string_view name, LockKind* out) {
-  struct Entry {
-    std::string_view name;
-    LockKind kind;
-  };
-  static constexpr Entry kTable[] = {
-      {"hemlock", LockKind::kHemlock},
-      {"hemlock-", LockKind::kHemlockNaive},
-      {"hemlock-faa", LockKind::kHemlockFaa},
-      {"hemlock-ohv1", LockKind::kHemlockOhv1},
-      {"hemlock-ohv2", LockKind::kHemlockOhv2},
-      {"mcs", LockKind::kMcs},
-      {"clh", LockKind::kClh},
-      {"ticket", LockKind::kTicket},
-      {"tas", LockKind::kTas},
-      {"ttas", LockKind::kTtas},
-  };
-  for (const auto& e : kTable) {
-    if (e.name == name) {
-      *out = e.kind;
-      return true;
-    }
+std::vector<std::string_view> supported_lock_names() {
+  std::vector<std::string_view> names;
+  for (const LockVTable* vt : LockFactory::instance().entries()) {
+    if (shim_hostable(vt->info)) names.push_back(vt->info.name);
   }
-  return false;  // includes "hemlock-ah": unsafe for pthread lifetimes
+  return names;
 }
 
-LockKind selected_lock_kind() {
-  static const LockKind kind = [] {
+const LockVTable& selected_lock() {
+  static const LockVTable& vt = []() -> const LockVTable& {
+    const LockVTable* fallback = find_lock(kDefaultLockName);
     const char* env = std::getenv("HEMLOCK_LOCK");
-    if (env == nullptr || env[0] == '\0') return LockKind::kHemlock;
-    LockKind k;
-    if (parse_lock_kind(env, &k)) return k;
+    if (env == nullptr || env[0] == '\0') return *fallback;
+    const LockVTable* chosen = find_lock(env);
+    if (chosen != nullptr && shim_hostable(chosen->info)) return *chosen;
+    const char* reason =
+        chosen == nullptr ? "not a factory algorithm"
+        : !chosen->info.pthread_overlay_safe
+            ? "excluded by design: unsafe under POSIX mutex lifetimes "
+              "(paper Appendix B) or re-enters the interposed pthread "
+              "surface"
+            : "lock state does not fit the pthread_mutex_t overlay";
     std::fprintf(stderr,
-                 "[hemlock-interpose] unknown/unsupported HEMLOCK_LOCK=%s "
-                 "(note: hemlock-ah is excluded by design, paper Appendix "
-                 "B); using hemlock\n",
-                 env);
-    return LockKind::kHemlock;
+                 "[hemlock-interpose] HEMLOCK_LOCK=%s rejected (%s); "
+                 "using hemlock\n",
+                 env, reason);
+    return *fallback;
   }();
-  return kind;
+  return vt;
 }
 
 int ShimMutex::shim_init(pthread_mutex_t* m) {
@@ -156,7 +79,7 @@ int ShimMutex::shim_init(pthread_mutex_t* m) {
 int ShimMutex::shim_destroy(pthread_mutex_t* m) {
   auto* sm = reinterpret_cast<ShimMutex*>(m);
   if (sm->magic.load(std::memory_order_acquire) == kReady) {
-    destruct(sm->kind, sm->storage);
+    sm->vt->destroy(sm->storage);
   }
   std::memset(static_cast<void*>(m), 0, sizeof(*m));
   return 0;
@@ -164,27 +87,18 @@ int ShimMutex::shim_destroy(pthread_mutex_t* m) {
 
 int ShimMutex::shim_lock(pthread_mutex_t* m) {
   ShimMutex* sm = adopt(m);
-  dispatch(sm->kind, sm->storage, [](auto& lock) { lock.lock(); });
+  sm->vt->lock(sm->storage);
   return 0;
 }
 
 int ShimMutex::shim_trylock(pthread_mutex_t* m) {
   ShimMutex* sm = adopt(m);
-  // CLH provides no try_lock (paper §2); report EBUSY, which callers
-  // must treat as "retry or lock()" anyway.
-  if (sm->kind == LockKind::kClh) return EBUSY;
-  bool acquired = false;
-  dispatch(sm->kind, sm->storage, [&](auto& lock) {
-    if constexpr (requires(decltype(lock)& l) { l.try_lock(); }) {
-      acquired = lock.try_lock();
-    }
-  });
-  return acquired ? 0 : EBUSY;
+  return sm->vt->try_lock(sm->storage) ? 0 : EBUSY;
 }
 
 int ShimMutex::shim_unlock(pthread_mutex_t* m) {
   ShimMutex* sm = adopt(m);
-  dispatch(sm->kind, sm->storage, [](auto& lock) { lock.unlock(); });
+  sm->vt->unlock(sm->storage);
   return 0;
 }
 

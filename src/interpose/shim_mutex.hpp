@@ -9,9 +9,13 @@
 //
 // ShimMutex is that mechanism's core: the selected lock algorithm's
 // state is embedded *inside* the application's pthread_mutex_t
-// storage (40 bytes on glibc/x86-64 — ample: every algorithm here
-// fits in 16). The algorithm is chosen once per process from the
-// HEMLOCK_LOCK environment variable. Statically initialized mutexes
+// storage (40 bytes on glibc/x86-64). The algorithm is chosen once
+// per process from the HEMLOCK_LOCK environment variable, resolved
+// through the LockFactory — the same roster and the same
+// name→algorithm dispatch as every other consumer; the shim keeps no
+// table of its own. An algorithm is eligible ("hostable") iff its
+// LockInfo says it fits the overlay budget and is
+// pthread_overlay_safe. Statically initialized mutexes
 // (PTHREAD_MUTEX_INITIALIZER — all-zero storage on glibc) are
 // adopted lazily and race-safely on first use.
 //
@@ -20,10 +24,12 @@
 //    real condvar implementation would manipulate raw mutex
 //    internals that no longer exist. The paper's benchmarks
 //    (MutexBench, LevelDB db_bench read paths) do not require it.
-//  * hemlock-ah is deliberately NOT offered: Appendix B shows its
-//    speculative unlock store is unsafe when a pthread mutex's
-//    memory can be freed by its last user (the linux-kernel /
-//    glibc bug-13690 pathology the paper cites).
+//  * hemlock-ah is NOT hostable: Appendix B shows its speculative
+//    unlock store is unsafe when a pthread mutex's memory can be
+//    freed by its last user (the linux-kernel / glibc bug-13690
+//    pathology the paper cites).
+//  * hemlock-cv is NOT hostable: its parking path uses the very
+//    pthread primitives being interposed.
 #pragma once
 
 #include <pthread.h>
@@ -31,30 +37,34 @@
 #include <atomic>
 #include <cstdint>
 #include <string_view>
+#include <vector>
+
+#include "api/any_lock.hpp"
 
 namespace hemlock::interpose {
 
-/// Algorithms the shim can host.
-enum class LockKind : std::uint32_t {
-  kHemlock = 0,   ///< Listing 2 (CTR) — default
-  kHemlockNaive,  ///< Listing 1
-  kHemlockFaa,    ///< §2.1 FAA(0) polling
-  kHemlockOhv1,   ///< Listing 5 (safe fast hand-over)
-  kHemlockOhv2,   ///< Listing 6 (safe fast hand-over)
-  kMcs,
-  kClh,
-  kTicket,
-  kTas,
-  kTtas,
-};
+/// Overlay budget for the hosted lock's state: what remains of
+/// glibc's pthread_mutex_t after the adoption header.
+inline constexpr std::size_t kShimStorageBytes = 24;
+inline constexpr std::size_t kShimStorageAlign = 8;
 
-/// Parse a HEMLOCK_LOCK value (lock_traits<>::name strings); returns
-/// false for unknown/unsupported names (including "hemlock-ah").
-bool parse_lock_kind(std::string_view name, LockKind* out);
+/// True iff the algorithm may be hosted inside an interposed
+/// pthread_mutex_t: fits the overlay budget and carries no lifecycle
+/// hazard (info.pthread_overlay_safe).
+constexpr bool shim_hostable(const LockInfo& info) noexcept {
+  return info.size_bytes <= kShimStorageBytes &&
+         info.align_bytes <= kShimStorageAlign && info.pthread_overlay_safe;
+}
 
-/// Process-wide selection: $HEMLOCK_LOCK, defaulting to kHemlock;
-/// unknown names fall back to the default (reported on stderr once).
-LockKind selected_lock_kind();
+/// Factory names the shim accepts from HEMLOCK_LOCK (the hostable
+/// subset of LockFactory::names(), registry order).
+std::vector<std::string_view> supported_lock_names();
+
+/// Process-wide selection: $HEMLOCK_LOCK resolved through the
+/// LockFactory, defaulting to kDefaultLockName; unknown or
+/// non-hostable names fall back to the default (reported on stderr
+/// once).
+const LockVTable& selected_lock();
 
 /// The overlay. POSIX storage is adopted in place; all-zero bytes
 /// (PTHREAD_MUTEX_INITIALIZER or fresh pthread_mutex_init) read as
@@ -64,18 +74,21 @@ struct ShimMutex {
   static constexpr std::uint32_t kIniting = 0x494E4954;  // "INIT"
 
   std::atomic<std::uint32_t> magic;
-  LockKind kind;
-  alignas(8) unsigned char storage[24];
+  /// Dispatch table of the hosted algorithm (a static factory entry;
+  /// set during adoption, constant thereafter).
+  const LockVTable* vt;
+  alignas(kShimStorageAlign) unsigned char storage[kShimStorageBytes];
 
   // ---- the pthread_mutex_* surface -----------------------------------
-  /// pthread_mutex_init: adopt eagerly with the process-wide kind.
+  /// pthread_mutex_init: adopt eagerly with the process-wide choice.
   static int shim_init(pthread_mutex_t* m);
   /// pthread_mutex_destroy.
   static int shim_destroy(pthread_mutex_t* m);
   /// pthread_mutex_lock.
   static int shim_lock(pthread_mutex_t* m);
   /// pthread_mutex_trylock (EBUSY when held; algorithms without a
-  /// try_lock — CLH — emulate correctly by locking... see .cpp).
+  /// native try_lock — CLH — conservatively report EBUSY, which
+  /// callers must treat as "retry or lock()" anyway).
   static int shim_trylock(pthread_mutex_t* m);
   /// pthread_mutex_unlock.
   static int shim_unlock(pthread_mutex_t* m);

@@ -74,6 +74,10 @@ struct lock_traits<AndersonLock<N>> {
   static constexpr bool is_fifo = true;
   static constexpr bool has_trylock = false;
   static constexpr Spinning spinning = Spinning::kLocal;
+  /// The waiting array bounds concurrent contenders; runtime
+  /// consumers (LockInfo) enforce this where the thread count is a
+  /// run-time quantity.
+  static constexpr std::size_t max_threads = N;
 };
 
 }  // namespace hemlock

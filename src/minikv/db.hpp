@@ -76,6 +76,18 @@ class DB {
         mem_(std::make_shared<MemTable>()),
         version_(std::make_shared<TableVersion>()) {}
 
+  /// As above, forwarding `lock_args` to the central mutex's
+  /// constructor — how a type-erased CentralLock (AnyLock) names its
+  /// algorithm at run time: DB<AnyLock> db(DbOptions{}, "mcs");
+  template <typename... LockArgs>
+    requires(sizeof...(LockArgs) > 0)
+  explicit DB(DbOptions options, LockArgs&&... lock_args)
+      : options_(options),
+        mu_(std::forward<LockArgs>(lock_args)...),
+        cache_(options.block_cache_bytes),
+        mem_(std::make_shared<MemTable>()),
+        version_(std::make_shared<TableVersion>()) {}
+
   DB(const DB&) = delete;
   DB& operator=(const DB&) = delete;
 

@@ -45,6 +45,10 @@ TEST(MutexBench, FifoLockIsFairUnderContention) {
   MutexBenchConfig cfg;
   cfg.threads = 4;
   cfg.duration_ms = 100;
+  if (std::thread::hardware_concurrency() < cfg.threads) {
+    GTEST_SKIP() << "fairness is a scheduler property when cores < threads "
+                    "(FIFO admission needs truly concurrent contenders)";
+  }
   const auto res = run_mutexbench<Hemlock>(cfg);
   // Jain index: FIFO admission should keep threads within a tight
   // band (1.0 = perfect). Generous bound: scheduling noise exists.

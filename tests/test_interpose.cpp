@@ -1,19 +1,21 @@
 // test_interpose.cpp — the pthread_mutex_t shim: overlay geometry,
-// lazy adoption of PTHREAD_MUTEX_INITIALIZER storage, env-var
-// algorithm selection, per-kind mutual exclusion through the shim
-// surface, and a full LD_PRELOAD integration run of the plain-pthreads
-// demo binary against every supported algorithm.
+// lazy adoption of PTHREAD_MUTEX_INITIALIZER storage, factory-based
+// algorithm selection (HEMLOCK_LOCK), per-algorithm mutual exclusion
+// through the shim surface, and a full LD_PRELOAD integration run of
+// the plain-pthreads demo binary against every supported algorithm.
 #include <gtest/gtest.h>
 
 #include <errno.h>
 #include <pthread.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/factory.hpp"
 #include "interpose/shim_mutex.hpp"
 
 namespace hemlock::interpose {
@@ -23,25 +25,56 @@ TEST(ShimMutex, OverlayFitsPthreadStorage) {
   EXPECT_LE(sizeof(ShimMutex), sizeof(pthread_mutex_t));
 }
 
-TEST(ShimMutex, ParseKnownNames) {
-  LockKind k;
-  EXPECT_TRUE(parse_lock_kind("hemlock", &k));
-  EXPECT_EQ(k, LockKind::kHemlock);
-  EXPECT_TRUE(parse_lock_kind("hemlock-", &k));
-  EXPECT_EQ(k, LockKind::kHemlockNaive);
-  EXPECT_TRUE(parse_lock_kind("mcs", &k));
-  EXPECT_TRUE(parse_lock_kind("clh", &k));
-  EXPECT_TRUE(parse_lock_kind("ticket", &k));
-  EXPECT_TRUE(parse_lock_kind("hemlock-ohv1", &k));
-  EXPECT_TRUE(parse_lock_kind("hemlock-ohv2", &k));
-  EXPECT_FALSE(parse_lock_kind("bogus", &k));
+// The shim keeps no name table of its own: HEMLOCK_LOCK values are
+// factory names, filtered only by hostability. The classic
+// interposition roster must all be present.
+TEST(ShimMutex, SupportedNamesAreTheHostableFactorySubset) {
+  const auto& factory = LockFactory::instance();
+  const auto supported = supported_lock_names();
+  ASSERT_FALSE(supported.empty());
+
+  // Exactly the hostable subset, in registry order.
+  std::vector<std::string_view> expected;
+  for (const LockVTable* vt : factory.entries()) {
+    if (shim_hostable(vt->info)) expected.push_back(vt->info.name);
+  }
+  EXPECT_EQ(supported, expected);
+
+  for (const char* name :
+       {"hemlock", "hemlock-", "hemlock-faa", "hemlock-ohv1", "hemlock-ohv2",
+        "mcs", "clh", "ticket", "tas", "ttas"}) {
+    EXPECT_NE(std::find(supported.begin(), supported.end(), name),
+              supported.end())
+        << name;
+  }
 }
 
-TEST(ShimMutex, RefusesAggressiveHandOver) {
+TEST(ShimMutex, RefusesAggressiveHandOverAndCondvarParking) {
   // Appendix B: AH's speculative store is unsafe when the mutex's
-  // memory may be freed by its last user — the shim must not offer it.
-  LockKind k;
-  EXPECT_FALSE(parse_lock_kind("hemlock-ah", &k));
+  // memory may be freed by its last user — the shim must not offer
+  // it. hemlock-cv would re-enter the interposed pthread surface.
+  const auto& factory = LockFactory::instance();
+  for (const char* name : {"hemlock-ah", "hemlock-cv"}) {
+    const LockInfo* info = factory.info(name);
+    ASSERT_NE(info, nullptr) << name;        // in the factory roster...
+    EXPECT_FALSE(shim_hostable(*info)) << name;  // ...but not hostable
+    EXPECT_FALSE(info->pthread_overlay_safe) << name;
+  }
+  // Size-excluded: bodies larger than the overlay budget.
+  for (const char* name : {"mcs-k42", "anderson", "pthread"}) {
+    const LockInfo* info = factory.info(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_FALSE(shim_hostable(*info)) << name;
+    EXPECT_GT(info->size_bytes, kShimStorageBytes) << name;
+  }
+}
+
+TEST(ShimMutex, SelectedLockIsHostable) {
+  // Whatever the environment says, the process-wide selection must
+  // resolve to a hostable factory entry (unknown names fall back).
+  const LockVTable& vt = selected_lock();
+  EXPECT_TRUE(shim_hostable(vt.info));
+  EXPECT_NE(LockFactory::instance().find(vt.info.name), nullptr);
 }
 
 TEST(ShimMutex, InitLockUnlockDestroyRoundTrip) {
@@ -109,17 +142,18 @@ TEST(PreloadIntegration, DemoRunsCorrectlyUnderEveryAlgorithm) {
 #else
   const std::string preload = HEMLOCK_PRELOAD_SO;
   const std::string demo = HEMLOCK_PRELOAD_DEMO;
-  for (const char* algo :
-       {"hemlock", "hemlock-", "hemlock-faa", "hemlock-ohv1", "hemlock-ohv2",
-        "mcs", "clh", "ticket", "tas", "ttas"}) {
-    const std::string cmd = "LD_PRELOAD=" + preload + " HEMLOCK_LOCK=" +
-                            std::string(algo) + " " + demo + " > /dev/null";
+  // Bounded per-thread iterations: queue-lock handoffs run at
+  // scheduler speed when the host has fewer cores than demo threads,
+  // and this sweep covers every supported algorithm.
+  const std::string env = "HEMLOCK_DEMO_ITERS=2000 LD_PRELOAD=" + preload;
+  for (const std::string_view algo : supported_lock_names()) {
+    const std::string cmd = env + " HEMLOCK_LOCK=" + std::string(algo) + " " +
+                            demo + " > /dev/null";
     EXPECT_EQ(std::system(cmd.c_str()), 0) << "HEMLOCK_LOCK=" << algo;
   }
   // Unknown algorithm falls back to the default but still works.
-  const std::string fallback = "LD_PRELOAD=" + preload +
-                               " HEMLOCK_LOCK=nonsense " + demo +
-                               " > /dev/null 2>&1";
+  const std::string fallback =
+      env + " HEMLOCK_LOCK=nonsense " + demo + " > /dev/null 2>&1";
   EXPECT_EQ(std::system(fallback.c_str()), 0);
 #endif
 }

@@ -29,7 +29,14 @@ namespace {
 // Thread counts sized for CI machines: enough to create real
 // contention without drowning a FIFO spin lock in preemption.
 constexpr int kThreads = 8;
-constexpr int kItersPerThread = 4000;
+
+// Iteration budget per thread: full on hosts with a core per
+// contender; scaled down when cores < threads, where FIFO spin-lock
+// handoffs run at scheduler speed (one preemption each, ~ms) and the
+// multicore budget would stretch single cases into minutes of convoy.
+// Exactness assertions are unaffected — only the schedule count is.
+const int kItersPerThread =
+    std::thread::hardware_concurrency() >= kThreads ? 4000 : 400;
 
 template <typename L>
 class LockProperty : public ::testing::Test {};

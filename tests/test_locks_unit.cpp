@@ -7,9 +7,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "api/factory.hpp"
 #include "core/lock_registry.hpp"
 #include "core/waiting.hpp"
 #include "locks/node_pool.hpp"
@@ -147,16 +150,16 @@ TEST(LockRegistry, NamesAreUniqueAndComplete) {
   EXPECT_TRUE(uniq.count("ticket"));
 }
 
-TEST(LockRegistry, DispatchByName) {
-  bool hit = false;
-  const bool found = with_lock_type("hemlock", [&](auto tag) {
-    using L = typename decltype(tag)::type;
-    EXPECT_TRUE((std::is_same_v<L, Hemlock>));
-    hit = true;
-  });
-  EXPECT_TRUE(found);
-  EXPECT_TRUE(hit);
-  EXPECT_FALSE(with_lock_type("no-such-lock", [](auto) {}));
+TEST(LockRegistry, DispatchByNameGoesThroughTheFactory) {
+  // Runtime name→algorithm dispatch lives in exactly one place: the
+  // LockFactory, self-populated from this registry.
+  const auto& factory = LockFactory::instance();
+  EXPECT_EQ(factory.size(), std::tuple_size_v<AllLockTags>);
+  const LockInfo* info = factory.info("hemlock");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->lock_words, lock_traits<Hemlock>::lock_words);
+  EXPECT_EQ(info->size_bytes, sizeof(Hemlock));
+  EXPECT_EQ(factory.find("no-such-lock"), nullptr);
 }
 
 TEST(LockRegistry, PaperFigureSetIsTheFiveCurves) {

@@ -80,7 +80,10 @@ TEST_P(CoherenceGrid, CountersConsistentAndCtrOrdered) {
     EXPECT_LE(r->totals.upgrades, r->totals.rfos);
     EXPECT_EQ(r->pairs, static_cast<std::uint64_t>(threads) * 200);
   }
-  if (threads >= 8) {
+  // The CTR-beats-naive ordering is a statement about concurrent
+  // polling; it only manifests when every simulated core is a real
+  // core (see test_coherence.cpp's SimLocks skips).
+  if (threads >= 8 && std::thread::hardware_concurrency() >= threads) {
     EXPECT_LT(ctr.offcore_per_pair(), naive.offcore_per_pair())
         << coherence::protocol_name(protocol) << " @ " << threads;
   }

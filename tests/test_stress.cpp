@@ -26,6 +26,17 @@
 namespace hemlock {
 namespace {
 
+// Schedule budget scaling: full intensity on hosts with a core per
+// contending thread; reduced when cores are scarce — there, every
+// FIFO handoff costs a preemption (~ms), and multicore budgets
+// stretch single cases into minutes of convoy. Invariants checked
+// (exact totals) are unaffected; only the number of schedules is.
+int scaled(int iters, int threads) {
+  return static_cast<int>(std::thread::hardware_concurrency()) >= threads
+             ? iters
+             : iters / 8 + 1;
+}
+
 // Random multi-lock chaos: each thread repeatedly picks a random
 // subset of locks, acquires them in ascending index order (deadlock
 // discipline), mutates every covered counter, then releases in a
@@ -35,7 +46,7 @@ template <typename L>
 void random_multilock_chaos(std::uint64_t seed) {
   constexpr int kLocks = 8;
   constexpr int kThreads = 8;
-  constexpr int kIters = 2500;
+  const int kIters = scaled(2500, kThreads);
 
   std::vector<CacheAligned<L>> locks(kLocks);
   std::uint64_t counters[kLocks] = {};
@@ -113,8 +124,9 @@ void figure9_shape() {
 
   std::vector<std::thread> ts;
   ts.emplace_back([&] {  // leader
+    const int steps = scaled(400, kThreads);
     start.arrive_and_wait();
-    for (int step = 0; step < 400; ++step) {
+    for (int step = 0; step < steps; ++step) {
       for (int k = 0; k < kLocks; ++k) locks[k].value.lock();
       for (int k = 0; k < kLocks; ++k) {
         ++counters[k];
@@ -158,7 +170,7 @@ void thread_churn() {
   std::uint64_t counter = 0;
   constexpr int kWaves = 12;
   constexpr int kThreadsPerWave = 6;
-  constexpr int kItersPerThread = 400;
+  const int kItersPerThread = scaled(400, kThreadsPerWave);
   for (int wave = 0; wave < kWaves; ++wave) {
     std::vector<std::thread> ts;
     for (int t = 0; t < kThreadsPerWave; ++t) {
@@ -212,8 +224,9 @@ void mixed_try_storm() {
   for (int t = 0; t < 6; ++t) {
     ts.emplace_back([&, t] {
       Xoshiro256 prng(t + 1);
+      const int iters = scaled(3000, 6);
       start.arrive_and_wait();
-      for (int i = 0; i < 3000; ++i) {
+      for (int i = 0; i < iters; ++i) {
         if (prng.below(2) == 0) {
           lock.value.lock();
           ++counter;
