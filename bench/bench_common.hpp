@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "harness/options.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
+#include "runtime/topology.hpp"
 
 namespace hemlock::bench {
 
@@ -28,11 +31,97 @@ struct FigureArgs {
   std::uint32_t max_threads;
   bool csv;
   std::uint64_t seed;
+  /// --json=<path>: additionally write the sweep as a BENCH_*.json
+  /// trajectory file (schema "hemlock-bench-v1"); empty = off. CI's
+  /// perf-smoke job uploads these as artifacts so the bench
+  /// trajectory accumulates across PRs.
+  std::string json_path;
   /// --lock=<name>[,<name>...]: run these factory algorithms through
   /// the runtime AnyLock path instead of the default compile-time
   /// figure roster. Empty = paper-fidelity templated sweep.
   std::vector<std::string> locks;
 };
+
+/// A figure sweep in machine-readable form: one row per thread count,
+/// one column per lock; absent cells (e.g. Anderson past its
+/// waiting-array capacity) are nullopt and serialize as JSON null.
+struct BenchSeries {
+  std::vector<std::string> locks;      ///< column names
+  std::vector<std::uint32_t> threads;  ///< row keys
+  std::vector<std::vector<std::optional<double>>> values;  ///< [row][col]
+};
+
+/// Minimal JSON string escaping (quotes/backslashes/control chars) —
+/// enough for lock names and CPU model strings.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Write the sweep as a BENCH_*.json trajectory file. Schema
+/// "hemlock-bench-v1": bench id, unit, host, budget, then one series
+/// per lock with {threads, value} points. Returns false (with a
+/// stderr report) when the file cannot be written; callers exit
+/// non-zero so CI fails loudly on malformed/unwritable output.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& bench_id,
+                             const std::string& unit,
+                             std::int64_t duration_ms, int runs,
+                             const BenchSeries& series) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const Topology& topo = topology();
+  os << "{\n"
+     << "  \"schema\": \"hemlock-bench-v1\",\n"
+     << "  \"bench\": \"" << json_escape(bench_id) << "\",\n"
+     << "  \"unit\": \"" << json_escape(unit) << "\",\n"
+     << "  \"host\": {\"logical_cpus\": " << topo.logical_cpus
+     << ", \"model\": \"" << json_escape(topo.model_name) << "\"},\n"
+     << "  \"duration_ms\": " << duration_ms << ",\n"
+     << "  \"runs\": " << runs << ",\n"
+     << "  \"series\": [";
+  for (std::size_t c = 0; c < series.locks.size(); ++c) {
+    os << (c == 0 ? "\n" : ",\n");
+    os << "    {\"lock\": \"" << json_escape(series.locks[c])
+       << "\", \"points\": [";
+    for (std::size_t r = 0; r < series.threads.size(); ++r) {
+      os << (r == 0 ? "" : ", ");
+      os << "{\"threads\": " << series.threads[r] << ", \"value\": ";
+      if (series.values[r][c].has_value()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", *series.values[r][c]);
+        os << buf;
+      } else {
+        os << "null";
+      }
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
 
 /// Validate --lock names against the factory; exits (listing the
 /// roster) on unknown names so typos fail loudly like other flags.
@@ -57,15 +146,17 @@ inline void validate_lock_names(const std::vector<std::string>& locks) {
 }
 
 /// Parse the common options; exits on unknown flags.
-inline FigureArgs parse_figure_args(const Options& opts) {
+inline FigureArgs parse_figure_args(const Options& opts,
+                                    int default_duration_ms = 200) {
   FigureArgs a;
-  a.duration_ms = opts.get_int("duration-ms", 200);
+  a.duration_ms = opts.get_int("duration-ms", default_duration_ms);
   a.runs = static_cast<int>(opts.get_int("runs", 1));
   const bool oversubscribe = opts.has("oversubscribe");
   a.max_threads = static_cast<std::uint32_t>(opts.get_int(
       "max-threads", default_max_threads(oversubscribe)));
   a.csv = opts.has("csv");
   a.seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x5EED));
+  a.json_path = opts.get_string("json", "");
   a.locks = opts.get_string_list("lock");
   if (opts.has("lock") && a.locks.empty()) {
     // Fail loudly, like unknown names: a bare/empty --lock= silently
@@ -93,23 +184,46 @@ inline std::vector<std::string> figure_lock_headers(const FigureArgs& args) {
   return headers;
 }
 
-/// One table cell for a factory-named algorithm: "-" when the
-/// algorithm cannot run at this thread count (Anderson past its
-/// waiting-array capacity), else the formatted value from `measure`.
-/// The capacity rule lives here, once, for every named-sweep bench.
-template <typename MeasureFn>
-std::string guarded_cell(const std::string& name, std::uint32_t threads,
-                         MeasureFn&& measure) {
+/// True when a factory-named algorithm can run at this thread count
+/// (Anderson's waiting array bounds it; everything else is
+/// unbounded). The capacity rule lives here, once, for every
+/// named-sweep bench.
+inline bool fits_thread_capacity(const std::string& name,
+                                 std::uint32_t threads) {
   const LockInfo* info = LockFactory::instance().info(name);
-  if (info->max_threads != 0 && threads > info->max_threads) return "-";
+  return info->max_threads == 0 || threads <= info->max_threads;
+}
+
+/// One measurement for a factory-named algorithm: nullopt when the
+/// algorithm cannot run at this thread count, else the value from
+/// `measure`.
+template <typename MeasureFn>
+std::optional<double> guarded_value(const std::string& name,
+                                    std::uint32_t threads,
+                                    MeasureFn&& measure) {
+  if (!fits_thread_capacity(name, threads)) return std::nullopt;
   return measure();
 }
 
-/// MutexBench throughput cell for a factory-named algorithm.
-inline std::string named_cell(const std::string& name,
-                              const MutexBenchConfig& cfg, int runs) {
-  return guarded_cell(name, cfg.threads, [&] {
-    return Table::fmt(mutexbench_median_named(name, cfg, runs));
+/// The table rendering of a guarded measurement ("-" for absent).
+inline std::string value_cell(const std::optional<double>& v) {
+  return v.has_value() ? Table::fmt(*v) : "-";
+}
+
+/// String-cell compatibility wrapper over the same capacity rule.
+template <typename MeasureFn>
+std::string guarded_cell(const std::string& name, std::uint32_t threads,
+                         MeasureFn&& measure) {
+  if (!fits_thread_capacity(name, threads)) return "-";
+  return measure();
+}
+
+/// MutexBench throughput for a factory-named algorithm.
+inline std::optional<double> named_value(const std::string& name,
+                                         const MutexBenchConfig& cfg,
+                                         int runs) {
+  return guarded_value(name, cfg.threads, [&] {
+    return mutexbench_median_named(name, cfg, runs);
   });
 }
 
@@ -124,48 +238,76 @@ inline void reject_unknown(const Options& opts) {
   }
 }
 
+/// Render a collected sweep: aligned table (or CSV), plus the
+/// --json trajectory file when requested. Exits non-zero when the
+/// JSON file cannot be written, so CI perf-smoke fails loudly.
+inline void render_series(const char* bench_id, const char* unit,
+                          const FigureArgs& args, const BenchSeries& series) {
+  Table table([&] {
+    std::vector<std::string> headers{"threads"};
+    headers.insert(headers.end(), series.locks.begin(), series.locks.end());
+    return headers;
+  }());
+  for (std::size_t r = 0; r < series.threads.size(); ++r) {
+    std::vector<std::string> row{std::to_string(series.threads[r])};
+    for (const auto& v : series.values[r]) row.push_back(value_cell(v));
+    table.add_row(std::move(row));
+  }
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  if (!args.json_path.empty()) {
+    if (!write_bench_json(args.json_path, bench_id, unit, args.duration_ms,
+                          args.runs, series)) {
+      std::exit(1);
+    }
+    std::cout << "\n(JSON trajectory written to " << args.json_path << ")\n";
+  }
+}
+
 /// Run a MutexBench sweep and print the table. `cs_steps`/`ncs_steps`
 /// select the contention regime (Figure 2: 0/0; Figure 3: 5/400).
 /// Default: the paper's five figure algorithms via the templated
 /// (zero-dispatch) path. With --lock=<names>: the named factory
 /// algorithms via the runtime AnyLock path — any roster member,
 /// chosen at run time, exactly like the paper's LD_PRELOAD protocol.
-inline void run_figure_bench(const char* title, const char* note,
-                             std::uint32_t cs_steps, std::uint32_t ncs_steps,
+inline void run_figure_bench(const char* bench_id, const char* title,
+                             const char* note, std::uint32_t cs_steps,
+                             std::uint32_t ncs_steps,
                              const FigureArgs& args) {
   std::cout << title << "\n" << note << "\n" << host_banner() << "\n"
             << "duration=" << args.duration_ms << "ms runs=" << args.runs
             << " (paper: 10s, median of 7)\n\n";
 
-  const auto sweep = figure_thread_sweep(args.max_threads);
-  Table table(figure_lock_headers(args));
+  BenchSeries series;
+  const auto headers = figure_lock_headers(args);
+  series.locks.assign(headers.begin() + 1, headers.end());
 
-  for (const std::uint32_t t : sweep) {
+  for (const std::uint32_t t : figure_thread_sweep(args.max_threads)) {
     MutexBenchConfig cfg;
     cfg.threads = t;
     cfg.duration_ms = args.duration_ms;
     cfg.cs_shared_prng_steps = cs_steps;
     cfg.ncs_max_prng_steps = ncs_steps;
     cfg.seed = args.seed;
-    std::vector<std::string> row{std::to_string(t)};
+    series.threads.push_back(t);
+    std::vector<std::optional<double>> row;
     if (args.locks.empty()) {
       for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
         using L = typename decltype(tag)::type;
-        row.push_back(Table::fmt(mutexbench_median<L>(cfg, args.runs)));
+        row.emplace_back(mutexbench_median<L>(cfg, args.runs));
       });
     } else {
       for (const auto& name : args.locks) {
-        row.push_back(named_cell(name, cfg, args.runs));
+        row.push_back(named_value(name, cfg, args.runs));
       }
     }
-    table.add_row(std::move(row));
+    series.values.push_back(std::move(row));
   }
 
-  if (args.csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  render_series(bench_id, "msteps_per_sec", args, series);
   std::cout << "\n(Y values: aggregate throughput, M steps/sec — the "
                "paper's figure axis.)\n";
 }

@@ -13,8 +13,8 @@
 // on the Hemlock run.
 //
 // Flags: --duration-ms --runs --max-threads --oversubscribe --csv
-//        --keys --profile --lock=<name>[,...] (factory algorithms as
-//        the central mutex, via the runtime AnyLock path)
+//        --json=<path> --keys --profile --lock=<name>[,...] (factory
+//        algorithms as the central mutex, via the runtime AnyLock path)
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -110,32 +110,28 @@ int main(int argc, char** argv) {
             << "duration=" << args.duration_ms << "ms runs=" << args.runs
             << "\n\n";
 
-  const auto sweep = figure_thread_sweep(args.max_threads);
-  Table table(figure_lock_headers(args));
+  BenchSeries series;
+  const auto headers = figure_lock_headers(args);
+  series.locks.assign(headers.begin() + 1, headers.end());
 
-  for (const std::uint32_t t : sweep) {
-    std::vector<std::string> row{std::to_string(t)};
+  for (const std::uint32_t t : figure_thread_sweep(args.max_threads)) {
+    series.threads.push_back(t);
+    std::vector<std::optional<double>> row;
     if (args.locks.empty()) {
       for_each_lock_type<PaperFigureLockTags>([&](auto tag) {
         using L = typename decltype(tag)::type;
-        row.push_back(
-            Table::fmt(kv_median<L>(t, args.duration_ms, keys, args.runs)));
+        row.emplace_back(kv_median<L>(t, args.duration_ms, keys, args.runs));
       });
     } else {
       for (const auto& name : args.locks) {
-        row.push_back(guarded_cell(name, t, [&] {
-          return Table::fmt(
-              kv_median_named(name, t, args.duration_ms, keys, args.runs));
+        row.push_back(guarded_value(name, t, [&] {
+          return kv_median_named(name, t, args.duration_ms, keys, args.runs);
         }));
       }
     }
-    table.add_row(std::move(row));
+    series.values.push_back(std::move(row));
   }
-  if (args.csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  render_series("fig8", "mops_per_sec", args, series);
   std::cout << "\n(Y values: millions of reads per second — Figure 8's "
                "axis.)\n";
 

@@ -7,7 +7,7 @@
 // same binary runs on any HEMLOCK_LOCK algorithm (the paper's §5
 // evaluation mechanism):
 //
-//   LD_PRELOAD=$BUILD/src/interpose/libhemlock_preload.so \
+//   LD_PRELOAD=$BUILD/src/interpose/libhemlock_preload.so  # plus
 //   HEMLOCK_LOCK=hemlock ./preload_demo
 //
 // Exit code 0 iff the counters are exact — which makes this binary
@@ -16,21 +16,32 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace {
 
-constexpr int kThreads = 8;
+/// Positive long from the environment, or `def` when unset/invalid.
+long env_long(const char* key, long def) {
+  const char* env = std::getenv(key);
+  const long parsed = env != nullptr ? std::atol(env) : 0;
+  return parsed > 0 ? parsed : def;
+}
+
+/// Contending threads; HEMLOCK_DEMO_THREADS overrides (the CI
+/// oversubscription smoke runs at a multiple of the host's cores to
+/// prove the shim's adaptive waiting tier keeps queue locks from
+/// convoying when threads outnumber CPUs).
+int threads() {
+  static const int n = static_cast<int>(env_long("HEMLOCK_DEMO_THREADS", 8));
+  return n;
+}
 
 /// Iterations per thread; HEMLOCK_DEMO_ITERS overrides (the
 /// interposition integration test dials this down so that sweeping
 /// every algorithm stays fast on small hosts — queue locks hand over
 /// at scheduler speed when cores are scarce).
 long iters() {
-  static const long n = [] {
-    const char* env = std::getenv("HEMLOCK_DEMO_ITERS");
-    const long parsed = env != nullptr ? std::atol(env) : 0;
-    return parsed > 0 ? parsed : 20000;
-  }();
+  static const long n = env_long("HEMLOCK_DEMO_ITERS", 20000);
   return n;
 }
 
@@ -64,13 +75,13 @@ void* worker(void*) {
 int main() {
   pthread_mutex_init(&g_dynamic_mu, nullptr);
 
-  pthread_t threads[kThreads];
-  for (auto& t : threads) pthread_create(&t, nullptr, worker, nullptr);
-  for (auto& t : threads) pthread_join(t, nullptr);
+  std::vector<pthread_t> workers(threads());
+  for (auto& t : workers) pthread_create(&t, nullptr, worker, nullptr);
+  for (auto& t : workers) pthread_join(t, nullptr);
 
   const long expected_static =
-      static_cast<long>(kThreads) * iters() + g_trylock_wins;
-  const long expected_dynamic = static_cast<long>(kThreads) * iters();
+      static_cast<long>(threads()) * iters() + g_trylock_wins;
+  const long expected_dynamic = static_cast<long>(threads()) * iters();
   std::printf("static counter : %ld (expected %ld)\n", g_static_counter,
               expected_static);
   std::printf("dynamic counter: %ld (expected %ld)\n", g_dynamic_counter,

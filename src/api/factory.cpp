@@ -28,11 +28,34 @@ const LockFactory& LockFactory::instance() {
   return factory;
 }
 
-const LockVTable* LockFactory::find(std::string_view name) const noexcept {
-  for (const LockVTable* vt : entries_) {
-    if (vt->info.name == name) return vt;
+namespace {
+
+/// "-spin" is the explicit spelling of the default pure-spin tier:
+/// the roster registers "mcs" (spin), "mcs-yield", "mcs-park",
+/// "mcs-adaptive" — so "mcs-spin" canonicalizes to "mcs". Returns the
+/// base name, or an empty view when the alias does not apply.
+std::string_view strip_spin_suffix(std::string_view name) noexcept {
+  constexpr std::string_view kSuffix = "-spin";
+  if (name.size() > kSuffix.size() && name.ends_with(kSuffix)) {
+    return name.substr(0, name.size() - kSuffix.size());
   }
-  return nullptr;
+  return {};
+}
+
+}  // namespace
+
+const LockVTable* LockFactory::find(std::string_view name) const noexcept {
+  const auto exact = [this](std::string_view n) -> const LockVTable* {
+    for (const LockVTable* vt : entries_) {
+      if (vt->info.name == n) return vt;
+    }
+    return nullptr;
+  };
+  if (const LockVTable* vt = exact(name)) return vt;
+  // One strip, then an exact lookup only — "mcs-spin" is an alias,
+  // "mcs-spin-spin" is a typo.
+  const std::string_view base = strip_spin_suffix(name);
+  return base.empty() ? nullptr : exact(base);
 }
 
 AnyLock LockFactory::make(std::string_view name) const {
@@ -56,13 +79,10 @@ std::vector<std::string_view> LockFactory::names() const {
   return out;
 }
 
-const LockVTable* find_lock(std::string_view name) noexcept {
-  // Deliberately allocation-free (no LockFactory::instance()): the
-  // interposition shim resolves HEMLOCK_LOCK through this function
-  // from inside the application's first pthread_mutex_lock, where a
-  // malloc — whose allocator may itself guard state with a pthread
-  // mutex — could re-enter the shim and deadlock. The vtables are
-  // constant-initialized statics; this is pure name comparison.
+namespace {
+
+/// Exact roster lookup, allocation-free (see find_lock).
+const LockVTable* find_lock_exact(std::string_view name) noexcept {
   const LockVTable* found = nullptr;
   for_each_lock_type<AllLockTags>([&](auto tag) {
     using L = typename decltype(tag)::type;
@@ -71,6 +91,22 @@ const LockVTable* find_lock(std::string_view name) noexcept {
     }
   });
   return found;
+}
+
+}  // namespace
+
+const LockVTable* find_lock(std::string_view name) noexcept {
+  // Deliberately allocation-free (no LockFactory::instance()): the
+  // interposition shim resolves HEMLOCK_LOCK through this function
+  // from inside the application's first pthread_mutex_lock, where a
+  // malloc — whose allocator may itself guard state with a pthread
+  // mutex — could re-enter the shim and deadlock. The vtables are
+  // constant-initialized statics; this is pure name comparison.
+  if (const LockVTable* found = find_lock_exact(name)) return found;
+  // Same "-spin" canonicalization as LockFactory::find: one strip,
+  // then an exact lookup only, so suffixes never chain.
+  const std::string_view base = strip_spin_suffix(name);
+  return base.empty() ? nullptr : find_lock_exact(base);
 }
 
 }  // namespace hemlock

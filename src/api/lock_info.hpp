@@ -50,6 +50,17 @@ struct LockInfo {
   /// lifetimes) and hemlock-cv (its parking path uses the very
   /// pthread primitives being interposed).
   bool pthread_overlay_safe;
+  /// Waiting-policy name: how contenders wait ("spin", "yield",
+  /// "park", "adaptive" for the queue-lock tiers; "ctr-cas" / "load" /
+  /// "ctr-faa" / "futex" for the Hemlock Grant policies; see
+  /// core/waiting.hpp).
+  std::string_view waiting;
+  /// Oversubscription safety: true when waiters surrender the CPU
+  /// (yield or park) instead of burning their timeslice, so the lock
+  /// keeps making prompt progress with more runnable threads than
+  /// cores. Pure busy-wait algorithms convoy at scheduler speed in
+  /// that regime and carry false here.
+  bool oversub_safe;
 };
 
 /// Materialize the LockInfo for lock type L from lock_traits<L>.
@@ -80,6 +91,16 @@ constexpr LockInfo make_lock_info() noexcept {
     info.pthread_overlay_safe = T::pthread_overlay_safe;
   } else {
     info.pthread_overlay_safe = true;
+  }
+  if constexpr (requires { T::waiting; }) {
+    info.waiting = T::waiting;
+  } else {
+    info.waiting = "spin";  // busy-wait unless declared otherwise
+  }
+  if constexpr (requires { T::oversub_safe; }) {
+    info.oversub_safe = T::oversub_safe;
+  } else {
+    info.oversub_safe = false;
   }
   return info;
 }

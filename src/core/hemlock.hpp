@@ -128,8 +128,12 @@ using Hemlock = HemlockBase<CtrCasWaiting>;
 using HemlockNaive = HemlockBase<PoliteWaiting>;
 /// CTR via fetch-and-add of zero (§2.1's LOCK:XADD alternative).
 using HemlockFaa = HemlockBase<CtrFaaWaiting>;
-/// Test-only: yields under oversubscription; not a paper configuration.
-using HemlockAdaptive = HemlockBase<AdaptiveWaiting>;
+/// Governed Grant policy: not a paper configuration; the Hemlock
+/// family's adaptive waiting tier (CTR doorstep, then the governor's
+/// spin/yield/park escalation). The shim hosts plain "hemlock" on
+/// this when HEMLOCK_WAIT is unset; it also serves HEMLOCK_WAIT=yield
+/// (the family has no fixed yield tier).
+using HemlockAdaptive = HemlockBase<GovernedGrantWaiting>;
 /// Spin-then-park via futex — the Appendix-C "polite waiting"
 /// (WaitOnAddress) option for the base algorithm.
 using HemlockFutex = HemlockBase<FutexWaiting>;
@@ -145,6 +149,14 @@ struct hemlock_traits_base {
   static constexpr bool is_fifo = true;
   static constexpr bool has_trylock = true;
   static constexpr Spinning spinning = Spinning::kFereLocal;
+  /// The Grant waiting policy's name ("ctr-cas", "load", ...).
+  static constexpr const char* waiting = W::name;
+  /// The futex policy parks, the governed policy escalates and the
+  /// adaptive policy yields; the paper's measured policies busy-wait
+  /// and convoy when preempted.
+  static constexpr bool oversub_safe =
+      std::is_same_v<W, FutexWaiting> || std::is_same_v<W, AdaptiveWaiting> ||
+      std::is_same_v<W, GovernedGrantWaiting>;
 };
 }  // namespace detail
 
@@ -163,7 +175,7 @@ struct lock_traits<HemlockFaa> : detail::hemlock_traits_base<CtrFaaWaiting> {
 };
 template <>
 struct lock_traits<HemlockAdaptive>
-    : detail::hemlock_traits_base<AdaptiveWaiting> {
+    : detail::hemlock_traits_base<GovernedGrantWaiting> {
   static constexpr const char* name = "hemlock-adaptive";
 };
 template <>

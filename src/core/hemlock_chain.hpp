@@ -177,6 +177,8 @@ struct lock_traits<HemlockChain> {
   static constexpr bool is_fifo = true;
   static constexpr bool has_trylock = true;
   static constexpr Spinning spinning = Spinning::kLocal;  // private flags
+  static constexpr const char* waiting = "park";  // futex park-unpark
+  static constexpr bool oversub_safe = true;
 };
 
 }  // namespace hemlock

@@ -144,6 +144,8 @@ struct lock_traits<HemlockCv> {
   /// re-enter the shim (and pthread_cond_wait on an interposed mutex
   /// is unsupported; see interpose/shim_mutex.hpp).
   static constexpr bool pthread_overlay_safe = false;
+  static constexpr const char* waiting = "park";  // condvar parking
+  static constexpr bool oversub_safe = true;
 };
 
 }  // namespace hemlock

@@ -47,17 +47,30 @@ struct lock_tag {
 /// the test suites and typical hosts use; benches sweeping wider
 /// instantiate AndersonLock<N> directly.
 using AndersonDefault = AndersonLock<64>;
+/// Waiting-tier variants of the default-capacity Anderson lock.
+using AndersonYieldDefault = AndersonLockT<64, QueueYieldWaiting>;
+using AndersonParkDefault = AndersonLockT<64, SpinThenParkWaiting>;
+using AndersonGovernedDefault = AndersonLockT<64, GovernedWaiting>;
 
 /// Every algorithm in the library, core contribution first, then the
-/// paper's baselines, then the reference system mutexes.
+/// paper's baselines, then the queue locks' oversubscription waiting
+/// tiers (-yield / -park / -adaptive; see core/waiting.hpp), then the
+/// reference system mutexes.
 using AllLockTags = std::tuple<
     lock_tag<Hemlock>, lock_tag<HemlockNaive>, lock_tag<HemlockFaa>,
-    lock_tag<HemlockFutex>, lock_tag<HemlockOverlap>, lock_tag<HemlockAh>,
+    lock_tag<HemlockFutex>, lock_tag<HemlockAdaptive>,
+    lock_tag<HemlockOverlap>, lock_tag<HemlockAh>,
     lock_tag<HemlockOhv1>, lock_tag<HemlockOhv2>, lock_tag<HemlockCv>,
     lock_tag<HemlockChain>, lock_tag<McsLock>, lock_tag<McsK42Lock>,
     lock_tag<ClhLock>, lock_tag<TicketLock>, lock_tag<TasLock>,
     lock_tag<TtasLock>, lock_tag<TtasBackoffLock>,
-    lock_tag<AndersonDefault>, lock_tag<PthreadMutex>>;
+    lock_tag<AndersonDefault>, lock_tag<McsYieldLock>,
+    lock_tag<McsParkLock>, lock_tag<McsGovernedLock>,
+    lock_tag<ClhYieldLock>, lock_tag<ClhParkLock>,
+    lock_tag<ClhGovernedLock>, lock_tag<TicketYieldLock>,
+    lock_tag<TicketParkLock>, lock_tag<TicketGovernedLock>,
+    lock_tag<AndersonYieldDefault>, lock_tag<AndersonParkDefault>,
+    lock_tag<AndersonGovernedDefault>, lock_tag<PthreadMutex>>;
 
 /// The five algorithms the paper's figures plot: MCS, CLH, Ticket,
 /// Hemlock (CTR) and Hemlock- (naive).

@@ -25,17 +25,37 @@
 //   publish(g, value): the unlock-side handover store. Plain release
 //       store for the spinning policies; the parking policy adds the
 //       futex wake that its sleepers depend on.
+// ---------------------------------------------------------------------
+// Besides the Grant-mailbox policies above, this header defines the
+// *queue-lock waiting tiers*: policies with a uniform word-waiting
+// interface (wait_until / wait_while / publish) that MCS, CLH, Ticket
+// and Anderson take as a template parameter, the same way the Hemlock
+// variants take a Grant policy. They are the oversubscription
+// subsystem: the paper's baselines busy-wait unconditionally, which
+// convoys at scheduler speed when threads outnumber cores; the tiers
+// let the same algorithms yield or park (futex) instead, under the
+// ContentionGovernor's spin -> yield -> park escalation.
 #pragma once
 
 #include <atomic>
 #include <bit>
+#include <cstdint>
 #include <type_traits>
 
 #include "runtime/futex.hpp"
+#include "runtime/governor.hpp"
 #include "runtime/pause.hpp"
 #include "runtime/thread_rec.hpp"
 
 namespace hemlock {
+
+/// Sleep bound for futex parks on 8-byte words (Grant words, queue
+/// nodes, tickets). The kernel compares only the low 32 bits, so a
+/// publish whose value aliases the parked snapshot's low half passes
+/// that compare and its wake can land before the sleep begins; the
+/// bound turns that lost-wakeup deadlock into one re-check. 2 ms is
+/// free against real contended hand-off latencies.
+inline constexpr std::int64_t kWideWordParkNanos = 2000000;
 
 /// Listing 1 waiting: plain-load polling, then a store to clear.
 /// This is "Hemlock-" in the paper's figures (no CTR).
@@ -132,9 +152,10 @@ struct CtrFaaWaiting {
 /// the paper describes for user-mode locks), then sleep on the low
 /// 32 bits of the Grant word. Every mutation of a Grant word under
 /// this policy goes through publish()/the consume-clear below, which
-/// issue futex_wake_all — so sleeps can never be lost, even when two
-/// lock addresses alias in their low halves (the wake is
-/// unconditional; sleepers re-check their full-width predicate).
+/// issue futex_wake_all; sleeps are additionally bounded by
+/// kWideWordParkNanos because two lock addresses may alias in their
+/// low halves, making a publish invisible to the kernel's 32-bit
+/// compare after its wake has already been spent.
 struct FutexWaiting {
   static constexpr const char* name = "futex";
   static constexpr std::uint32_t kSpinsBeforePark = 512;
@@ -162,14 +183,16 @@ struct FutexWaiting {
                                     std::memory_order_acq_rel,
                                     std::memory_order_relaxed)) {
           // Acknowledge; the publisher may be parked in its drain.
-          futex_wake_all(futex_word(g));
+          wake_after_external_clear(g);
           return;
         }
         cpu_relax();
       }
       const GrantWord seen = g.load(std::memory_order_acquire);
       if (seen != expect) {
-        futex_wait(futex_word(g), static_cast<std::uint32_t>(seen));
+        // Bounded: Grant words are 8 bytes wide (kWideWordParkNanos).
+        futex_wait_for(futex_word(g), static_cast<std::uint32_t>(seen),
+                       kWideWordParkNanos);
       }
     }
   }
@@ -182,8 +205,15 @@ struct FutexWaiting {
       }
       const GrantWord seen = g.load(std::memory_order_acquire);
       if (seen == kGrantEmpty) return;
-      futex_wait(futex_word(g), static_cast<std::uint32_t>(seen));
+      futex_wait_for(futex_word(g), static_cast<std::uint32_t>(seen),
+                     kWideWordParkNanos);
     }
+  }
+
+  /// Wake a publisher that may be parked in its drain, after a Grant
+  /// clear performed outside the policy (profiled_wait_and_consume).
+  static void wake_after_external_clear(std::atomic<GrantWord>& g) noexcept {
+    futex_wake_all(futex_word(g));
   }
 };
 
@@ -213,10 +243,10 @@ inline void profiled_wait_and_consume(std::atomic<GrantWord>& g,
   const bool consumed = g.compare_exchange_strong(
       e, kGrantEmpty, std::memory_order_acq_rel, std::memory_order_relaxed);
   (void)consumed;  // cannot fail: we are the unique consumer of `expect`
-  if constexpr (std::is_same_v<Waiting, FutexWaiting>) {
+  if constexpr (requires { Waiting::wake_after_external_clear(g); }) {
     // The publisher may be parked in its drain; the plain CAS above
     // does not wake it.
-    futex_wake_all(FutexWaiting::futex_word(g));
+    Waiting::wake_after_external_clear(g);
   }
 }
 
@@ -245,6 +275,346 @@ struct AdaptiveWaiting {
     while (g.load(std::memory_order_acquire) != kGrantEmpty) {
       w.wait();
     }
+  }
+};
+
+// ======================================================================
+// Queue-lock waiting tiers.
+//
+// Interface (each policy provides all three, templated over the word
+// type — std::uint32_t flags, std::uint64_t tickets, queue-node
+// pointers):
+//   wait_until(w, expected): block until w == expected, acquire
+//       semantics on the successful observation.
+//   wait_while(w, unwanted): block until w != unwanted; returns the
+//       first differing value (acquire).
+//   publish(w, value): the releasing side's hand-off store (release).
+//       For the parking tiers the futex wake is folded in here, gated
+//       on the governor's parked-waiter census so uncontended unlocks
+//       never pay a syscall.
+//
+// The paper's "back-off ... is not useful" guidance (§2.1) holds for
+// dedicated cores; these tiers exist precisely for the regime where it
+// does not. QueueSpinWaiting — the default everywhere — remains the
+// paper-faithful busy-wait with zero added cost.
+// ======================================================================
+
+namespace queue_wait {
+
+/// Spins of the free doorstep phase every tier performs before
+/// escalating: fast hand-offs (the common case on non-oversubscribed
+/// hosts) never reach a yield or a syscall.
+inline constexpr std::uint32_t kDoorstepSpins = 1024;
+/// Spin chunk between tier re-evaluations once escalated.
+inline constexpr std::uint32_t kChunkSpins = 256;
+/// Yield rounds the fixed park tier performs before sleeping (cheap
+/// second chances around a preempted publisher).
+inline constexpr std::uint32_t kYieldsBeforePark = 4;
+
+/// The waited word's low 32 bits — the futex-comparable view.
+template <typename T>
+inline std::uint32_t low_word(T v) noexcept {
+  if constexpr (std::is_pointer_v<T>) {
+    return static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(v));
+  } else {
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(v));
+  }
+}
+
+/// The futex word overlaying the waited atomic (its low half for
+/// 8-byte words). Hand-off mutations normally change the low half —
+/// flags toggle 0/1, tickets increment, pointers go null -> non-null
+/// — but a published pointer *can* alias the snapshot's low 32 bits
+/// (e.g. a 4 GiB-aligned queue node), so 8-byte parks are bounded by
+/// kWideWordParkNanos rather than trusting the kernel's compare.
+template <typename T>
+inline std::atomic<std::uint32_t>* futex_word(std::atomic<T>& w) noexcept {
+  static_assert(std::atomic<T>::is_always_lock_free);
+  static_assert(sizeof(std::atomic<T>) == sizeof(T));
+  static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+  if constexpr (sizeof(T) == 8) {
+    static_assert(std::endian::native == std::endian::little,
+                  "futex word overlay assumes little-endian layout");
+  }
+  return reinterpret_cast<std::atomic<std::uint32_t>*>(&w);
+}
+
+/// One parking round: announce the parked intent, re-check the word
+/// behind a seq_cst fence (the Dekker handshake with publish()'s
+/// store-fence-read of the parked census), then sleep. The kernel's
+/// own compare of the futex word against `seen` closes the remaining
+/// window; spurious returns are absorbed by the caller's loop.
+template <typename T, typename Pred>
+inline void park_round(std::atomic<T>& w, const Pred& done) noexcept {
+  const T seen = w.load(std::memory_order_acquire);
+  if (done(seen)) return;
+  auto& gov = ContentionGovernor::instance();
+  gov.begin_park();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const T again = w.load(std::memory_order_relaxed);
+  if (again == seen) {
+    if constexpr (sizeof(T) == 8) {
+      // Aliasing hazard (an MCS successor node at a 4 GiB-aligned
+      // address, a ticket 2^32 hand-offs later): bounded sleep, see
+      // kWideWordParkNanos.
+      futex_wait_for(futex_word(w), low_word(seen), kWideWordParkNanos);
+    } else {
+      futex_wait(futex_word(w), low_word(seen));
+    }
+  }
+  gov.end_park();
+}
+
+/// The escalating wait shared by every tier: a free doorstep spin,
+/// then rounds whose behavior `tier_of_round(round)` selects. Returns
+/// the first value satisfying `done`. Escalated rounds are registered
+/// with the governor's waiter census (that census *is* the
+/// oversubscription signal classify() consumes). Callers that already
+/// performed their own doorstep (GovernedGrantWaiting's CTR CAS loop)
+/// pass doorstep_spins = 0 so escalation latency stays one budget.
+template <typename T, typename Done, typename TierFn>
+inline T wait_escalating(std::atomic<T>& w, const Done& done,
+                         const TierFn& tier_of_round,
+                         std::uint32_t doorstep_spins = kDoorstepSpins) noexcept {
+  for (std::uint32_t i = 0; i < doorstep_spins; ++i) {
+    const T v = w.load(std::memory_order_acquire);
+    if (done(v)) return v;
+    cpu_relax();
+  }
+  auto& gov = ContentionGovernor::instance();
+  gov.begin_wait();
+  for (std::uint64_t round = 0;; ++round) {
+    switch (tier_of_round(round)) {
+      case WaitTier::kSpin:
+        for (std::uint32_t i = 0; i < kChunkSpins; ++i) {
+          const T v = w.load(std::memory_order_acquire);
+          if (done(v)) {
+            gov.end_wait();
+            return v;
+          }
+          cpu_relax();
+        }
+        break;
+      case WaitTier::kYield: {
+        const T v = w.load(std::memory_order_acquire);
+        if (done(v)) {
+          gov.end_wait();
+          return v;
+        }
+        cpu_yield();
+        break;
+      }
+      case WaitTier::kPark:
+        park_round(w, done);
+        break;
+    }
+    const T v = w.load(std::memory_order_acquire);
+    if (done(v)) {
+      gov.end_wait();
+      return v;
+    }
+  }
+}
+
+/// Hand-off store for the parking tiers: release the value, then wake
+/// any sleepers. The seq_cst fence pairs with park_round()'s fence so
+/// that either the publisher sees the parked census and wakes, or the
+/// parker re-reads the published value and never sleeps — the wake
+/// syscall is skipped whenever nobody in the process is parked.
+template <typename T>
+inline void publish_and_wake(std::atomic<T>& w, T value) noexcept {
+  w.store(value, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (ContentionGovernor::instance().parked() != 0) {
+    futex_wake_all(futex_word(w));
+  }
+}
+
+}  // namespace queue_wait
+
+/// Pure busy-waiting — the paper's §5.1 baseline configuration and the
+/// default tier everywhere. Identical code to the pre-subsystem locks;
+/// deliberately exempt from the governor census so the measured
+/// configurations carry zero added cost.
+struct QueueSpinWaiting {
+  static constexpr const char* name = "spin";
+  static constexpr bool oversub_safe = false;
+
+  template <typename T>
+  static void wait_until(std::atomic<T>& w, T expected) noexcept {
+    while (w.load(std::memory_order_acquire) != expected) {
+      cpu_relax();
+    }
+  }
+
+  template <typename T>
+  static T wait_while(std::atomic<T>& w, T unwanted) noexcept {
+    T v;
+    while ((v = w.load(std::memory_order_acquire)) == unwanted) {
+      cpu_relax();
+    }
+    return v;
+  }
+
+  template <typename T>
+  static void publish(std::atomic<T>& w, T value) noexcept {
+    w.store(value, std::memory_order_release);
+  }
+};
+
+/// Fixed yield tier: doorstep spin, then one sched_yield per poll.
+/// Survives oversubscription (waiters surrender their timeslice to
+/// whoever holds the lock) without ever paying a futex syscall.
+struct QueueYieldWaiting {
+  static constexpr const char* name = "yield";
+  static constexpr bool oversub_safe = true;
+
+  template <typename T>
+  static void wait_until(std::atomic<T>& w, T expected) noexcept {
+    (void)queue_wait::wait_escalating(
+        w, [expected](T v) { return v == expected; },
+        [](std::uint64_t) { return WaitTier::kYield; });
+  }
+
+  template <typename T>
+  static T wait_while(std::atomic<T>& w, T unwanted) noexcept {
+    return queue_wait::wait_escalating(
+        w, [unwanted](T v) { return v != unwanted; },
+        [](std::uint64_t) { return WaitTier::kYield; });
+  }
+
+  template <typename T>
+  static void publish(std::atomic<T>& w, T value) noexcept {
+    w.store(value, std::memory_order_release);
+  }
+};
+
+/// Fixed spin-then-park tier: bounded doorstep spin, a few yield
+/// rounds, then futex park — Appendix C's "wait politely ... blocking
+/// in the operating system, via constructs such as WaitOnAddress",
+/// applied to the queue-lock baselines. The wake is folded into
+/// publish(); uncontended-path stores skip the syscall via the
+/// governor's parked census. This tier diverges from the paper's
+/// no-backoff guidance (§2.1) by design: it trades a wake syscall per
+/// contended hand-off for bounded latency when threads outnumber cores.
+struct SpinThenParkWaiting {
+  static constexpr const char* name = "park";
+  static constexpr bool oversub_safe = true;
+
+  template <typename T>
+  static void wait_until(std::atomic<T>& w, T expected) noexcept {
+    (void)queue_wait::wait_escalating(
+        w, [expected](T v) { return v == expected; }, tier_of_round);
+  }
+
+  template <typename T>
+  static T wait_while(std::atomic<T>& w, T unwanted) noexcept {
+    return queue_wait::wait_escalating(
+        w, [unwanted](T v) { return v != unwanted; }, tier_of_round);
+  }
+
+  template <typename T>
+  static void publish(std::atomic<T>& w, T value) noexcept {
+    queue_wait::publish_and_wake(w, value);
+  }
+
+ private:
+  static WaitTier tier_of_round(std::uint64_t round) noexcept {
+    return round < queue_wait::kYieldsBeforePark ? WaitTier::kYield
+                                                 : WaitTier::kPark;
+  }
+};
+
+/// Adaptive tier: consults the ContentionGovernor every escalation
+/// round, so the same lock spins on dedicated cores, yields under mild
+/// oversubscription and parks under heavy oversubscription — Dhoked &
+/// Mittal's observation that the waiting strategy should follow
+/// *observed* contention rather than a compile-time choice. This is
+/// what the interposition shim hosts for bare queue-lock names when
+/// HEMLOCK_WAIT is unset.
+struct GovernedWaiting {
+  static constexpr const char* name = "adaptive";
+  static constexpr bool oversub_safe = true;
+
+  template <typename T>
+  static void wait_until(std::atomic<T>& w, T expected) noexcept {
+    (void)queue_wait::wait_escalating(
+        w, [expected](T v) { return v == expected; }, tier_of_round);
+  }
+
+  template <typename T>
+  static T wait_while(std::atomic<T>& w, T unwanted) noexcept {
+    return queue_wait::wait_escalating(
+        w, [unwanted](T v) { return v != unwanted; }, tier_of_round);
+  }
+
+  template <typename T>
+  static void publish(std::atomic<T>& w, T value) noexcept {
+    // Governed waiters may be parked; same gated wake as the park tier.
+    queue_wait::publish_and_wake(w, value);
+  }
+
+ private:
+  static WaitTier tier_of_round(std::uint64_t) noexcept {
+    return ContentionGovernor::instance().tier();
+  }
+};
+
+/// Governed Grant policy — the Hemlock family's member of the adaptive
+/// tier, so "adaptive" means the same thing across every family: a
+/// paper-faithful doorstep, then the ContentionGovernor's spin/yield/
+/// park escalation. The doorstep is CTR CAS-polling (Listing 2 line
+/// 9): hand-offs that complete inside it — the dedicated-core common
+/// case — pay no S→M upgrade and never consult the governor. The shim
+/// hosts plain "hemlock" on this policy when HEMLOCK_WAIT is unset,
+/// so the default interposed lock cannot convoy when the process
+/// oversubscribes the host.
+struct GovernedGrantWaiting {
+  static constexpr const char* name = "adaptive";
+
+  static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    queue_wait::publish_and_wake(g, value);
+  }
+
+  static void wait_and_consume(std::atomic<GrantWord>& g,
+                               GrantWord expect) noexcept {
+    for (std::uint32_t i = 0; i < queue_wait::kDoorstepSpins; ++i) {
+      GrantWord e = expect;
+      if (g.compare_exchange_weak(e, kGrantEmpty, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+        wake_after_external_clear(g);
+        return;
+      }
+      cpu_relax();
+    }
+    (void)queue_wait::wait_escalating(
+        g, [expect](GrantWord v) { return v == expect; }, tier_of_round,
+        /*doorstep_spins=*/0);  // the CAS loop above was the doorstep
+    GrantWord e = expect;
+    const bool consumed = g.compare_exchange_strong(
+        e, kGrantEmpty, std::memory_order_acq_rel, std::memory_order_relaxed);
+    (void)consumed;  // cannot fail: we are the unique consumer of `expect`
+    wake_after_external_clear(g);
+  }
+
+  static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
+    (void)queue_wait::wait_escalating(
+        g, [](GrantWord v) { return v == kGrantEmpty; }, tier_of_round);
+  }
+
+  /// Wake a publisher that may be parked in its drain awaiting our
+  /// clear — gated on the parked census (the same Dekker handshake as
+  /// publish_and_wake) so hand-offs with no sleeper pay no syscall.
+  static void wake_after_external_clear(std::atomic<GrantWord>& g) noexcept {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (ContentionGovernor::instance().parked() != 0) {
+      futex_wake_all(queue_wait::futex_word(g));
+    }
+  }
+
+ private:
+  static WaitTier tier_of_round(std::uint64_t) noexcept {
+    return ContentionGovernor::instance().tier();
   }
 };
 

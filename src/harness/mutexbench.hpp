@@ -107,8 +107,10 @@ MutexBenchResult run_mutexbench(const MutexBenchConfig& cfg,
       std::uniform_int_distribution<std::uint32_t> ncs_dist(
           0, cfg.ncs_max_prng_steps > 0 ? cfg.ncs_max_prng_steps - 1 : 0);
       std::uint64_t iters = 0;
-      // The sink keeps the PRNG stepping from being optimized away.
-      volatile std::uint32_t sink = 0;
+      // The sink keeps the PRNG stepping from being optimized away
+      // (maybe_unused: gcc >= 11 counts volatile writes as "set but
+      // not used", which -Werror would promote).
+      [[maybe_unused]] volatile std::uint32_t sink = 0;
 
       shared->barrier.arrive_and_wait();
       while (!shared->stop.value.load(std::memory_order_relaxed)) {

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "api/factory.hpp"
+#include "runtime/governor.hpp"
 #include "runtime/pause.hpp"
 
 namespace hemlock::interpose {
@@ -47,26 +49,129 @@ std::vector<std::string_view> supported_lock_names() {
   return names;
 }
 
+namespace {
+
+/// The chosen algorithm's family name: the registered name minus its
+/// waiting-tier suffix ("mcs-park" -> "mcs", "hemlock-futex" ->
+/// "hemlock"), so HEMLOCK_WAIT can move *within* a family.
+std::string_view waiting_family(std::string_view name) noexcept {
+  for (const std::string_view suffix :
+       {std::string_view{"-spin"}, std::string_view{"-yield"},
+        std::string_view{"-park"}, std::string_view{"-adaptive"},
+        std::string_view{"-futex"}}) {
+    if (name.size() > suffix.size() && name.ends_with(suffix)) {
+      return name.substr(0, name.size() - suffix.size());
+    }
+  }
+  return name;
+}
+
+/// The hostable factory entry named `family + suffix`, or nullptr.
+/// Fixed-buffer concatenation: no allocation on this path.
+const LockVTable* hostable_variant(std::string_view family,
+                                   std::string_view suffix) noexcept {
+  char buf[96];
+  if (family.size() + suffix.size() >= sizeof(buf)) return nullptr;
+  std::memcpy(buf, family.data(), family.size());
+  std::memcpy(buf + family.size(), suffix.data(), suffix.size());
+  const std::string_view name(buf, family.size() + suffix.size());
+  const LockVTable* vt = find_lock(name);
+  return (vt != nullptr && shim_hostable(vt->info)) ? vt : nullptr;
+}
+
+}  // namespace
+
+const LockVTable& resolve_shim_lock(const char* lock_env,
+                                    const char* wait_env) noexcept {
+  const LockVTable* fallback = find_lock(kDefaultLockName);
+  const LockVTable* chosen = fallback;
+  // "mcs-spin" canonicalizes to the "mcs" vtable, but the alias is the
+  // user's explicit request for the paper's pure busy-wait — auto mode
+  // must honor it instead of rehosting onto the adaptive variant.
+  bool explicit_spin = false;
+  if (lock_env != nullptr && lock_env[0] != '\0') {
+    const LockVTable* named = find_lock(lock_env);
+    if (named != nullptr && shim_hostable(named->info)) {
+      chosen = named;
+      explicit_spin = std::string_view(lock_env).ends_with("-spin");
+    } else {
+      const char* reason =
+          named == nullptr ? "not a factory algorithm"
+          : !named->info.pthread_overlay_safe
+              ? "excluded by design: unsafe under POSIX mutex lifetimes "
+                "(paper Appendix B) or re-enters the interposed pthread "
+                "surface"
+              : "lock state does not fit the pthread_mutex_t overlay";
+      std::fprintf(stderr,
+                   "[hemlock-interpose] HEMLOCK_LOCK=%s rejected (%s); "
+                   "using hemlock\n",
+                   lock_env, reason);
+    }
+  }
+
+  const std::string_view family = waiting_family(chosen->info.name);
+  WaitTier tier;
+  if (parse_wait_tier(wait_env, &tier)) {
+    const LockVTable* variant = nullptr;
+    switch (tier) {
+      case WaitTier::kSpin:
+        variant = hostable_variant(family, "");
+        break;
+      case WaitTier::kYield:
+        variant = hostable_variant(family, "-yield");
+        if (variant == nullptr) variant = hostable_variant(family, "-adaptive");
+        break;
+      case WaitTier::kPark:
+        variant = hostable_variant(family, "-park");
+        if (variant == nullptr) variant = hostable_variant(family, "-futex");
+        break;
+    }
+    if (variant != nullptr) {
+      chosen = variant;
+    } else {
+      std::fprintf(stderr,
+                   "[hemlock-interpose] HEMLOCK_WAIT=%s: no such waiting "
+                   "tier for %.*s; keeping %.*s\n",
+                   wait_env, static_cast<int>(family.size()), family.data(),
+                   static_cast<int>(chosen->info.name.size()),
+                   chosen->info.name.data());
+    }
+  } else {
+    if (wait_env != nullptr && wait_env[0] != '\0' &&
+        std::strcmp(wait_env, "auto") != 0) {
+      std::fprintf(stderr,
+                   "[hemlock-interpose] HEMLOCK_WAIT=%s unrecognized "
+                   "(want spin|yield|park|auto); using auto\n",
+                   wait_env);
+    }
+    // Auto: a pure busy-wait algorithm would convoy at scheduler
+    // speed if this process oversubscribes the host (ROADMAP: minutes
+    // for 480k MCS hand-offs on 1 CPU). That covers the default CTR
+    // hemlock as much as the spin queue locks, so the gate is the
+    // oversub_safe descriptor, not a tier name. Host the governed
+    // variant where one exists (it spins identically while contenders
+    // fit the CPUs), else the family's parking variant.
+    if (!chosen->info.oversub_safe && !explicit_spin) {
+      const LockVTable* safe = hostable_variant(family, "-adaptive");
+      if (safe == nullptr) safe = hostable_variant(family, "-futex");
+      if (safe != nullptr) {
+        std::fprintf(stderr,
+                     "[hemlock-interpose] hosting %.*s as %.*s "
+                     "(oversubscription-adaptive waiting; set "
+                     "HEMLOCK_WAIT=spin for pure busy-waiting)\n",
+                     static_cast<int>(family.size()), family.data(),
+                     static_cast<int>(safe->info.name.size()),
+                     safe->info.name.data());
+        chosen = safe;
+      }
+    }
+  }
+  return *chosen;
+}
+
 const LockVTable& selected_lock() {
-  static const LockVTable& vt = []() -> const LockVTable& {
-    const LockVTable* fallback = find_lock(kDefaultLockName);
-    const char* env = std::getenv("HEMLOCK_LOCK");
-    if (env == nullptr || env[0] == '\0') return *fallback;
-    const LockVTable* chosen = find_lock(env);
-    if (chosen != nullptr && shim_hostable(chosen->info)) return *chosen;
-    const char* reason =
-        chosen == nullptr ? "not a factory algorithm"
-        : !chosen->info.pthread_overlay_safe
-            ? "excluded by design: unsafe under POSIX mutex lifetimes "
-              "(paper Appendix B) or re-enters the interposed pthread "
-              "surface"
-            : "lock state does not fit the pthread_mutex_t overlay";
-    std::fprintf(stderr,
-                 "[hemlock-interpose] HEMLOCK_LOCK=%s rejected (%s); "
-                 "using hemlock\n",
-                 env, reason);
-    return *fallback;
-  }();
+  static const LockVTable& vt = resolve_shim_lock(
+      std::getenv("HEMLOCK_LOCK"), std::getenv("HEMLOCK_WAIT"));
   return vt;
 }
 

@@ -60,10 +60,30 @@ constexpr bool shim_hostable(const LockInfo& info) noexcept {
 /// subset of LockFactory::names(), registry order).
 std::vector<std::string_view> supported_lock_names();
 
-/// Process-wide selection: $HEMLOCK_LOCK resolved through the
-/// LockFactory, defaulting to kDefaultLockName; unknown or
-/// non-hostable names fall back to the default (reported on stderr
-/// once).
+/// The pure selection rule behind selected_lock(), exposed for tests:
+/// resolve (HEMLOCK_LOCK, HEMLOCK_WAIT) to a hostable factory entry.
+///
+///  * lock_env: factory name; unknown or non-hostable names fall back
+///    to kDefaultLockName (reported on stderr).
+///  * wait_env selects the waiting tier (core/waiting.hpp) by
+///    re-selecting the lock *variant* within the chosen algorithm's
+///    family:
+///      "spin"  -> the bare name (pure busy-wait, paper-faithful)
+///      "yield" -> "<base>-yield" (or "<base>-adaptive" as fallback)
+///      "park"  -> "<base>-park"  (or "<base>-futex", so
+///                 HEMLOCK_LOCK=hemlock HEMLOCK_WAIT=park parks too)
+///      unset/"auto" -> pure-spin queue locks are hosted as their
+///                 "-adaptive" (governed) variant, so oversubscription
+///                 detected at run time escalates spin -> yield ->
+///                 park instead of convoying; every other algorithm
+///                 is hosted as named.
+/// Allocation-free (this runs inside the application's first
+/// pthread_mutex operation).
+const LockVTable& resolve_shim_lock(const char* lock_env,
+                                    const char* wait_env) noexcept;
+
+/// Process-wide selection: resolve_shim_lock($HEMLOCK_LOCK,
+/// $HEMLOCK_WAIT), computed once on first use.
 const LockVTable& selected_lock();
 
 /// The overlay. POSIX storage is adopted in place; all-zero bytes

@@ -8,11 +8,18 @@
 // of participating threads must be known in advance when initializing
 // the lock." Included to anchor the space/locality trade-off Hemlock
 // improves on (Table 1 discussion).
+//
+// The Waiting template parameter selects the waiting tier
+// (core/waiting.hpp): pure spin (the textbook algorithm) or the
+// yield/park/governed tiers for oversubscribed hosts. Each waiter has
+// a private slot, so the parking tiers wake exactly the intended
+// successor.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/pause.hpp"
@@ -22,35 +29,35 @@ namespace hemlock {
 /// Array-based queue lock for at most `MaxThreads` concurrent
 /// contenders (callers must guarantee the bound; exceeding it wraps
 /// the slot ring and corrupts the protocol).
-template <std::uint32_t MaxThreads = 64>
-class AndersonLock {
+template <std::uint32_t MaxThreads = 64, typename Waiting = QueueSpinWaiting>
+class AndersonLockT {
  public:
-  AndersonLock() {
+  AndersonLockT() {
     slots_[0].value.store(1, std::memory_order_relaxed);  // slot 0 may run
     for (std::uint32_t i = 1; i < MaxThreads; ++i) {
       slots_[i].value.store(0, std::memory_order_relaxed);
     }
   }
-  AndersonLock(const AndersonLock&) = delete;
-  AndersonLock& operator=(const AndersonLock&) = delete;
+  AndersonLockT(const AndersonLockT&) = delete;
+  AndersonLockT& operator=(const AndersonLockT&) = delete;
 
-  /// Acquire: take a slot with fetch-and-add, spin locally on it.
+  /// Acquire: take a slot with fetch-and-add, wait (per the tier)
+  /// locally on it.
   void lock() {
     const std::uint64_t ticket =
         next_.value.fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t idx = static_cast<std::uint32_t>(ticket % MaxThreads);
-    while (slots_[idx].value.load(std::memory_order_acquire) == 0) {
-      cpu_relax();
-    }
+    Waiting::wait_until(slots_[idx].value, std::uint32_t{1});
     // Consume the permission so the slot is clean for its next lap.
     slots_[idx].value.store(0, std::memory_order_relaxed);
     owner_idx_ = idx;  // protected by the lock itself
   }
 
-  /// Release: enable the next slot in the ring.
+  /// Release: enable the next slot in the ring (the parking tiers
+  /// fold their census-gated wake into publish()).
   void unlock() {
     const std::uint32_t nxt = (owner_idx_ + 1) % MaxThreads;
-    slots_[nxt].value.store(1, std::memory_order_release);
+    Waiting::publish(slots_[nxt].value, std::uint32_t{1});
   }
 
   /// Max contenders supported.
@@ -62,11 +69,16 @@ class AndersonLock {
   CacheAligned<std::atomic<std::uint32_t>> slots_[MaxThreads];
 };
 
-template <std::uint32_t N>
-struct lock_traits<AndersonLock<N>> {
-  static constexpr const char* name = "anderson";
+/// The paper's baseline shape: pure busy-wait (existing spelling
+/// `AndersonLock<N>` preserved via this alias).
+template <std::uint32_t MaxThreads = 64>
+using AndersonLock = AndersonLockT<MaxThreads, QueueSpinWaiting>;
+
+namespace detail {
+template <std::uint32_t N, typename W>
+struct anderson_traits_base {
   static constexpr std::size_t lock_words =
-      (sizeof(AndersonLock<N>)) / sizeof(void*);  // the big array footprint
+      (sizeof(AndersonLockT<N, W>)) / sizeof(void*);  // the big array
   static constexpr std::size_t held_words = 0;
   static constexpr std::size_t wait_words = 0;
   static constexpr std::size_t thread_words = 0;
@@ -78,6 +90,30 @@ struct lock_traits<AndersonLock<N>> {
   /// consumers (LockInfo) enforce this where the thread count is a
   /// run-time quantity.
   static constexpr std::size_t max_threads = N;
+  static constexpr const char* waiting = W::name;
+  static constexpr bool oversub_safe = W::oversub_safe;
+};
+}  // namespace detail
+
+template <std::uint32_t N>
+struct lock_traits<AndersonLockT<N, QueueSpinWaiting>>
+    : detail::anderson_traits_base<N, QueueSpinWaiting> {
+  static constexpr const char* name = "anderson";
+};
+template <std::uint32_t N>
+struct lock_traits<AndersonLockT<N, QueueYieldWaiting>>
+    : detail::anderson_traits_base<N, QueueYieldWaiting> {
+  static constexpr const char* name = "anderson-yield";
+};
+template <std::uint32_t N>
+struct lock_traits<AndersonLockT<N, SpinThenParkWaiting>>
+    : detail::anderson_traits_base<N, SpinThenParkWaiting> {
+  static constexpr const char* name = "anderson-park";
+};
+template <std::uint32_t N>
+struct lock_traits<AndersonLockT<N, GovernedWaiting>>
+    : detail::anderson_traits_base<N, GovernedWaiting> {
+  static constexpr const char* name = "anderson-adaptive";
 };
 
 }  // namespace hemlock

@@ -10,11 +10,19 @@
 // for its own future use (§2.3: "a thread contributes an element but
 // ... recovers a different element from the queue – elements migrate
 // between locks and threads").
+//
+// The Waiting template parameter selects the waiting tier
+// (core/waiting.hpp); QueueSpinWaiting is the paper's pure busy-wait
+// baseline, the yield/park/governed tiers survive oversubscription.
+// Tiers are a per-lock-instance property: a migrated node's flag is
+// always polled and published by parties of the same lock, so mixing
+// tiers across locks sharing the node pool is safe.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
 #include "locks/node_pool.hpp"
 #include "runtime/cacheline.hpp"
@@ -31,11 +39,13 @@ struct alignas(kCacheLineSize) ClhNode {
 static_assert(sizeof(ClhNode) == kCacheLineSize);
 
 /// CLH lock, 2-word body (tail + head) plus the resident dummy
-/// element (Table 1 row "CLH": Lock = 2+E, Init = yes).
-class ClhLock {
+/// element (Table 1 row "CLH": Lock = 2+E, Init = yes), parameterized
+/// over the waiting tier.
+template <typename Waiting = QueueSpinWaiting>
+class ClhLockT {
  public:
   /// Provision the required dummy element (unlocked state).
-  ClhLock() {
+  ClhLockT() {
     ClhNode* dummy = NodePool<ClhNode>::acquire();
     dummy->locked.store(0, std::memory_order_relaxed);
     tail_.store(dummy, std::memory_order_relaxed);
@@ -43,38 +53,37 @@ class ClhLock {
 
   /// Recover the current dummy element (paper: "When the lock is
   /// ultimately destroyed, the element must be recovered").
-  ~ClhLock() {
+  ~ClhLockT() {
     ClhNode* dummy = tail_.load(std::memory_order_relaxed);
     if (dummy != nullptr) NodePool<ClhNode>::release(dummy);
   }
 
-  ClhLock(const ClhLock&) = delete;
-  ClhLock& operator=(const ClhLock&) = delete;
+  ClhLockT(const ClhLockT&) = delete;
+  ClhLockT& operator=(const ClhLockT&) = delete;
 
   /// Acquire. Uncontended: SWAP + one (satisfied) load. Contended:
-  /// spin on the predecessor's node — local spinning, the element is
-  /// not shared with any other waiter.
+  /// wait (per the tier) on the predecessor's node — local waiting,
+  /// the element is not shared with any other waiter.
   void lock() {
     ClhNode* n = NodePool<ClhNode>::acquire();
     n->locked.store(1, std::memory_order_relaxed);
     // Doorstep: acq_rel publishes our node's locked=1 to the
-    // successor that will spin on it.
+    // successor that will wait on it.
     ClhNode* pred = tail_.exchange(n, std::memory_order_acq_rel);
-    while (pred->locked.load(std::memory_order_acquire) != 0) {
-      cpu_relax();
-    }
+    Waiting::wait_until(pred->locked, std::uint32_t{0});
     // Acquired. The predecessor's element now belongs to us (node
     // migration); keep it for a future acquisition.
     NodePool<ClhNode>::release(pred);
     head_ = n;  // protected by the lock itself
   }
 
-  /// Release: wait-free single store (paper §4: "the unlock operator
-  /// for CLH and Tickets is wait-free"). Our node is inherited by the
-  /// successor (or becomes the lock's dummy if none).
+  /// Release: a single store (paper §4: "the unlock operator for CLH
+  /// and Tickets is wait-free") — plus, for the parking tiers, the
+  /// census-gated wake folded into publish(). Our node is inherited
+  /// by the successor (or becomes the lock's dummy if none).
   void unlock() {
     ClhNode* n = head_;
-    n->locked.store(0, std::memory_order_release);
+    Waiting::publish(n->locked, std::uint32_t{0});
   }
 
  private:
@@ -82,9 +91,18 @@ class ClhLock {
   ClhNode* head_ = nullptr;  ///< owner's node; valid only while held
 };
 
-template <>
-struct lock_traits<ClhLock> {
-  static constexpr const char* name = "clh";
+/// The paper's baseline: pure busy-wait.
+using ClhLock = ClhLockT<QueueSpinWaiting>;
+/// Spin-then-yield tier for mildly oversubscribed hosts.
+using ClhYieldLock = ClhLockT<QueueYieldWaiting>;
+/// Spin-then-park (futex) tier for heavy oversubscription.
+using ClhParkLock = ClhLockT<SpinThenParkWaiting>;
+/// Governor-adaptive tier (spin -> yield -> park as contention grows).
+using ClhGovernedLock = ClhLockT<GovernedWaiting>;
+
+namespace detail {
+template <typename W>
+struct clh_traits_base {
   // Table 1: lock body = 2 words + resident dummy element E.
   static constexpr std::size_t lock_words =
       2 + sizeof(ClhNode) / sizeof(void*);
@@ -95,6 +113,29 @@ struct lock_traits<ClhLock> {
   static constexpr bool is_fifo = true;
   static constexpr bool has_trylock = false;  // paper §2: CLH does not
   static constexpr Spinning spinning = Spinning::kLocal;
+  static constexpr const char* waiting = W::name;
+  static constexpr bool oversub_safe = W::oversub_safe;
+};
+}  // namespace detail
+
+template <>
+struct lock_traits<ClhLock> : detail::clh_traits_base<QueueSpinWaiting> {
+  static constexpr const char* name = "clh";
+};
+template <>
+struct lock_traits<ClhYieldLock>
+    : detail::clh_traits_base<QueueYieldWaiting> {
+  static constexpr const char* name = "clh-yield";
+};
+template <>
+struct lock_traits<ClhParkLock>
+    : detail::clh_traits_base<SpinThenParkWaiting> {
+  static constexpr const char* name = "clh-park";
+};
+template <>
+struct lock_traits<ClhGovernedLock>
+    : detail::clh_traits_base<GovernedWaiting> {
+  static constexpr const char* name = "clh-adaptive";
 };
 
 }  // namespace hemlock

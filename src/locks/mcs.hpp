@@ -8,11 +8,18 @@
 // cache-line padded ("we also elected to align and pad the MCS and
 // CLH queue nodes ... to provide a fair comparison") and recycled
 // through the thread-local free stacks of node_pool.hpp (footnote 5).
+//
+// The Waiting template parameter selects the waiting tier
+// (core/waiting.hpp): QueueSpinWaiting is the paper's pure busy-wait
+// baseline; the yield/park/governed tiers make the same algorithm
+// survive oversubscribed hosts, where a FIFO hand-off to a preempted
+// spinner otherwise costs a scheduler timeslice.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
 #include "locks/node_pool.hpp"
 #include "runtime/cacheline.hpp"
@@ -22,6 +29,8 @@ namespace hemlock {
 
 /// MCS queue element. One per (thread, lock-held-or-waited) pair,
 /// padded to a cache line so waiters on different nodes never share.
+/// Shared across all waiting tiers (the tier only changes how the
+/// words are polled/published, never their layout).
 struct alignas(kCacheLineSize) McsNode {
   std::atomic<McsNode*> next{nullptr};
   std::atomic<std::uint32_t> locked{0};
@@ -29,15 +38,17 @@ struct alignas(kCacheLineSize) McsNode {
 };
 static_assert(sizeof(McsNode) == kCacheLineSize);
 
-/// Classic MCS lock, 2-word body (tail + head).
-class McsLock {
+/// Classic MCS lock, 2-word body (tail + head), parameterized over the
+/// waiting tier.
+template <typename Waiting = QueueSpinWaiting>
+class McsLockT {
  public:
-  McsLock() = default;
-  McsLock(const McsLock&) = delete;
-  McsLock& operator=(const McsLock&) = delete;
+  McsLockT() = default;
+  McsLockT(const McsLockT&) = delete;
+  McsLockT& operator=(const McsLockT&) = delete;
 
-  /// Acquire. Uncontended: one SWAP. Contended: enqueue then spin
-  /// locally on the node's own flag.
+  /// Acquire. Uncontended: one SWAP. Contended: enqueue then wait
+  /// (per the tier) on the node's own flag.
   void lock() {
     McsNode* n = NodePool<McsNode>::acquire();
     n->next.store(nullptr, std::memory_order_relaxed);
@@ -48,12 +59,11 @@ class McsLock {
     // publication symmetrically.
     McsNode* pred = tail_.exchange(n, std::memory_order_acq_rel);
     if (pred != nullptr) {
-      // Make ourselves reachable from the predecessor, then wait for
-      // the owner's hand-off on our own (local) flag.
-      pred->next.store(n, std::memory_order_release);
-      while (n->locked.load(std::memory_order_acquire) != 0) {
-        cpu_relax();
-      }
+      // Make ourselves reachable from the predecessor (waking it if
+      // it parked in its unlock-side link wait), then wait for the
+      // owner's hand-off on our own (local) flag.
+      Waiting::publish(pred->next, n);
+      Waiting::wait_until(n->locked, std::uint32_t{0});
     }
     // head_ is protected by the lock itself (paper §1: such accesses
     // "execute within the effective critical section").
@@ -92,12 +102,11 @@ class McsLock {
         return;
       }
       // A successor swapped in but has not linked yet; its store to
-      // n->next is imminent.
-      while ((succ = n->next.load(std::memory_order_acquire)) == nullptr) {
-        cpu_relax();
-      }
+      // n->next is imminent (unless it was preempted mid-arrival —
+      // the parking tiers sleep through exactly that gap).
+      succ = Waiting::wait_while(n->next, static_cast<McsNode*>(nullptr));
     }
-    succ->locked.store(0, std::memory_order_release);
+    Waiting::publish(succ->locked, std::uint32_t{0});
     NodePool<McsNode>::release(n);
   }
 
@@ -106,9 +115,18 @@ class McsLock {
   McsNode* head_ = nullptr;  ///< owner's node; valid only while held
 };
 
-template <>
-struct lock_traits<McsLock> {
-  static constexpr const char* name = "mcs";
+/// The paper's baseline: pure busy-wait.
+using McsLock = McsLockT<QueueSpinWaiting>;
+/// Spin-then-yield tier for mildly oversubscribed hosts.
+using McsYieldLock = McsLockT<QueueYieldWaiting>;
+/// Spin-then-park (futex) tier for heavy oversubscription.
+using McsParkLock = McsLockT<SpinThenParkWaiting>;
+/// Governor-adaptive tier (spin -> yield -> park as contention grows).
+using McsGovernedLock = McsLockT<GovernedWaiting>;
+
+namespace detail {
+template <typename W>
+struct mcs_traits_base {
   static constexpr std::size_t lock_words = 2;  // tail + head (Table 1)
   static constexpr std::size_t held_words = sizeof(McsNode) / sizeof(void*);
   static constexpr std::size_t wait_words = sizeof(McsNode) / sizeof(void*);
@@ -117,6 +135,29 @@ struct lock_traits<McsLock> {
   static constexpr bool is_fifo = true;
   static constexpr bool has_trylock = true;
   static constexpr Spinning spinning = Spinning::kLocal;
+  static constexpr const char* waiting = W::name;
+  static constexpr bool oversub_safe = W::oversub_safe;
+};
+}  // namespace detail
+
+template <>
+struct lock_traits<McsLock> : detail::mcs_traits_base<QueueSpinWaiting> {
+  static constexpr const char* name = "mcs";
+};
+template <>
+struct lock_traits<McsYieldLock>
+    : detail::mcs_traits_base<QueueYieldWaiting> {
+  static constexpr const char* name = "mcs-yield";
+};
+template <>
+struct lock_traits<McsParkLock>
+    : detail::mcs_traits_base<SpinThenParkWaiting> {
+  static constexpr const char* name = "mcs-park";
+};
+template <>
+struct lock_traits<McsGovernedLock>
+    : detail::mcs_traits_base<GovernedWaiting> {
+  static constexpr const char* name = "mcs-adaptive";
 };
 
 }  // namespace hemlock

@@ -48,6 +48,11 @@ struct lock_traits<PthreadMutex> {
   static constexpr bool is_fifo = false;
   static constexpr bool has_trylock = true;
   static constexpr Spinning spinning = Spinning::kGlobal;
+  /// glibc's default mutex blocks in the kernel (futex) under
+  /// contention — the reference point the parking tiers are measured
+  /// against.
+  static constexpr const char* waiting = "park";
+  static constexpr bool oversub_safe = true;
 };
 
 template <>
@@ -61,6 +66,8 @@ struct lock_traits<std::mutex> {
   static constexpr bool is_fifo = false;
   static constexpr bool has_trylock = true;
   static constexpr Spinning spinning = Spinning::kGlobal;
+  static constexpr const char* waiting = "park";
+  static constexpr bool oversub_safe = true;
 };
 
 }  // namespace hemlock

@@ -7,26 +7,36 @@
 // threads contending for a given lock will busy-wait on a central
 // location." FIFO; uncontended acquire is one fetch-and-add and
 // uncontended release a plain store (Table: atomic counts, §2).
+//
+// The Waiting template parameter selects the waiting tier
+// (core/waiting.hpp). Parking tiers wait on the low half of the
+// 64-bit now-serving word; every release increments it, so sleepers
+// always observe a changed futex word. Because all waiters share the
+// word (global spinning), a parked-tier release wakes every sleeper
+// and the non-front ones re-park — the usual thundering-herd cost of
+// parked ticket locks, still far cheaper than convoying when threads
+// outnumber cores.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
 #include "runtime/pause.hpp"
 
 namespace hemlock {
 
-/// Classic two-word ticket lock (dispenser + now-serving).
-class TicketLock {
+/// Classic two-word ticket lock (dispenser + now-serving),
+/// parameterized over the waiting tier.
+template <typename Waiting = QueueSpinWaiting>
+class TicketLockT {
  public:
-  /// Acquire: draw a ticket, spin until it is served (global
-  /// spinning — every waiter polls now_serving_).
+  /// Acquire: draw a ticket, wait until it is served (global
+  /// waiting — every waiter polls now_serving_).
   void lock() noexcept {
     const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
-    while (now_serving_.load(std::memory_order_acquire) != my) {
-      cpu_relax();
-    }
+    Waiting::wait_until(now_serving_, my);
   }
 
   /// Opportunistic non-blocking attempt: succeeds only when no ticket
@@ -36,18 +46,23 @@ class TicketLock {
   /// extension and preserves correctness (it never draws a ticket it
   /// cannot immediately use).
   bool try_lock() noexcept {
-    std::uint64_t served = now_serving_.load(std::memory_order_relaxed);
+    // Acquire on now_serving_: the previous owner's unlock released
+    // *this* word, not next_, so a successful attempt must observe it
+    // with acquire to carry that critical section's writes (a relaxed
+    // load here is a genuine — TSan-visible — race with the next CS).
+    std::uint64_t served = now_serving_.load(std::memory_order_acquire);
     std::uint64_t expected = served;
     return next_.compare_exchange_strong(expected, served + 1,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed);
   }
 
-  /// Release: advance now-serving (a wait-free plain store; the paper
-  /// notes Ticket/CLH unlock is wait-free, unlike MCS/Hemlock).
+  /// Release: advance now-serving (a wait-free store; the paper notes
+  /// Ticket/CLH unlock is wait-free, unlike MCS/Hemlock). The parking
+  /// tiers fold their census-gated wake into publish().
   void unlock() noexcept {
-    now_serving_.store(now_serving_.load(std::memory_order_relaxed) + 1,
-                       std::memory_order_release);
+    Waiting::publish(now_serving_,
+                     now_serving_.load(std::memory_order_relaxed) + 1);
   }
 
  private:
@@ -55,9 +70,18 @@ class TicketLock {
   std::atomic<std::uint64_t> now_serving_{0};
 };
 
-template <>
-struct lock_traits<TicketLock> {
-  static constexpr const char* name = "ticket";
+/// The paper's baseline: pure busy-wait.
+using TicketLock = TicketLockT<QueueSpinWaiting>;
+/// Spin-then-yield tier for mildly oversubscribed hosts.
+using TicketYieldLock = TicketLockT<QueueYieldWaiting>;
+/// Spin-then-park (futex) tier for heavy oversubscription.
+using TicketParkLock = TicketLockT<SpinThenParkWaiting>;
+/// Governor-adaptive tier (spin -> yield -> park as contention grows).
+using TicketGovernedLock = TicketLockT<GovernedWaiting>;
+
+namespace detail {
+template <typename W>
+struct ticket_traits_base {
   static constexpr std::size_t lock_words = 2;  // Table 1: Lock = 2
   static constexpr std::size_t held_words = 0;
   static constexpr std::size_t wait_words = 0;
@@ -66,6 +90,30 @@ struct lock_traits<TicketLock> {
   static constexpr bool is_fifo = true;
   static constexpr bool has_trylock = true;  // extension, see try_lock()
   static constexpr Spinning spinning = Spinning::kGlobal;
+  static constexpr const char* waiting = W::name;
+  static constexpr bool oversub_safe = W::oversub_safe;
+};
+}  // namespace detail
+
+template <>
+struct lock_traits<TicketLock>
+    : detail::ticket_traits_base<QueueSpinWaiting> {
+  static constexpr const char* name = "ticket";
+};
+template <>
+struct lock_traits<TicketYieldLock>
+    : detail::ticket_traits_base<QueueYieldWaiting> {
+  static constexpr const char* name = "ticket-yield";
+};
+template <>
+struct lock_traits<TicketParkLock>
+    : detail::ticket_traits_base<SpinThenParkWaiting> {
+  static constexpr const char* name = "ticket-park";
+};
+template <>
+struct lock_traits<TicketGovernedLock>
+    : detail::ticket_traits_base<GovernedWaiting> {
+  static constexpr const char* name = "ticket-adaptive";
 };
 
 }  // namespace hemlock

@@ -44,8 +44,8 @@ class SkipList {
   /// duplicates cannot collide, matching LevelDB).
   void insert(const Key& key) {
     Node* prev[kMaxHeight];
-    Node* x = find_greater_or_equal(key, prev);
-    assert(x == nullptr || !equal(key, x->key));
+    [[maybe_unused]] Node* x = find_greater_or_equal(key, prev);
+    assert(x == nullptr || !equal(key, x->key));  // x unused w/ NDEBUG
 
     const int height = random_height();
     if (height > max_height()) {

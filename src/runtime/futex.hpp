@@ -14,6 +14,7 @@
 #if defined(__linux__)
 #include <linux/futex.h>
 #include <sys/syscall.h>
+#include <time.h>
 #include <unistd.h>
 #endif
 
@@ -29,6 +30,28 @@ inline void futex_wait(std::atomic<std::uint32_t>* addr,
   syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
           FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
 #else
+  if (addr->load(std::memory_order_acquire) == expected) cpu_relax();
+#endif
+}
+
+/// Sleep while *addr == expected, for at most `nanos` nanoseconds.
+/// For waits on the low half of an 8-byte word: a publish that leaves
+/// the low 32 bits unchanged (e.g. an MCS successor pointer whose low
+/// half happens to equal the parked snapshot's) is invisible to the
+/// kernel's compare, and its wake can land before the sleep begins —
+/// so such sleeps must be bounded, not indefinite. May wake
+/// spuriously; callers must re-check their predicate in a loop.
+inline void futex_wait_for(std::atomic<std::uint32_t>* addr,
+                           std::uint32_t expected,
+                           std::int64_t nanos) noexcept {
+#if defined(__linux__)
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(nanos / 1000000000);
+  ts.tv_nsec = static_cast<long>(nanos % 1000000000);
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+          FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+#else
+  (void)nanos;
   if (addr->load(std::memory_order_acquire) == expected) cpu_relax();
 #endif
 }

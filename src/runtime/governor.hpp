@@ -1,0 +1,141 @@
+// governor.hpp — the runtime contention governor for the waiting-tier
+// subsystem.
+//
+// The paper's CTR waiting policy (§2.1) assumes a dedicated core per
+// contender: "back-off in the busy-waiting loop is not useful". That
+// assumption fails on oversubscribed hosts — through the LD_PRELOAD
+// shim, a FIFO queue lock whose next owner has been preempted convoys
+// at scheduler speed (one timeslice per hand-off). The governor is the
+// process-wide sensor that decides *how* waiters should wait when the
+// paper's regime does not hold: it compares the machine's CPU budget
+// (nproc) against the number of threads currently inside an escalated
+// waiting loop and recommends one of three tiers:
+//
+//   kSpin  — contenders fit the CPUs: busy-wait, paper-faithful.
+//   kYield — mild oversubscription: interleave sched_yield so the
+//            owner (or the next owner) can run.
+//   kPark  — heavy oversubscription: sleep in the kernel via futex
+//            and let the hand-off store wake the successor.
+//
+// The GovernedWaiting policy (core/waiting.hpp) consults tier() each
+// escalation round; the fixed-tier policies use the governor only for
+// the parked-waiter census that gates hand-off wakeups. The thresholds
+// live in classify(), a pure function, so they are unit-testable
+// without actually oversubscribing the test host (tests/test_governor).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hemlock {
+
+/// Waiting tiers, in escalation order.
+enum class WaitTier : std::uint8_t { kSpin = 0, kYield = 1, kPark = 2 };
+
+/// Canonical tier names — the HEMLOCK_WAIT vocabulary and the factory
+/// variant suffixes ("mcs-park" hosts the kPark tier).
+constexpr const char* wait_tier_name(WaitTier t) noexcept {
+  switch (t) {
+    case WaitTier::kSpin: return "spin";
+    case WaitTier::kYield: return "yield";
+    case WaitTier::kPark: return "park";
+  }
+  return "?";
+}
+
+/// Parse a tier name ("spin" | "yield" | "park"). Returns false —
+/// leaving *out untouched — for anything else (including nullptr).
+bool parse_wait_tier(const char* s, WaitTier* out) noexcept;
+
+/// Process-wide waiting-tier sensor. All counters are relaxed atomics:
+/// they are advisory statistics that pick a waiting strategy, never
+/// synchronization. Safe to consult from inside any lock's wait loop
+/// (no allocation, no internal locking — this code runs inside the
+/// interposition shim where a malloc could deadlock).
+class ContentionGovernor {
+ public:
+  /// The process-wide governor. Reads HEMLOCK_WAIT once at first use:
+  /// a valid tier name pins tier() for the whole process (the same
+  /// override the shim applies by re-selecting the lock variant).
+  static ContentionGovernor& instance() noexcept;
+
+  /// The escalation rule, as a pure function of (CPU budget, live
+  /// escalated waiters). `waiters + 1` approximates the runnable
+  /// contenders (the waiters plus the owner they wait for):
+  ///   runnable <= cpus      -> kSpin   (the paper's dedicated-core regime)
+  ///   runnable <= 2 * cpus  -> kYield  (mild oversubscription)
+  ///   otherwise             -> kPark   (spinning would starve the owner)
+  static WaitTier classify(std::uint32_t cpus,
+                           std::uint32_t waiters) noexcept {
+    if (cpus == 0) cpus = 1;
+    const std::uint32_t runnable = waiters + 1;
+    if (runnable <= cpus) return WaitTier::kSpin;
+    if (runnable <= 2 * cpus) return WaitTier::kYield;
+    return WaitTier::kPark;
+  }
+
+  /// The currently recommended tier: the forced tier if one is pinned,
+  /// else classify(nproc, live escalated waiters). Two relaxed loads —
+  /// cheap enough to call every escalation round.
+  WaitTier tier() noexcept {
+    const std::uint8_t f = forced_.load(std::memory_order_relaxed);
+    if (f != kAuto) return static_cast<WaitTier>(f);
+    return classify(cpus_, waiters_.load(std::memory_order_relaxed));
+  }
+
+  /// Waiter census: a thread entering/leaving an escalated waiting
+  /// loop (past the doorstep spin phase). Feeds classify().
+  void begin_wait() noexcept {
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void end_wait() noexcept {
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// Live escalated waiters right now.
+  std::uint32_t waiters() const noexcept {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
+  /// Parked census: a thread about to sleep in futex_wait / back from
+  /// it. Publishers read parked() (after a seq_cst fence) to skip the
+  /// wake syscall when nobody can possibly be sleeping.
+  void begin_park() noexcept {
+    parked_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void end_park() noexcept {
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// Threads parked (or committing to park) right now.
+  std::uint32_t parked() const noexcept {
+    return parked_.load(std::memory_order_relaxed);
+  }
+
+  /// Pin tier() to `t` regardless of the census (tests, embedders).
+  void force(WaitTier t) noexcept {
+    forced_.store(static_cast<std::uint8_t>(t), std::memory_order_relaxed);
+  }
+  /// Return tier() to automatic classification.
+  void clear_force() noexcept {
+    forced_.store(kAuto, std::memory_order_relaxed);
+  }
+  /// True when a tier is pinned.
+  bool forced() const noexcept {
+    return forced_.load(std::memory_order_relaxed) != kAuto;
+  }
+
+  /// The CPU budget classify() runs against (sampled once, at
+  /// construction, via sysconf — no allocation, no locking).
+  std::uint32_t cpus() const noexcept { return cpus_; }
+
+ private:
+  ContentionGovernor() noexcept;  // samples nproc, applies HEMLOCK_WAIT
+
+  static constexpr std::uint8_t kAuto = 0xFF;
+
+  std::uint32_t cpus_ = 1;
+  std::atomic<std::uint32_t> waiters_{0};
+  std::atomic<std::uint32_t> parked_{0};
+  std::atomic<std::uint8_t> forced_{kAuto};
+};
+
+}  // namespace hemlock

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "api/hemlock_api.hpp"
@@ -74,11 +75,12 @@ TEST(LockFactory, InfoMatchesLockTraits) {
 
 TEST(LockFactory, SafetyBoundsAreRecorded) {
   const auto& factory = LockFactory::instance();
-  // Anderson's waiting array bounds contenders; everyone else is
-  // unbounded.
+  // Anderson's waiting array bounds contenders (in every waiting
+  // tier); everyone else is unbounded.
   for (const LockVTable* vt : factory.entries()) {
-    if (vt->info.name == "anderson") {
-      EXPECT_EQ(vt->info.max_threads, AndersonDefault::capacity());
+    if (vt->info.name.starts_with("anderson")) {
+      EXPECT_EQ(vt->info.max_threads, AndersonDefault::capacity())
+          << vt->info.name;
     } else {
       EXPECT_EQ(vt->info.max_threads, 0u) << vt->info.name;
     }
@@ -87,6 +89,49 @@ TEST(LockFactory, SafetyBoundsAreRecorded) {
   EXPECT_FALSE(factory.info("hemlock-ah")->pthread_overlay_safe);
   EXPECT_FALSE(factory.info("hemlock-cv")->pthread_overlay_safe);
   EXPECT_TRUE(factory.info("hemlock")->pthread_overlay_safe);
+}
+
+// The waiting-tier vocabulary: descriptors carry the policy name and
+// the oversubscription-safety bit the shim's auto-selection keys on.
+TEST(LockFactory, WaitingTiersAreRecorded) {
+  const auto& factory = LockFactory::instance();
+  for (const auto& [name, waiting, safe] :
+       {std::tuple{"mcs", "spin", false}, {"mcs-yield", "yield", true},
+        {"mcs-park", "park", true}, {"mcs-adaptive", "adaptive", true},
+        {"clh", "spin", false}, {"clh-park", "park", true},
+        {"ticket", "spin", false}, {"ticket-park", "park", true},
+        {"anderson", "spin", false}, {"anderson-park", "park", true},
+        {"hemlock", "ctr-cas", false}, {"hemlock-", "load", false},
+        {"hemlock-futex", "futex", true}, {"hemlock-adaptive", "adaptive", true},
+        {"hemlock-cv", "park", true}, {"hemlock-chain", "park", true},
+        {"pthread", "park", true}}) {
+    const LockInfo* info = factory.info(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->waiting, waiting) << name;
+    EXPECT_EQ(info->oversub_safe, safe) << name;
+  }
+  // Every registered algorithm declares *some* waiting policy.
+  for (const LockVTable* vt : factory.entries()) {
+    EXPECT_FALSE(vt->info.waiting.empty()) << vt->info.name;
+  }
+}
+
+// "-spin" is the explicit name of the default pure-spin tier: it
+// canonicalizes to the base entry (one vtable, not a duplicate).
+TEST(LockFactory, SpinSuffixCanonicalizesToTheBaseEntry) {
+  const auto& factory = LockFactory::instance();
+  for (const char* base : {"mcs", "clh", "ticket", "anderson"}) {
+    const std::string alias = std::string(base) + "-spin";
+    EXPECT_EQ(factory.find(alias), factory.find(base)) << alias;
+    EXPECT_EQ(find_lock(alias), find_lock(base)) << alias;
+  }
+  AnyLock lk("mcs-spin");
+  EXPECT_EQ(lk.name(), "mcs");  // canonical name, not the alias
+  // The alias never resurrects unknown bases or chains suffixes.
+  EXPECT_EQ(factory.find("nope-spin"), nullptr);
+  EXPECT_EQ(factory.find("-spin"), nullptr);
+  EXPECT_EQ(factory.find("mcs-spin-spin"), nullptr);
+  EXPECT_EQ(find_lock("mcs-spin-spin"), nullptr);
 }
 
 // ----------------------------------------------- shim/factory sets --

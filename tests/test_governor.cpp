@@ -1,0 +1,135 @@
+// test_governor.cpp — the contention governor behind the queue-lock
+// waiting tiers (runtime/governor.hpp): the spin -> yield -> park
+// escalation thresholds of classify(), tier-name parsing, the
+// forced-tier override, the waiter/parked censuses, and the governed
+// policy's end-to-end escalation on a live word.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "core/waiting.hpp"
+#include "runtime/governor.hpp"
+
+namespace hemlock {
+namespace {
+
+/// Restores automatic classification however a test exits.
+struct ForceGuard {
+  ~ForceGuard() { ContentionGovernor::instance().clear_force(); }
+};
+
+// ---------------------------------------------- escalation thresholds --
+TEST(Governor, ClassifySpinsWhileContendersFitTheCpus) {
+  // runnable (waiters + owner) <= cpus: the paper's regime, busy-wait.
+  EXPECT_EQ(ContentionGovernor::classify(8, 0), WaitTier::kSpin);
+  EXPECT_EQ(ContentionGovernor::classify(8, 7), WaitTier::kSpin);
+  EXPECT_EQ(ContentionGovernor::classify(1, 0), WaitTier::kSpin);
+  EXPECT_EQ(ContentionGovernor::classify(64, 63), WaitTier::kSpin);
+}
+
+TEST(Governor, ClassifyYieldsUnderMildOversubscription) {
+  // cpus < runnable <= 2*cpus: surrender timeslices, no syscalls.
+  EXPECT_EQ(ContentionGovernor::classify(8, 8), WaitTier::kYield);
+  EXPECT_EQ(ContentionGovernor::classify(8, 15), WaitTier::kYield);
+  EXPECT_EQ(ContentionGovernor::classify(1, 1), WaitTier::kYield);
+  EXPECT_EQ(ContentionGovernor::classify(4, 7), WaitTier::kYield);
+}
+
+TEST(Governor, ClassifyParksUnderHeavyOversubscription) {
+  // runnable > 2*cpus: spinning starves the owner; sleep in the kernel.
+  EXPECT_EQ(ContentionGovernor::classify(8, 16), WaitTier::kPark);
+  EXPECT_EQ(ContentionGovernor::classify(1, 2), WaitTier::kPark);
+  EXPECT_EQ(ContentionGovernor::classify(1, 15), WaitTier::kPark);
+  EXPECT_EQ(ContentionGovernor::classify(4, 100), WaitTier::kPark);
+}
+
+TEST(Governor, ClassifyTreatsZeroCpusAsOne) {
+  // Defensive: a probe failure must not divide the world by zero.
+  EXPECT_EQ(ContentionGovernor::classify(0, 0), WaitTier::kSpin);
+  EXPECT_EQ(ContentionGovernor::classify(0, 2), WaitTier::kPark);
+}
+
+// -------------------------------------------------------- tier names --
+TEST(Governor, TierNamesRoundTrip) {
+  for (const WaitTier t :
+       {WaitTier::kSpin, WaitTier::kYield, WaitTier::kPark}) {
+    WaitTier parsed;
+    ASSERT_TRUE(parse_wait_tier(wait_tier_name(t), &parsed))
+        << wait_tier_name(t);
+    EXPECT_EQ(parsed, t);
+  }
+  WaitTier unused;
+  EXPECT_FALSE(parse_wait_tier(nullptr, &unused));
+  EXPECT_FALSE(parse_wait_tier("", &unused));
+  EXPECT_FALSE(parse_wait_tier("auto", &unused));   // auto = not a tier
+  EXPECT_FALSE(parse_wait_tier("Spin", &unused));   // no fuzzy matching
+  EXPECT_FALSE(parse_wait_tier("parked", &unused));
+}
+
+// ------------------------------------------------------ live governor --
+TEST(Governor, ForcedTierOverridesTheCensus) {
+  auto& gov = ContentionGovernor::instance();
+  ForceGuard restore;
+  for (const WaitTier t :
+       {WaitTier::kPark, WaitTier::kYield, WaitTier::kSpin}) {
+    gov.force(t);
+    EXPECT_TRUE(gov.forced());
+    EXPECT_EQ(gov.tier(), t);
+  }
+  gov.clear_force();
+  EXPECT_FALSE(gov.forced());
+  // Unforced with no registered waiters: classify(cpus, waiters()).
+  EXPECT_EQ(gov.tier(), ContentionGovernor::classify(gov.cpus(),
+                                                     gov.waiters()));
+}
+
+TEST(Governor, WaiterCensusDrivesAutomaticEscalation) {
+  auto& gov = ContentionGovernor::instance();
+  ForceGuard restore;
+  gov.clear_force();
+  ASSERT_GE(gov.cpus(), 1u);
+  const std::uint32_t before = gov.waiters();
+  // Register enough fake waiters to push runnable past 2*cpus.
+  const std::uint32_t fake = 2 * gov.cpus() + 2;
+  for (std::uint32_t i = 0; i < fake; ++i) gov.begin_wait();
+  EXPECT_EQ(gov.waiters(), before + fake);
+  EXPECT_EQ(gov.tier(), WaitTier::kPark);
+  for (std::uint32_t i = 0; i < fake; ++i) gov.end_wait();
+  EXPECT_EQ(gov.waiters(), before);
+}
+
+TEST(Governor, ParkedCensusBalances) {
+  auto& gov = ContentionGovernor::instance();
+  const std::uint32_t before = gov.parked();
+  gov.begin_park();
+  gov.begin_park();
+  EXPECT_EQ(gov.parked(), before + 2);
+  gov.end_park();
+  gov.end_park();
+  EXPECT_EQ(gov.parked(), before);
+}
+
+// ------------------------------------- governed policy, end to end --
+// The governed tier must complete a hand-off whatever tier the
+// governor currently recommends — including a forced park, where the
+// waiter really sleeps in futex_wait and publish() must wake it.
+TEST(Governor, GovernedWaitingHandsOffUnderEveryForcedTier) {
+  auto& gov = ContentionGovernor::instance();
+  ForceGuard restore;
+  for (const WaitTier t :
+       {WaitTier::kSpin, WaitTier::kYield, WaitTier::kPark}) {
+    gov.force(t);
+    std::atomic<std::uint32_t> word{1};
+    std::thread waiter(
+        [&] { GovernedWaiting::wait_until(word, std::uint32_t{0}); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    GovernedWaiting::publish(word, std::uint32_t{0});
+    waiter.join();
+    EXPECT_EQ(word.load(), 0u) << wait_tier_name(t);
+  }
+}
+
+}  // namespace
+}  // namespace hemlock

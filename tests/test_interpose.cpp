@@ -77,6 +77,64 @@ TEST(ShimMutex, SelectedLockIsHostable) {
   EXPECT_NE(LockFactory::instance().find(vt.info.name), nullptr);
 }
 
+// The (HEMLOCK_LOCK, HEMLOCK_WAIT) selection rule, exercised directly
+// through the pure resolver so every combination is testable without
+// re-execing the process.
+TEST(ShimMutex, WaitTierReselectsTheLockVariant) {
+  const auto resolved = [](const char* lock_env, const char* wait_env) {
+    return resolve_shim_lock(lock_env, wait_env).info.name;
+  };
+  // Explicit tiers move within the algorithm's family.
+  EXPECT_EQ(resolved("mcs", "spin"), "mcs");
+  EXPECT_EQ(resolved("mcs", "yield"), "mcs-yield");
+  EXPECT_EQ(resolved("mcs", "park"), "mcs-park");
+  EXPECT_EQ(resolved("clh", "park"), "clh-park");
+  EXPECT_EQ(resolved("ticket", "park"), "ticket-park");
+  // ...including back down from an explicit variant name.
+  EXPECT_EQ(resolved("mcs-park", "spin"), "mcs");
+  EXPECT_EQ(resolved("mcs-adaptive", "park"), "mcs-park");
+  // The Hemlock family parks via its futex Grant policy; "yield" is
+  // served by its governed policy (no fixed yield tier exists).
+  EXPECT_EQ(resolved("hemlock", "park"), "hemlock-futex");
+  EXPECT_EQ(resolved("hemlock", "yield"), "hemlock-adaptive");
+  EXPECT_EQ(resolved("hemlock", "spin"), "hemlock");
+  // Algorithms without the requested tier keep their selection.
+  EXPECT_EQ(resolved("tas", "park"), "tas");
+  EXPECT_EQ(resolved("hemlock-faa", "park"), "hemlock-faa");
+}
+
+TEST(ShimMutex, AutoTierHostsPureSpinQueueLocksAsGoverned) {
+  const auto resolved = [](const char* lock_env, const char* wait_env) {
+    return resolve_shim_lock(lock_env, wait_env).info.name;
+  };
+  // Unset/auto: pure busy-wait queue locks become oversubscription-
+  // adaptive, so the MCS-through-the-shim convoy (ROADMAP) cannot
+  // recur by default.
+  EXPECT_EQ(resolved("mcs", nullptr), "mcs-adaptive");
+  EXPECT_EQ(resolved("clh", ""), "clh-adaptive");
+  EXPECT_EQ(resolved("ticket", "auto"), "ticket-adaptive");
+  // The default selection (Hemlock CTR) busy-waits too, so auto hosts
+  // it on the family's governed grant policy — the gate is the
+  // oversub_safe descriptor, not a tier name.
+  EXPECT_EQ(resolved(nullptr, nullptr), "hemlock-adaptive");
+  EXPECT_EQ(resolved("hemlock", nullptr), "hemlock-adaptive");
+  // Explicitly-chosen oversubscription-safe variants are honored.
+  EXPECT_EQ(resolved("mcs-park", nullptr), "mcs-park");
+  EXPECT_EQ(resolved("hemlock-futex", nullptr), "hemlock-futex");
+  EXPECT_EQ(resolved("hemlock-adaptive", nullptr), "hemlock-adaptive");
+  // The "-spin" alias is the explicit pure-spin request: honored.
+  EXPECT_EQ(resolved("mcs-spin", nullptr), "mcs");
+  EXPECT_EQ(resolved("hemlock-spin", nullptr), "hemlock");
+  // Busy-waiting algorithms without an adaptive sibling stay put.
+  EXPECT_EQ(resolved("tas", nullptr), "tas");
+  EXPECT_EQ(resolved("ttas", nullptr), "ttas");
+  EXPECT_EQ(resolved("hemlock-faa", nullptr), "hemlock-faa");
+  // Unknown tier values degrade to auto (with a stderr note).
+  EXPECT_EQ(resolved("mcs", "bogus"), "mcs-adaptive");
+  // Unknown lock names still fall back to the default.
+  EXPECT_EQ(resolved("nonsense", "park"), "hemlock-futex");
+}
+
 TEST(ShimMutex, InitLockUnlockDestroyRoundTrip) {
   pthread_mutex_t m;
   ASSERT_EQ(ShimMutex::shim_init(&m), 0);

@@ -42,10 +42,14 @@ template <typename L>
 class LockProperty : public ::testing::Test {};
 
 using AllLockTypes = ::testing::Types<
-    Hemlock, HemlockNaive, HemlockFaa, HemlockFutex, HemlockOverlap,
+    Hemlock, HemlockNaive, HemlockFaa, HemlockFutex, HemlockAdaptive,
+    HemlockOverlap,
     HemlockAh, HemlockOhv1, HemlockOhv2, HemlockCv, HemlockChain, McsLock,
     McsK42Lock, ClhLock, TicketLock, TasLock, TtasLock, TtasBackoffLock,
-    AndersonLock<64>, PthreadMutex>;
+    AndersonLock<64>, McsYieldLock, McsParkLock, McsGovernedLock,
+    ClhYieldLock, ClhParkLock, ClhGovernedLock, TicketYieldLock,
+    TicketParkLock, TicketGovernedLock, AndersonYieldDefault,
+    AndersonParkDefault, AndersonGovernedDefault, PthreadMutex>;
 
 class LockNames {
  public:

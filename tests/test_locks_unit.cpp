@@ -49,6 +49,12 @@ TEST(WaitingPolicy, CtrFaaHandshake) {
 TEST(WaitingPolicy, AdaptiveHandshake) {
   policy_handshake_roundtrip<AdaptiveWaiting>();
 }
+TEST(WaitingPolicy, FutexHandshake) {
+  policy_handshake_roundtrip<FutexWaiting>();
+}
+TEST(WaitingPolicy, GovernedGrantHandshake) {
+  policy_handshake_roundtrip<GovernedGrantWaiting>();
+}
 
 // A waiter for address A must ignore address B (the multi-waiting
 // disambiguation primitive, §2.2).

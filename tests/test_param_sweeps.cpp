@@ -82,11 +82,18 @@ TEST_P(CoherenceGrid, CountersConsistentAndCtrOrdered) {
   }
   // The CTR-beats-naive ordering is a statement about concurrent
   // polling; it only manifests when every simulated core is a real
-  // core (see test_coherence.cpp's SimLocks skips).
-  if (threads >= 8 && std::thread::hardware_concurrency() >= threads) {
-    EXPECT_LT(ctr.offcore_per_pair(), naive.offcore_per_pair())
-        << coherence::protocol_name(protocol) << " @ " << threads;
+  // core (see test_coherence.cpp's SimLocks skips). Report the
+  // narrowing as SKIPPED — a silently passing case would let a CTR
+  // regression land unnoticed on small CI hosts.
+  if (threads < 8) return;  // ordering not asserted at low contention
+  if (std::thread::hardware_concurrency() < threads) {
+    GTEST_SKIP() << "CTR-vs-naive ordering needs a core per polling "
+                    "thread (" << threads << " > "
+                 << std::thread::hardware_concurrency()
+                 << "); conservation invariants above were still checked";
   }
+  EXPECT_LT(ctr.offcore_per_pair(), naive.offcore_per_pair())
+      << coherence::protocol_name(protocol) << " @ " << threads;
 }
 
 INSTANTIATE_TEST_SUITE_P(

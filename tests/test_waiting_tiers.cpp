@@ -1,0 +1,233 @@
+// test_waiting_tiers.cpp — the queue-lock waiting tiers
+// (core/waiting.hpp): policy-level hand-off round-trips on 32-bit,
+// 64-bit and pointer words, and oversubscribed mutual-exclusion
+// suites (threads = 4x hardware_concurrency) for MCS, CLH, Ticket and
+// Anderson in spin and park (and adaptive) modes. The spin suites run
+// a deliberately tiny schedule budget — each FIFO hand-off to a
+// preempted busy-waiter costs a scheduler timeslice — while the
+// park/adaptive suites run an order of magnitude more iterations in
+// comparable wall time, which is the subsystem's whole point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/waiting.hpp"
+#include "locks/anderson.hpp"
+#include "locks/clh.hpp"
+#include "locks/mcs.hpp"
+#include "locks/ticket.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/governor.hpp"
+
+namespace hemlock {
+namespace {
+
+// ------------------------------------------- policy-level hand-offs --
+template <typename Policy>
+void word_handoff_roundtrip() {
+  // 32-bit flag (MCS/CLH/Anderson shape): waiter blocks until 0.
+  {
+    std::atomic<std::uint32_t> w{1};
+    std::thread waiter([&] { Policy::wait_until(w, std::uint32_t{0}); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Policy::publish(w, std::uint32_t{0});
+    waiter.join();
+    EXPECT_EQ(w.load(), 0u);
+  }
+  // 64-bit ticket shape: waiter blocks until its ticket is served;
+  // the parking tiers sleep on the low half of the word.
+  {
+    std::atomic<std::uint64_t> serving{41};
+    std::thread waiter(
+        [&] { Policy::wait_until(serving, std::uint64_t{42}); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Policy::publish(serving, std::uint64_t{42});
+    waiter.join();
+    EXPECT_EQ(serving.load(), 42u);
+  }
+  // Pointer shape (MCS unlock waiting for the successor's back-link):
+  // wait_while returns the first non-null value.
+  {
+    std::atomic<int*> link{nullptr};
+    int target = 7;
+    int* observed = nullptr;
+    std::thread waiter([&] {
+      observed = Policy::wait_while(link, static_cast<int*>(nullptr));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Policy::publish(link, &target);
+    waiter.join();
+    EXPECT_EQ(observed, &target);
+  }
+}
+
+TEST(QueueWaitingTier, SpinHandoff) {
+  word_handoff_roundtrip<QueueSpinWaiting>();
+}
+TEST(QueueWaitingTier, YieldHandoff) {
+  word_handoff_roundtrip<QueueYieldWaiting>();
+}
+TEST(QueueWaitingTier, ParkHandoff) {
+  word_handoff_roundtrip<SpinThenParkWaiting>();
+}
+TEST(QueueWaitingTier, GovernedHandoff) {
+  word_handoff_roundtrip<GovernedWaiting>();
+}
+
+// A parked waiter must ignore publishes that do not satisfy its
+// predicate (ticket shape: an earlier ticket being served wakes the
+// sleeper, which must re-park rather than proceed).
+TEST(QueueWaitingTier, ParkedWaiterRechecksItsPredicate) {
+  std::atomic<std::uint64_t> serving{40};
+  std::atomic<bool> proceeded{false};
+  std::thread waiter([&] {
+    SpinThenParkWaiting::wait_until(serving, std::uint64_t{42});
+    proceeded.store(true);
+  });
+  SpinThenParkWaiting::publish(serving, std::uint64_t{41});  // not ours
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(proceeded.load());
+  SpinThenParkWaiting::publish(serving, std::uint64_t{42});
+  waiter.join();
+  EXPECT_TRUE(proceeded.load());
+}
+
+// The governor's parked census never leaks entries across a hand-off.
+TEST(QueueWaitingTier, ParkCensusReturnsToBaseline) {
+  auto& gov = ContentionGovernor::instance();
+  const std::uint32_t before = gov.parked();
+  std::atomic<std::uint32_t> w{1};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back(
+        [&] { SpinThenParkWaiting::wait_until(w, std::uint32_t{0}); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  SpinThenParkWaiting::publish(w, std::uint32_t{0});
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(gov.parked(), before);
+}
+
+// --------------------------------------- oversubscribed exclusion --
+// threads = 4x the hardware, everyone hammering one lock. Exact
+// counter totals prove exclusion held; completing at all (within the
+// suite timeout) proves the tier does not livelock the host.
+template <typename L>
+void oversubscribed_exclusion(int iters_per_thread) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads = 4 * hw;
+  CacheAligned<L> lock;
+  std::uint64_t counter = 0;
+  SpinBarrier start(threads);
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&] {
+      start.arrive_and_wait();
+      for (int i = 0; i < iters_per_thread; ++i) {
+        lock.value.lock();
+        ++counter;
+        lock.value.unlock();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(threads) * iters_per_thread);
+}
+
+// Spin tiers: tiny budget — every hand-off may cost a timeslice.
+constexpr int kSpinIters = 40;
+// Park/adaptive tiers: 25x the spin budget; still completes quickly.
+constexpr int kParkIters = 1000;
+
+TEST(OversubscribedSpin, Mcs) {
+  oversubscribed_exclusion<McsLock>(kSpinIters);
+}
+TEST(OversubscribedSpin, Clh) {
+  oversubscribed_exclusion<ClhLock>(kSpinIters);
+}
+TEST(OversubscribedSpin, Ticket) {
+  oversubscribed_exclusion<TicketLock>(kSpinIters);
+}
+TEST(OversubscribedSpin, Anderson) {
+  // 4x hardware contenders must fit the waiting array.
+  if (4 * std::max(1u, std::thread::hardware_concurrency()) > 256) {
+    GTEST_SKIP() << "host too wide for the 256-slot test instantiation";
+  }
+  oversubscribed_exclusion<AndersonLockT<256, QueueSpinWaiting>>(kSpinIters);
+}
+
+TEST(OversubscribedPark, Mcs) {
+  oversubscribed_exclusion<McsParkLock>(kParkIters);
+}
+TEST(OversubscribedPark, Clh) {
+  oversubscribed_exclusion<ClhParkLock>(kParkIters);
+}
+TEST(OversubscribedPark, Ticket) {
+  oversubscribed_exclusion<TicketParkLock>(kParkIters);
+}
+TEST(OversubscribedPark, Anderson) {
+  if (4 * std::max(1u, std::thread::hardware_concurrency()) > 256) {
+    GTEST_SKIP() << "host too wide for the 256-slot test instantiation";
+  }
+  oversubscribed_exclusion<AndersonLockT<256, SpinThenParkWaiting>>(
+      kParkIters);
+}
+
+TEST(OversubscribedYield, Mcs) {
+  oversubscribed_exclusion<McsYieldLock>(kParkIters);
+}
+TEST(OversubscribedAdaptive, Mcs) {
+  oversubscribed_exclusion<McsGovernedLock>(kParkIters);
+}
+TEST(OversubscribedAdaptive, Clh) {
+  oversubscribed_exclusion<ClhGovernedLock>(kParkIters);
+}
+TEST(OversubscribedAdaptive, Ticket) {
+  oversubscribed_exclusion<TicketGovernedLock>(kParkIters);
+}
+
+// Mixed lock()/try_lock() traffic through the parked tier (MCS and
+// Ticket expose try_lock): exactness must survive waiters sleeping.
+template <typename L>
+void oversubscribed_try_mix() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads = 4 * hw;
+  CacheAligned<L> lock;
+  std::uint64_t counter = 0;
+  std::atomic<std::uint64_t> successes{0};
+  SpinBarrier start(threads);
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < 400; ++i) {
+        if ((i + t) % 3 == 0 && lock.value.try_lock()) {
+          ++counter;
+          successes.fetch_add(1, std::memory_order_relaxed);
+          lock.value.unlock();
+        } else {
+          lock.value.lock();
+          ++counter;
+          successes.fetch_add(1, std::memory_order_relaxed);
+          lock.value.unlock();
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, successes.load());
+}
+
+TEST(OversubscribedPark, McsTryMix) {
+  oversubscribed_try_mix<McsParkLock>();
+}
+TEST(OversubscribedPark, TicketTryMix) {
+  oversubscribed_try_mix<TicketParkLock>();
+}
+
+}  // namespace
+}  // namespace hemlock
