@@ -1,0 +1,166 @@
+// preload_cond_demo — a deliberately plain pthreads producer/consumer.
+//
+// Like preload_demo it knows nothing about this library, but unlike it
+// this program *lives* on pthread_cond_wait / timedwait / signal /
+// broadcast: producers and consumers exchange items through a small
+// bounded ring guarded by one mutex and two condition variables (the
+// textbook shape most real preload targets use). Run it bare and it
+// uses glibc's mutex+condvar; run it under the interposition library
+// and the same binary runs on any HEMLOCK_LOCK algorithm with the
+// futex condvar overlay doing the waiting:
+//
+//   LD_PRELOAD=$BUILD/libhemlock_preload.so  # plus
+//   HEMLOCK_LOCK=mcs HEMLOCK_WAIT=park ./preload_cond_demo
+//
+// Exit code 0 iff every produced item is consumed exactly once and
+// the checksums agree — which makes this binary double as the condvar
+// overlay's integration test (lost wakeups hang it; the CI smoke runs
+// it under `timeout`).
+#include <pthread.h>
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace {
+
+/// Positive long from the environment, or `def` when unset/invalid.
+long env_long(const char* key, long def) {
+  const char* env = std::getenv(key);
+  const long parsed = env != nullptr ? std::atol(env) : 0;
+  return parsed > 0 ? parsed : def;
+}
+
+/// Total threads; HEMLOCK_DEMO_THREADS overrides (the CI
+/// oversubscription smoke runs at a multiple of the host's cores).
+/// Split half producers / half consumers, at least one of each.
+int threads() {
+  static const int n = static_cast<int>(env_long("HEMLOCK_DEMO_THREADS", 8));
+  return n >= 2 ? n : 2;
+}
+int producers() { return threads() / 2; }
+int consumers() { return threads() - producers(); }
+
+/// Items per producer; HEMLOCK_DEMO_ITERS overrides.
+long iters() {
+  static const long n = env_long("HEMLOCK_DEMO_ITERS", 5000);
+  return n;
+}
+
+constexpr int kRingCapacity = 16;
+
+pthread_mutex_t g_mu = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t g_not_empty = PTHREAD_COND_INITIALIZER;  // lazy adoption
+pthread_cond_t g_not_full;                              // pthread_cond_init
+
+long g_ring[kRingCapacity];
+int g_ring_head = 0;  // next slot to consume
+int g_ring_size = 0;  // occupied slots
+
+long g_produced_count = 0;
+long g_produced_sum = 0;
+long g_consumed_count = 0;
+long g_consumed_sum = 0;
+bool g_done_producing = false;
+long g_timedwait_timeouts = 0;  // exercised, not required to be nonzero
+
+void* producer(void* arg) {
+  const long id = reinterpret_cast<long>(arg);
+  for (long i = 0, n = iters(); i < n; ++i) {
+    const long item = id * n + i + 1;
+    pthread_mutex_lock(&g_mu);
+    while (g_ring_size == kRingCapacity) {
+      pthread_cond_wait(&g_not_full, &g_mu);
+    }
+    g_ring[(g_ring_head + g_ring_size) % kRingCapacity] = item;
+    ++g_ring_size;
+    ++g_produced_count;
+    g_produced_sum += item;
+    pthread_mutex_unlock(&g_mu);
+    pthread_cond_signal(&g_not_empty);
+  }
+  return nullptr;
+}
+
+void* consumer(void*) {
+  for (;;) {
+    pthread_mutex_lock(&g_mu);
+    while (g_ring_size == 0 && !g_done_producing) {
+      // Alternate untimed and timed waits so both overlay paths run;
+      // the deadline is generous enough that timeouts stay rare, but
+      // either return reason is followed by the predicate re-check
+      // (spurious wakeups are allowed and absorbed here).
+      if ((g_consumed_count & 1) == 0) {
+        pthread_cond_wait(&g_not_empty, &g_mu);
+      } else {
+        struct timespec deadline;
+        clock_gettime(CLOCK_REALTIME, &deadline);
+        deadline.tv_nsec += 50 * 1000 * 1000;  // 50 ms
+        if (deadline.tv_nsec >= 1000000000L) {
+          deadline.tv_nsec -= 1000000000L;
+          ++deadline.tv_sec;
+        }
+        if (pthread_cond_timedwait(&g_not_empty, &g_mu, &deadline) != 0) {
+          ++g_timedwait_timeouts;
+        }
+      }
+    }
+    if (g_ring_size == 0) {  // done producing and drained
+      pthread_mutex_unlock(&g_mu);
+      return nullptr;
+    }
+    const long item = g_ring[g_ring_head];
+    g_ring_head = (g_ring_head + 1) % kRingCapacity;
+    --g_ring_size;
+    ++g_consumed_count;
+    g_consumed_sum += item;
+    pthread_mutex_unlock(&g_mu);
+    pthread_cond_signal(&g_not_full);
+  }
+}
+
+}  // namespace
+
+int main() {
+  pthread_cond_init(&g_not_full, nullptr);
+
+  std::vector<pthread_t> workers(
+      static_cast<std::size_t>(producers() + consumers()));
+  for (int p = 0; p < producers(); ++p) {
+    pthread_create(&workers[static_cast<std::size_t>(p)], nullptr, producer,
+                   reinterpret_cast<void*>(static_cast<long>(p)));
+  }
+  for (int c = 0; c < consumers(); ++c) {
+    pthread_create(&workers[static_cast<std::size_t>(producers() + c)],
+                   nullptr, consumer, nullptr);
+  }
+
+  for (int p = 0; p < producers(); ++p) {
+    pthread_join(workers[static_cast<std::size_t>(p)], nullptr);
+  }
+  // All items are in flight or consumed; release the consumers.
+  pthread_mutex_lock(&g_mu);
+  g_done_producing = true;
+  pthread_mutex_unlock(&g_mu);
+  pthread_cond_broadcast(&g_not_empty);
+  for (int c = 0; c < consumers(); ++c) {
+    pthread_join(workers[static_cast<std::size_t>(producers() + c)], nullptr);
+  }
+
+  const long expected = static_cast<long>(producers()) * iters();
+  std::printf("produced: %ld items (sum %ld)\n", g_produced_count,
+              g_produced_sum);
+  std::printf("consumed: %ld items (sum %ld, expected %ld items)\n",
+              g_consumed_count, g_consumed_sum, expected);
+  std::printf("timedwait timeouts: %ld\n", g_timedwait_timeouts);
+
+  pthread_cond_destroy(&g_not_empty);
+  pthread_cond_destroy(&g_not_full);
+  pthread_mutex_destroy(&g_mu);
+  const bool ok = g_produced_count == expected &&
+                  g_consumed_count == expected &&
+                  g_consumed_sum == g_produced_sum;
+  std::puts(ok ? "OK" : "FAILED");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

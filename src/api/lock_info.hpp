@@ -50,6 +50,13 @@ struct LockInfo {
   /// lifetimes) and hemlock-cv (its parking path uses the very
   /// pthread primitives being interposed).
   bool pthread_overlay_safe;
+  /// Safe to back a pthread_cond_* wait through the interposition
+  /// shim's condvar overlay (shim_cond): the overlay unlocks the
+  /// hosted mutex, sleeps on its own futex words, and re-acquires
+  /// through the same vtable — so any overlay-safe algorithm
+  /// qualifies unless its traits opt out. Follows pthread_overlay_safe
+  /// when the trait does not declare condvar_capable.
+  bool condvar_capable;
   /// Waiting-policy name: how contenders wait ("spin", "yield",
   /// "park", "adaptive" for the queue-lock tiers; "ctr-cas" / "load" /
   /// "ctr-faa" / "futex" for the Hemlock Grant policies; see
@@ -91,6 +98,11 @@ constexpr LockInfo make_lock_info() noexcept {
     info.pthread_overlay_safe = T::pthread_overlay_safe;
   } else {
     info.pthread_overlay_safe = true;
+  }
+  if constexpr (requires { T::condvar_capable; }) {
+    info.condvar_capable = T::condvar_capable;
+  } else {
+    info.condvar_capable = info.pthread_overlay_safe;
   }
   if constexpr (requires { T::waiting; }) {
     info.waiting = T::waiting;

@@ -349,7 +349,7 @@ inline void park_round(std::atomic<T>& w, const Pred& done) noexcept {
   const T seen = w.load(std::memory_order_acquire);
   if (done(seen)) return;
   auto& gov = ContentionGovernor::instance();
-  gov.begin_park();
+  gov.begin_park(&w);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   const T again = w.load(std::memory_order_relaxed);
   if (again == seen) {
@@ -362,7 +362,7 @@ inline void park_round(std::atomic<T>& w, const Pred& done) noexcept {
       futex_wait(futex_word(w), low_word(seen));
     }
   }
-  gov.end_park();
+  gov.end_park(&w);
 }
 
 /// The escalating wait shared by every tier: a free doorstep spin,
@@ -420,12 +420,14 @@ inline T wait_escalating(std::atomic<T>& w, const Done& done,
 /// any sleepers. The seq_cst fence pairs with park_round()'s fence so
 /// that either the publisher sees the parked census and wakes, or the
 /// parker re-reads the published value and never sleeps — the wake
-/// syscall is skipped whenever nobody in the process is parked.
+/// syscall is skipped whenever nobody is parked on this word's census
+/// bucket (per-lock, not process-global: an unrelated lock's sleepers
+/// no longer tax this lock's hand-offs).
 template <typename T>
 inline void publish_and_wake(std::atomic<T>& w, T value) noexcept {
   w.store(value, std::memory_order_release);
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (ContentionGovernor::instance().parked() != 0) {
+  if (ContentionGovernor::instance().parked(&w) != 0) {
     futex_wake_all(futex_word(w));
   }
 }
@@ -607,7 +609,7 @@ struct GovernedGrantWaiting {
   /// publish_and_wake) so hand-offs with no sleeper pay no syscall.
   static void wake_after_external_clear(std::atomic<GrantWord>& g) noexcept {
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (ContentionGovernor::instance().parked() != 0) {
+    if (ContentionGovernor::instance().parked(&g) != 0) {
       futex_wake_all(queue_wait::futex_word(g));
     }
   }

@@ -1,24 +1,43 @@
 // pthread_interpose.cpp — the LD_PRELOAD surface.
 //
 // Compiled only into libhemlock_preload.so. Defines the strong
-// pthread_mutex_* symbols so a preloaded application's mutexes are
-// transparently replaced by the HEMLOCK_LOCK-selected algorithm —
-// the paper's §5 evaluation mechanism:
+// pthread_mutex_* and pthread_cond_* symbols so a preloaded
+// application's mutexes are transparently replaced by the
+// HEMLOCK_LOCK-selected algorithm and its condition variables by the
+// futex overlay that knows how to wait on those mutexes — the paper's
+// §5 evaluation mechanism, widened from mutex-only programs to the
+// full wait/notify workloads real preload targets run:
 //
 //   LD_PRELOAD=libhemlock_preload.so HEMLOCK_LOCK=hemlock ./app
 //
-// Scope: mutex operations only (see shim_mutex.hpp for the condvar
-// limitation). Internal library synchronization is interposition-safe
-// by construction: the thread registry uses a private raw spinlock
-// and the node pools use only atomics, so no call path below re-enters
-// pthread_mutex_lock.
+// Symbol versioning: glibc exports these functions under versioned
+// names (x86-64: pthread_cond_* at the default GLIBC_2.3.2 plus the
+// GLIBC_2.2.5 compat set; other architectures use their own baseline
+// tags, e.g. GLIBC_2.17 on aarch64). We deliberately define the
+// symbols UNVERSIONED: the dynamic linker's versioned lookup matches
+// an unversioned definition in an interposing object against *any*
+// requested version, so one definition here covers both glibc symbol
+// versions on every architecture — whereas baking version tags in
+// (.symver + a version script) would hardwire per-arch glibc history
+// for zero additional coverage.
+//
+// Internal library synchronization is interposition-safe by
+// construction: the thread registry uses a private raw spinlock, the
+// node pools use only atomics, and the condvar overlay allocates
+// nothing — no call path below re-enters the interposed surface
+// except the overlay's own deliberate mutex re-acquisition.
 #include <pthread.h>
+#include <time.h>
 
+#include "interpose/shim_cond.hpp"
 #include "interpose/shim_mutex.hpp"
 
+using hemlock::interpose::ShimCond;
 using hemlock::interpose::ShimMutex;
 
 extern "C" {
+
+// ---- pthread_mutex_* -------------------------------------------------
 
 int pthread_mutex_init(pthread_mutex_t* m,
                        const pthread_mutexattr_t* /*attr*/) {
@@ -39,6 +58,39 @@ int pthread_mutex_trylock(pthread_mutex_t* m) {
 
 int pthread_mutex_unlock(pthread_mutex_t* m) {
   return ShimMutex::shim_unlock(m);
+}
+
+// ---- pthread_cond_* --------------------------------------------------
+
+int pthread_cond_init(pthread_cond_t* c, const pthread_condattr_t* /*attr*/) {
+  // Attributes are not modelled: the wait clock is the POSIX default
+  // CLOCK_REALTIME and pshared condvars are out of scope (as are
+  // pshared mutexes in the mutex shim).
+  return ShimCond::shim_init(c);
+}
+
+int pthread_cond_destroy(pthread_cond_t* c) {
+  return ShimCond::shim_destroy(c);
+}
+
+int pthread_cond_wait(pthread_cond_t* c, pthread_mutex_t* m) {
+  return ShimCond::shim_wait(c, m);
+}
+
+int pthread_cond_timedwait(pthread_cond_t* c, pthread_mutex_t* m,
+                           const struct timespec* abstime) {
+  return ShimCond::shim_timedwait(c, m, abstime);
+}
+
+int pthread_cond_clockwait(pthread_cond_t* c, pthread_mutex_t* m,
+                           clockid_t clock, const struct timespec* abstime) {
+  return ShimCond::shim_clockwait(c, m, clock, abstime);
+}
+
+int pthread_cond_signal(pthread_cond_t* c) { return ShimCond::shim_signal(c); }
+
+int pthread_cond_broadcast(pthread_cond_t* c) {
+  return ShimCond::shim_broadcast(c);
 }
 
 }  // extern "C"

@@ -1,0 +1,253 @@
+#include "interpose/shim_cond.hpp"
+
+#include <errno.h>
+#include <sched.h>
+#include <time.h>
+
+#include <cstring>
+
+#include "api/factory.hpp"
+#include "interpose/shim_mutex.hpp"
+#include "runtime/futex.hpp"
+
+namespace hemlock::interpose {
+
+std::vector<std::string_view> supported_cond_lock_names() {
+  std::vector<std::string_view> names;
+  for (const LockVTable* vt : LockFactory::instance().entries()) {
+    if (shim_cond_capable(vt->info)) names.push_back(vt->info.name);
+  }
+  return names;
+}
+
+CondStats& cond_stats() noexcept {
+  static CondStats stats;
+  return stats;
+}
+
+namespace {
+
+/// Adopt the pthread_cond_t storage. Unlike the mutex overlay there is
+/// nothing to construct — the all-zero state (PTHREAD_COND_INITIALIZER)
+/// is already a valid fresh condvar — so adoption is one CAS that
+/// claims the magic word for lifecycle accounting.
+ShimCond* adopt(pthread_cond_t* c) {
+  auto* sc = reinterpret_cast<ShimCond*>(c);
+  std::uint32_t expected = 0;
+  if (sc->magic.load(std::memory_order_acquire) != ShimCond::kReady &&
+      sc->magic.compare_exchange_strong(expected, ShimCond::kReady,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    cond_stats().adopted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return sc;
+}
+
+/// Nanoseconds until `abstime` on `clock`; <= 0 when the deadline has
+/// passed. Large deadlines are clamped (no int64 overflow from
+/// TIME_MAX-style sentinels applications like to pass).
+std::int64_t nanos_until(clockid_t clock, const struct timespec* abstime) {
+  struct timespec now;
+  if (clock_gettime(clock, &now) != 0) return 0;
+  const std::int64_t sec = static_cast<std::int64_t>(abstime->tv_sec) -
+                           static_cast<std::int64_t>(now.tv_sec);
+  if (sec > 1000000000LL) return 1000000000000000000LL;  // ~31 years
+  if (sec < -1000000000LL) return -1;
+  return sec * 1000000000LL +
+         (static_cast<std::int64_t>(abstime->tv_nsec) - now.tv_nsec);
+}
+
+/// Hand one chained sleeper over: wake a single waiter that broadcast
+/// requeued onto the chain word. Runs on every path out of a wait
+/// (normal, spurious, timed out), so a sleeper leaving without
+/// consuming a wake still propagates the chain — the unraveling
+/// survives timeouts.
+///
+/// The wake is normally paid for with a credit (skipping the syscall
+/// when none remain — the signal-only common case). While a broadcast
+/// window is open, though, credits lag reality: the requeue may have
+/// parked sleepers whose credits are not posted yet, and a credit
+/// claimed *now* could spend its wake on the still-empty chain an
+/// instant before they arrive — stranding one of them forever. So an
+/// open window forces the unconditional wake and leaves the credits
+/// alone; a wasted wake on an empty chain is one no-op syscall.
+void hand_over_chain(ShimCond* sc) {
+  if (sc->windows.load(std::memory_order_seq_cst) == 0) {
+    std::int32_t credits = sc->chained.load(std::memory_order_seq_cst);
+    while (credits > 0 &&
+           !sc->chained.compare_exchange_weak(credits, credits - 1,
+                                              std::memory_order_seq_cst)) {
+    }
+    if (credits <= 0) return;
+  }
+  futex_wake(&sc->chain, 1);
+  cond_stats().chain_wakes.fetch_add(1, std::memory_order_relaxed);
+}
+
+int wait_common(pthread_cond_t* c, pthread_mutex_t* m, clockid_t clock,
+                const struct timespec* abstime) {
+  if (c == nullptr || m == nullptr) return EINVAL;
+  if (abstime != nullptr &&
+      (abstime->tv_nsec < 0 || abstime->tv_nsec >= 1000000000L)) {
+    return EINVAL;  // checked before any state change: the mutex stays held
+  }
+  ShimCond* sc = adopt(c);
+  cond_stats().waits.fetch_add(1, std::memory_order_relaxed);
+
+  // POSIX requires every concurrent waiter to use the same mutex;
+  // glibc makes the mismatch undefined, we make it EINVAL.
+  pthread_mutex_t* prev = sc->mutex.load(std::memory_order_relaxed);
+  if (prev != m) {
+    if (prev != nullptr && sc->waiters.load(std::memory_order_seq_cst) != 0) {
+      return EINVAL;
+    }
+    sc->mutex.store(m, std::memory_order_relaxed);
+  }
+
+  // Register before snapshotting: signal's skip-the-syscall gate loads
+  // the census after its seq bump, so a registered waiter either gets
+  // the wake syscall or observes the bumped sequence at sleep time.
+  sc->waiters.fetch_add(1, std::memory_order_seq_cst);
+  const std::uint32_t snap = sc->seq.load(std::memory_order_seq_cst);
+
+  ShimMutex::shim_unlock(m);
+
+  // One sleep, no re-check loop: whatever ends the sleep — a signal's
+  // wake, a requeued chain hand-over, a timeout, EINTR, or the kernel
+  // refusing because seq already moved — surfaces to the caller as a
+  // (POSIX-sanctioned) possibly-spurious wakeup. The lost-wakeup race
+  // between unlock and sleep is closed by futex's atomic compare of
+  // seq against the pre-unlock snapshot.
+  bool timed_out = false;
+  if (abstime == nullptr) {
+    futex_wait(&sc->seq, snap);
+  } else {
+    const std::int64_t rel = nanos_until(clock, abstime);
+    if (rel <= 0) {
+      timed_out = true;
+    } else {
+      // ETIMEDOUT comes from the kernel's clock, not a userspace
+      // re-read racing the wakeup; every other reason reads as a wake.
+      timed_out = futex_wait_for(&sc->seq, snap, rel) == ETIMEDOUT;
+    }
+  }
+
+  // Both remaining touches of the condvar happen *before* the mutex
+  // re-acquisition: a broadcaster may destroy the condvar as soon as
+  // the drain below sees zero waiters, even while holding the mutex.
+  hand_over_chain(sc);
+  sc->waiters.fetch_sub(1, std::memory_order_release);
+
+  ShimMutex::shim_lock(m);
+  if (timed_out) {
+    cond_stats().timeouts.fetch_add(1, std::memory_order_relaxed);
+    return ETIMEDOUT;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int ShimCond::shim_init(pthread_cond_t* c) {
+  if (c == nullptr) return EINVAL;
+  std::memset(static_cast<void*>(c), 0, sizeof(*c));
+  adopt(c);
+  return 0;
+}
+
+int ShimCond::shim_destroy(pthread_cond_t* c) {
+  if (c == nullptr) return EINVAL;
+  auto* sc = reinterpret_cast<ShimCond*>(c);
+  if (sc->magic.load(std::memory_order_acquire) == kReady) {
+    // Drain: threads still inside wait (POSIX allows destroy as soon
+    // as they have all been *signaled*) may not have deregistered yet.
+    // Keep bumping seq — so a waiter between unlock and sleep refuses
+    // the sleep — and waking both words until every waiter has made
+    // its final touch of this storage. Waiters deregister before
+    // re-acquiring the mutex, so this loop terminates even when the
+    // destroyer still holds the associated mutex.
+    while (sc->waiters.load(std::memory_order_acquire) != 0) {
+      sc->seq.fetch_add(1, std::memory_order_seq_cst);
+      futex_wake_all(&sc->seq);
+      futex_wake_all(&sc->chain);
+      sched_yield();
+    }
+  }
+  std::memset(static_cast<void*>(c), 0, sizeof(*c));
+  return 0;
+}
+
+int ShimCond::shim_wait(pthread_cond_t* c, pthread_mutex_t* m) {
+  return wait_common(c, m, CLOCK_REALTIME, nullptr);
+}
+
+int ShimCond::shim_timedwait(pthread_cond_t* c, pthread_mutex_t* m,
+                             const struct timespec* abstime) {
+  if (abstime == nullptr) return EINVAL;
+  return wait_common(c, m, CLOCK_REALTIME, abstime);
+}
+
+int ShimCond::shim_clockwait(pthread_cond_t* c, pthread_mutex_t* m,
+                             clockid_t clock,
+                             const struct timespec* abstime) {
+  if (abstime == nullptr) return EINVAL;
+  if (clock != CLOCK_REALTIME && clock != CLOCK_MONOTONIC) return EINVAL;
+  return wait_common(c, m, clock, abstime);
+}
+
+int ShimCond::shim_signal(pthread_cond_t* c) {
+  if (c == nullptr) return EINVAL;
+  ShimCond* sc = adopt(c);
+  cond_stats().signals.fetch_add(1, std::memory_order_relaxed);
+  sc->seq.fetch_add(1, std::memory_order_seq_cst);
+  // Census gate: a waiter registers (seq_cst) before snapshotting, so
+  // reading zero here proves any not-yet-registered waiter will
+  // snapshot the bumped sequence and refuse the stale sleep — the
+  // syscall can be skipped. Signal wakes the seq word only: chained
+  // sleepers were already awarded their broadcast and have dedicated
+  // hand-over credits.
+  if (sc->waiters.load(std::memory_order_seq_cst) != 0) {
+    futex_wake(&sc->seq, 1);
+  }
+  return 0;
+}
+
+int ShimCond::shim_broadcast(pthread_cond_t* c) {
+  if (c == nullptr) return EINVAL;
+  ShimCond* sc = adopt(c);
+  cond_stats().broadcasts.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t newseq =
+      sc->seq.fetch_add(1, std::memory_order_seq_cst) + 1;
+  const std::uint32_t est = sc->waiters.load(std::memory_order_seq_cst);
+  if (est == 0) return 0;  // same census gate as signal
+
+  // Open the broadcast window: between the requeue (which creates
+  // chain sleepers) and the credit add (which covers them), the
+  // credit pool undercounts — hand_over_chain wakes unconditionally
+  // while it observes the window, so a waiter departing mid-window
+  // cannot burn a credit on the still-empty chain and strand a
+  // sleeper. Credits are then posted with the syscall's exact count.
+  // The requeue cap of est - 1 means est (a census of every
+  // pre-broadcast waiter) always covers the herd; only *post*-
+  // broadcast sleepers (FIFO: they queue behind it) can be left on
+  // seq, for their own future signal.
+  sc->windows.fetch_add(1, std::memory_order_seq_cst);
+  const long moved = futex_cmp_requeue(&sc->seq, newseq, /*wake=*/1,
+                                       /*requeue_cap=*/est - 1, &sc->chain);
+  if (moved < 0) {
+    // A concurrent signal/broadcast bumped seq between our add and the
+    // syscall's compare (EAGAIN): nothing was woken or requeued.
+    // Correctness over herd-avoidance: wake everyone on seq.
+    futex_wake_all(&sc->seq);
+  } else if (moved > 1) {
+    const long requeued = moved - 1;
+    sc->chained.fetch_add(static_cast<std::int32_t>(requeued),
+                          std::memory_order_seq_cst);
+    cond_stats().requeued.fetch_add(static_cast<std::uint64_t>(requeued),
+                                    std::memory_order_relaxed);
+  }
+  sc->windows.fetch_sub(1, std::memory_order_seq_cst);
+  return 0;
+}
+
+}  // namespace hemlock::interpose

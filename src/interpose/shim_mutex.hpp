@@ -20,10 +20,10 @@
 // adopted lazily and race-safely on first use.
 //
 // Limitations (documented, matching the technique's scope):
-//  * pthread_cond_* on an interposed mutex is NOT supported — the
-//    real condvar implementation would manipulate raw mutex
-//    internals that no longer exist. The paper's benchmarks
-//    (MutexBench, LevelDB db_bench read paths) do not require it.
+//  * pthread_cond_* on an interposed mutex goes through the condvar
+//    overlay (shim_cond.hpp) — glibc's own condvar would manipulate
+//    raw mutex internals that no longer exist, so the preload library
+//    interposes the full pthread_cond_* family alongside the mutexes.
 //  * hemlock-ah is NOT hostable: Appendix B shows its speculative
 //    unlock store is unsafe when a pthread mutex's memory can be
 //    freed by its last user (the linux-kernel / glibc bug-13690

@@ -3,15 +3,17 @@
 // Appendix C and §6 of the paper discuss polite waiting policies
 // (WaitOnAddress / park-unpark) as alternatives to pure spinning.
 // hemlock_cv and hemlock_chain use these wrappers for their blocking
-// tiers. On non-Linux builds the wrappers degrade to spinning, which
-// is semantically safe (futex wakeups are permitted to be spurious in
-// both directions).
+// tiers, and the interposition layer's condvar overlay (shim_cond)
+// builds its wait/notify protocol on them. On non-Linux builds the
+// wrappers degrade to spinning, which is semantically safe (futex
+// wakeups are permitted to be spurious in both directions).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #if defined(__linux__)
+#include <errno.h>
 #include <linux/futex.h>
 #include <sys/syscall.h>
 #include <time.h>
@@ -41,18 +43,28 @@ inline void futex_wait(std::atomic<std::uint32_t>* addr,
 /// kernel's compare, and its wake can land before the sleep begins —
 /// so such sleeps must be bounded, not indefinite. May wake
 /// spuriously; callers must re-check their predicate in a loop.
-inline void futex_wait_for(std::atomic<std::uint32_t>* addr,
-                           std::uint32_t expected,
-                           std::int64_t nanos) noexcept {
+///
+/// Returns why the sleep ended, errno-style: 0 for a wake (or a
+/// spurious return), ETIMEDOUT when the bound expired, EAGAIN when
+/// *addr != expected at sleep time, EINTR on signal delivery. The
+/// parking tiers ignore the reason (their predicate loop re-checks);
+/// the condvar overlay's timedwait needs ETIMEDOUT to be faithful —
+/// "time passed" must come from the kernel's clock, not a userspace
+/// re-read racing the wakeup.
+inline int futex_wait_for(std::atomic<std::uint32_t>* addr,
+                          std::uint32_t expected,
+                          std::int64_t nanos) noexcept {
 #if defined(__linux__)
   struct timespec ts;
   ts.tv_sec = static_cast<time_t>(nanos / 1000000000);
   ts.tv_nsec = static_cast<long>(nanos % 1000000000);
-  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
-          FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+  const long rc = syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
+                          FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+  return rc == 0 ? 0 : errno;
 #else
   (void)nanos;
   if (addr->load(std::memory_order_acquire) == expected) cpu_relax();
+  return 0;
 #endif
 }
 
@@ -71,6 +83,41 @@ inline void futex_wake(std::atomic<std::uint32_t>* addr,
 /// Wake every waiter on addr.
 inline void futex_wake_all(std::atomic<std::uint32_t>* addr) noexcept {
   futex_wake(addr, 0x7FFFFFFF);
+}
+
+/// FUTEX_CMP_REQUEUE: iff *from == expected, wake up to `wake` waiters
+/// sleeping on `from` and move up to `requeue_cap` more onto `to`'s
+/// wait queue without running them — the thundering-herd valve condvar
+/// broadcasts are built on (glibc's pre-2.25 condvar used exactly this
+/// onto the mutex word). The cap matters to callers that account for
+/// moved sleepers: the kernel requeues from the head of a FIFO queue,
+/// so capping at the caller's census keeps late-arriving sleepers (who
+/// have not been counted) on `from` for a later wake. Returns the
+/// number of waiters woken plus requeued, or -1 with errno == EAGAIN
+/// when *from != expected (the caller raced a concurrent mutation and
+/// must re-decide — typically by falling back to a plain wake-all,
+/// which is always semantically safe).
+inline long futex_cmp_requeue(std::atomic<std::uint32_t>* from,
+                              std::uint32_t expected, std::uint32_t wake,
+                              std::uint32_t requeue_cap,
+                              std::atomic<std::uint32_t>* to) noexcept {
+#if defined(__linux__)
+  // val2 (the requeue cap) travels in the timeout slot, cast per the
+  // futex(2) calling convention.
+  return syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(from),
+                 FUTEX_CMP_REQUEUE_PRIVATE, wake,
+                 reinterpret_cast<struct timespec*>(
+                     static_cast<std::uintptr_t>(requeue_cap)),
+                 reinterpret_cast<std::uint32_t*>(to), expected);
+#else
+  // No kernel queues to move: everyone is spinning anyway. Report
+  // "nothing requeued"; the caller's wake path covers correctness.
+  (void)wake;
+  (void)requeue_cap;
+  (void)to;
+  if (from->load(std::memory_order_acquire) != expected) return -1;
+  return 0;
+#endif
 }
 
 }  // namespace hemlock

@@ -19,7 +19,8 @@
 //
 // The GovernedWaiting policy (core/waiting.hpp) consults tier() each
 // escalation round; the fixed-tier policies use the governor only for
-// the parked-waiter census that gates hand-off wakeups. The thresholds
+// the per-lock (address-bucketed) parked census that gates hand-off
+// wakeups on the published word. The thresholds
 // live in classify(), a pure function, so they are unit-testable
 // without actually oversubscribing the test host (tests/test_governor).
 #pragma once
@@ -96,18 +97,45 @@ class ContentionGovernor {
     return waiters_.load(std::memory_order_relaxed);
   }
 
-  /// Parked census: a thread about to sleep in futex_wait / back from
-  /// it. Publishers read parked() (after a seq_cst fence) to skip the
-  /// wake syscall when nobody can possibly be sleeping.
-  void begin_park() noexcept {
-    parked_.fetch_add(1, std::memory_order_relaxed);
+  /// Number of per-address parked-census buckets (power of two). The
+  /// census used to be one process-global counter, which made every
+  /// parking lock inflate every *other* lock's publish path: one lock
+  /// with a sleeper forced the wake syscall onto all unrelated locks'
+  /// hand-off stores (ROADMAP follow-up). Hashing the waited word's
+  /// address into a small bucket array bounds that cross-talk to hash
+  /// collisions; collisions only ever cause extra (harmless) wakes,
+  /// never missed ones, because a parker and its publisher always
+  /// agree on the bucket — they hash the same address.
+  static constexpr std::size_t kParkBuckets = 64;
+
+  /// The census bucket for a waited word, exposed for tests. Drops the
+  /// word-alignment bits, then folds higher bits in so arrays of locks
+  /// (stride = one cache line or one pthread_mutex_t) spread out.
+  static std::size_t park_bucket(const void* addr) noexcept {
+    auto p = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    return static_cast<std::size_t>(p ^ (p >> 6) ^ (p >> 12)) &
+           (kParkBuckets - 1);
   }
-  void end_park() noexcept {
-    parked_.fetch_sub(1, std::memory_order_relaxed);
+
+  /// Parked census: a thread about to sleep in futex_wait on `addr` /
+  /// back from it. Publishers of the same word read parked(addr)
+  /// (after a seq_cst fence) to skip the wake syscall when nobody can
+  /// possibly be sleeping on it.
+  void begin_park(const void* addr) noexcept {
+    parked_[park_bucket(addr)].fetch_add(1, std::memory_order_relaxed);
   }
-  /// Threads parked (or committing to park) right now.
-  std::uint32_t parked() const noexcept {
-    return parked_.load(std::memory_order_relaxed);
+  void end_park(const void* addr) noexcept {
+    parked_[park_bucket(addr)].fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// Threads parked (or committing to park) on addr's bucket right now.
+  std::uint32_t parked(const void* addr) const noexcept {
+    return parked_[park_bucket(addr)].load(std::memory_order_relaxed);
+  }
+  /// Process-wide parked total (diagnostics and census-balance tests).
+  std::uint32_t parked_total() const noexcept {
+    std::uint32_t sum = 0;
+    for (const auto& b : parked_) sum += b.load(std::memory_order_relaxed);
+    return sum;
   }
 
   /// Pin tier() to `t` regardless of the census (tests, embedders).
@@ -134,7 +162,10 @@ class ContentionGovernor {
 
   std::uint32_t cpus_ = 1;
   std::atomic<std::uint32_t> waiters_{0};
-  std::atomic<std::uint32_t> parked_{0};
+  /// Per-address-bucket parked censuses (see park_bucket). Packed, not
+  /// cache-padded: these words are touched only on park/unpark and on
+  /// contended publishes — paths already paying a syscall.
+  std::atomic<std::uint32_t> parked_[kParkBuckets]{};
   std::atomic<std::uint8_t> forced_{kAuto};
 };
 

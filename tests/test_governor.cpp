@@ -102,13 +102,54 @@ TEST(Governor, WaiterCensusDrivesAutomaticEscalation) {
 
 TEST(Governor, ParkedCensusBalances) {
   auto& gov = ContentionGovernor::instance();
-  const std::uint32_t before = gov.parked();
-  gov.begin_park();
-  gov.begin_park();
-  EXPECT_EQ(gov.parked(), before + 2);
-  gov.end_park();
-  gov.end_park();
-  EXPECT_EQ(gov.parked(), before);
+  std::atomic<std::uint32_t> word{0};
+  const std::uint32_t before = gov.parked(&word);
+  const std::uint32_t before_total = gov.parked_total();
+  gov.begin_park(&word);
+  gov.begin_park(&word);
+  EXPECT_EQ(gov.parked(&word), before + 2);
+  EXPECT_EQ(gov.parked_total(), before_total + 2);
+  gov.end_park(&word);
+  gov.end_park(&word);
+  EXPECT_EQ(gov.parked(&word), before);
+  EXPECT_EQ(gov.parked_total(), before_total);
+}
+
+// The census is per-lock (address-bucketed), not process-global: a
+// sleeper on one lock's word must not make an unrelated lock's
+// publisher believe *its* waiters are parked (the ROADMAP's
+// cross-lock spurious-wake follow-up).
+TEST(Governor, ParkedCensusIsPerAddressBucket) {
+  auto& gov = ContentionGovernor::instance();
+  // Two words in different buckets; any stride works, the bucket
+  // function is exposed so the test can pick a genuine non-collision.
+  alignas(64) std::atomic<std::uint32_t> words[64];
+  std::atomic<std::uint32_t>* a = &words[0];
+  std::atomic<std::uint32_t>* b = nullptr;
+  for (auto& w : words) {
+    if (ContentionGovernor::park_bucket(&w) !=
+        ContentionGovernor::park_bucket(a)) {
+      b = &w;
+      break;
+    }
+  }
+  ASSERT_NE(b, nullptr) << "bucket function maps 64 spread words to 1 bucket";
+  const std::uint32_t a_before = gov.parked(a);
+  const std::uint32_t b_before = gov.parked(b);
+  gov.begin_park(a);
+  EXPECT_EQ(gov.parked(a), a_before + 1);
+  EXPECT_EQ(gov.parked(b), b_before);  // unrelated word: unaffected
+  gov.end_park(a);
+  EXPECT_EQ(gov.parked(a), a_before);
+}
+
+// Parker and publisher agree on the bucket because they hash the same
+// address — the property the publish-side syscall gate relies on.
+TEST(Governor, ParkBucketIsStableAndInRange) {
+  std::atomic<std::uint32_t> word{0};
+  const std::size_t bucket = ContentionGovernor::park_bucket(&word);
+  EXPECT_LT(bucket, ContentionGovernor::kParkBuckets);
+  EXPECT_EQ(bucket, ContentionGovernor::park_bucket(&word));
 }
 
 // ------------------------------------- governed policy, end to end --

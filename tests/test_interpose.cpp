@@ -1,22 +1,29 @@
 // test_interpose.cpp — the pthread_mutex_t shim: overlay geometry,
 // lazy adoption of PTHREAD_MUTEX_INITIALIZER storage, factory-based
 // algorithm selection (HEMLOCK_LOCK), per-algorithm mutual exclusion
-// through the shim surface, and a full LD_PRELOAD integration run of
-// the plain-pthreads demo binary against every supported algorithm.
+// through the shim surface, the pthread_cond_t futex overlay
+// (lost-wakeup stress, timedwait accuracy, broadcast-then-destroy,
+// spurious-wakeup tolerance — each across the waiting tiers), and a
+// full LD_PRELOAD integration run of the plain-pthreads demo binaries
+// against every supported algorithm.
 #include <gtest/gtest.h>
 
 #include <errno.h>
 #include <pthread.h>
+#include <time.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/factory.hpp"
+#include "interpose/shim_cond.hpp"
 #include "interpose/shim_mutex.hpp"
+#include "runtime/governor.hpp"
 
 namespace hemlock::interpose {
 namespace {
@@ -189,6 +196,361 @@ TEST(ShimMutex, TrylockContract) {
   ShimMutex::shim_destroy(&m);
 }
 
+// ===================================================================
+// The pthread_cond_t overlay (shim_cond).
+// ===================================================================
+
+TEST(ShimCond, OverlayFitsPthreadStorage) {
+  EXPECT_LE(sizeof(ShimCond), sizeof(pthread_cond_t));
+  EXPECT_LE(alignof(ShimCond), alignof(pthread_cond_t));
+}
+
+// Condvar coverage is a descriptor-driven subset of mutex coverage:
+// every hostable algorithm currently qualifies, the excluded-by-design
+// entries stay excluded, and the LockInfo bit is what decides.
+TEST(ShimCond, CoverageIsTheCondvarCapableFactorySubset) {
+  const auto& factory = LockFactory::instance();
+  const auto supported = supported_cond_lock_names();
+  ASSERT_FALSE(supported.empty());
+  std::vector<std::string_view> expected;
+  for (const LockVTable* vt : factory.entries()) {
+    if (shim_cond_capable(vt->info)) expected.push_back(vt->info.name);
+  }
+  EXPECT_EQ(supported, expected);
+  // The overlay re-acquires through the shim's vtable, so condvar
+  // coverage currently equals mutex coverage.
+  EXPECT_EQ(supported, supported_lock_names());
+  for (const char* name : {"hemlock-ah", "hemlock-cv", "pthread"}) {
+    const LockInfo* info = factory.info(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_FALSE(shim_cond_capable(*info)) << name;
+  }
+}
+
+namespace {
+
+/// Restores the governor's automatic tier classification on scope
+/// exit, so a failing ASSERT cannot leak a forced tier into sibling
+/// tests.
+struct TierGuard {
+  explicit TierGuard(WaitTier t) { ContentionGovernor::instance().force(t); }
+  ~TierGuard() { ContentionGovernor::instance().clear_force(); }
+};
+
+constexpr WaitTier kAllTiers[] = {WaitTier::kSpin, WaitTier::kYield,
+                                  WaitTier::kPark};
+
+/// A bounded producer/consumer queue driven entirely through the shim
+/// surface (ShimMutex + ShimCond static entry points — the same code
+/// the LD_PRELOAD symbols call). Totals are exact iff no wakeup is
+/// lost and exclusion holds.
+struct BoundedQueue {
+  static constexpr int kCapacity = 4;
+
+  pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t not_empty = PTHREAD_COND_INITIALIZER;
+  pthread_cond_t not_full = PTHREAD_COND_INITIALIZER;
+  long ring[kCapacity] = {};
+  int head = 0;
+  int size = 0;
+  long produced = 0, produced_sum = 0;
+  long consumed = 0, consumed_sum = 0;
+  bool done = false;
+
+  void push(long item) {
+    ShimMutex::shim_lock(&mu);
+    while (size == kCapacity) ShimCond::shim_wait(&not_full, &mu);
+    ring[(head + size) % kCapacity] = item;
+    ++size;
+    ++produced;
+    produced_sum += item;
+    ShimMutex::shim_unlock(&mu);
+    ShimCond::shim_signal(&not_empty);
+  }
+
+  /// One consume; false when production has finished and the ring is
+  /// drained. Alternates untimed and timed waits so both paths run.
+  bool pop() {
+    ShimMutex::shim_lock(&mu);
+    while (size == 0 && !done) {
+      if ((consumed & 1) == 0) {
+        ShimCond::shim_wait(&not_empty, &mu);
+      } else {
+        struct timespec deadline;
+        clock_gettime(CLOCK_REALTIME, &deadline);
+        deadline.tv_nsec += 20 * 1000 * 1000;  // 20 ms, then re-check
+        if (deadline.tv_nsec >= 1000000000L) {
+          deadline.tv_nsec -= 1000000000L;
+          ++deadline.tv_sec;
+        }
+        ShimCond::shim_timedwait(&not_empty, &mu, &deadline);
+      }
+    }
+    if (size == 0) {
+      ShimMutex::shim_unlock(&mu);
+      return false;
+    }
+    consumed_sum += ring[head];
+    head = (head + 1) % kCapacity;
+    --size;
+    ++consumed;
+    ShimMutex::shim_unlock(&mu);
+    ShimCond::shim_signal(&not_full);
+    return true;
+  }
+
+  void finish() {
+    ShimMutex::shim_lock(&mu);
+    done = true;
+    ShimMutex::shim_unlock(&mu);
+    ShimCond::shim_broadcast(&not_empty);
+  }
+
+  void destroy() {
+    ShimCond::shim_destroy(&not_empty);
+    ShimCond::shim_destroy(&not_full);
+    ShimMutex::shim_destroy(&mu);
+  }
+};
+
+}  // namespace
+
+TEST(ShimCond, SignalWaitRoundTrip) {
+  pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+  bool flag = false;
+  std::thread waiter([&] {
+    ShimMutex::shim_lock(&mu);
+    while (!flag) EXPECT_EQ(ShimCond::shim_wait(&cv, &mu), 0);
+    ShimMutex::shim_unlock(&mu);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ShimMutex::shim_lock(&mu);
+  flag = true;
+  ShimMutex::shim_unlock(&mu);
+  EXPECT_EQ(ShimCond::shim_signal(&cv), 0);
+  waiter.join();
+  EXPECT_EQ(ShimCond::shim_destroy(&cv), 0);
+  ShimMutex::shim_destroy(&mu);
+}
+
+// Lost-wakeup stress: N producers and M consumers over a tiny bounded
+// ring, for each waiting tier. A single lost signal deadlocks the
+// queue (the suite timeout catches it); exact totals prove exclusion.
+TEST(ShimCond, LostWakeupStressAcrossTiers) {
+  for (const WaitTier tier : kAllTiers) {
+    TierGuard forced(tier);
+    BoundedQueue q;
+    constexpr int kProducers = 3, kConsumers = 2;
+    constexpr long kItemsPerProducer = 800;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&q, p] {
+        for (long i = 0; i < kItemsPerProducer; ++i) {
+          q.push(p * kItemsPerProducer + i + 1);
+        }
+      });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&q] {
+        while (q.pop()) {
+        }
+      });
+    }
+    for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+    q.finish();
+    for (int c = 0; c < kConsumers; ++c) {
+      threads[static_cast<size_t>(kProducers + c)].join();
+    }
+    EXPECT_EQ(q.produced, kProducers * kItemsPerProducer)
+        << wait_tier_name(tier);
+    EXPECT_EQ(q.consumed, q.produced) << wait_tier_name(tier);
+    EXPECT_EQ(q.consumed_sum, q.produced_sum) << wait_tier_name(tier);
+    q.destroy();
+  }
+}
+
+// timedwait with nobody signalling: ETIMEDOUT, not earlier than the
+// deadline (modulo one scheduler tick), and certainly not a hang.
+TEST(ShimCond, TimedwaitTimesOutAccurately) {
+  for (const WaitTier tier : kAllTiers) {
+    TierGuard forced(tier);
+    pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+    pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+    constexpr long kWaitMs = 80;
+    struct timespec deadline;
+    clock_gettime(CLOCK_REALTIME, &deadline);
+    deadline.tv_nsec += kWaitMs * 1000 * 1000;
+    if (deadline.tv_nsec >= 1000000000L) {
+      deadline.tv_nsec -= 1000000000L;
+      ++deadline.tv_sec;
+    }
+    ShimMutex::shim_lock(&mu);
+    const auto start = std::chrono::steady_clock::now();
+    const int rc = ShimCond::shim_timedwait(&cv, &mu, &deadline);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    ShimMutex::shim_unlock(&mu);
+    EXPECT_EQ(rc, ETIMEDOUT) << wait_tier_name(tier);
+    EXPECT_GE(elapsed.count(), kWaitMs - 20) << wait_tier_name(tier);
+    ShimCond::shim_destroy(&cv);
+    ShimMutex::shim_destroy(&mu);
+  }
+}
+
+TEST(ShimCond, TimedwaitPastDeadlineReturnsImmediately) {
+  pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+  struct timespec past;
+  clock_gettime(CLOCK_REALTIME, &past);
+  past.tv_sec -= 5;
+  ShimMutex::shim_lock(&mu);
+  EXPECT_EQ(ShimCond::shim_timedwait(&cv, &mu, &past), ETIMEDOUT);
+  // The mutex was re-acquired on the way out: we can still unlock it.
+  ShimMutex::shim_unlock(&mu);
+  ShimCond::shim_destroy(&cv);
+  ShimMutex::shim_destroy(&mu);
+}
+
+TEST(ShimCond, InvalidAbstimeIsEinvalBeforeAnyStateChange) {
+  pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+  struct timespec bad{};
+  bad.tv_nsec = 2000000000L;  // out of [0, 1e9)
+  ShimMutex::shim_lock(&mu);
+  EXPECT_EQ(ShimCond::shim_timedwait(&cv, &mu, &bad), EINVAL);
+  ShimMutex::shim_unlock(&mu);  // still held: EINVAL left it untouched
+  ShimCond::shim_destroy(&cv);
+  ShimMutex::shim_destroy(&mu);
+}
+
+// POSIX allows destroying a condvar as soon as all blocked threads
+// have been awakened — i.e. immediately after the broadcast, while
+// waiters may still be inside pthread_cond_wait re-acquiring the
+// mutex. The overlay's destroy drains those stragglers.
+TEST(ShimCond, BroadcastThenImmediateDestroy) {
+  for (const WaitTier tier : kAllTiers) {
+    TierGuard forced(tier);
+    for (int round = 0; round < 5; ++round) {
+      pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+      auto* cv = new pthread_cond_t;
+      ShimCond::shim_init(cv);
+      bool flag = false;
+      std::atomic<int> returned{0};
+      std::vector<std::thread> waiters;
+      for (int i = 0; i < 4; ++i) {
+        waiters.emplace_back([&, cv] {
+          ShimMutex::shim_lock(&mu);
+          while (!flag) ShimCond::shim_wait(cv, &mu);
+          ShimMutex::shim_unlock(&mu);
+          returned.fetch_add(1);
+        });
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ShimMutex::shim_lock(&mu);
+      flag = true;
+      ShimMutex::shim_unlock(&mu);
+      ShimCond::shim_broadcast(cv);
+      EXPECT_EQ(ShimCond::shim_destroy(cv), 0);
+      delete cv;  // storage gone: any late overlay touch would be UAF
+      for (auto& t : waiters) t.join();
+      EXPECT_EQ(returned.load(), 4) << wait_tier_name(tier);
+      ShimMutex::shim_destroy(&mu);
+    }
+  }
+}
+
+// A storm of signals and broadcasts that do NOT change the predicate
+// must neither wedge the waiter nor let it through: every overlay
+// return is at most a spurious wakeup, absorbed by the caller's
+// predicate loop (the POSIX contract this condvar leans on).
+TEST(ShimCond, SpuriousWakeupTolerance) {
+  for (const WaitTier tier : kAllTiers) {
+    TierGuard forced(tier);
+    pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+    pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+    bool flag = false;
+    std::atomic<bool> escaped{false};
+    std::thread waiter([&] {
+      ShimMutex::shim_lock(&mu);
+      while (!flag) ShimCond::shim_wait(&cv, &mu);
+      ShimMutex::shim_unlock(&mu);
+      escaped.store(true);
+    });
+    for (int i = 0; i < 200; ++i) {
+      (i & 1) != 0 ? ShimCond::shim_signal(&cv) : ShimCond::shim_broadcast(&cv);
+      if ((i & 15) == 0) std::this_thread::yield();
+    }
+    EXPECT_FALSE(escaped.load()) << wait_tier_name(tier);
+    ShimMutex::shim_lock(&mu);
+    flag = true;
+    ShimMutex::shim_unlock(&mu);
+    ShimCond::shim_signal(&cv);
+    waiter.join();
+    EXPECT_TRUE(escaped.load()) << wait_tier_name(tier);
+    ShimCond::shim_destroy(&cv);
+    ShimMutex::shim_destroy(&mu);
+  }
+}
+
+// Concurrent waits must share one mutex (POSIX). glibc makes the
+// mismatch undefined; the overlay reports EINVAL.
+TEST(ShimCond, MismatchedMutexWhileWaitingIsEinval) {
+  pthread_mutex_t m1 = PTHREAD_MUTEX_INITIALIZER;
+  pthread_mutex_t m2 = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+  bool flag = false;
+  std::thread waiter([&] {
+    ShimMutex::shim_lock(&m1);
+    while (!flag) ShimCond::shim_wait(&cv, &m1);
+    ShimMutex::shim_unlock(&m1);
+  });
+  // Wait until the waiter has genuinely registered on (cv, m1) — a
+  // fixed sleep would race a slow-starting thread into associating
+  // the condvar with m2 instead.
+  const auto* sc = reinterpret_cast<const ShimCond*>(&cv);
+  while (sc->waiters.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  ShimMutex::shim_lock(&m2);
+  EXPECT_EQ(ShimCond::shim_wait(&cv, &m2), EINVAL);
+  ShimMutex::shim_unlock(&m2);
+  ShimMutex::shim_lock(&m1);
+  flag = true;
+  ShimMutex::shim_unlock(&m1);
+  ShimCond::shim_signal(&cv);
+  waiter.join();
+  ShimCond::shim_destroy(&cv);
+  ShimMutex::shim_destroy(&m1);
+  ShimMutex::shim_destroy(&m2);
+}
+
+// The lifecycle counters mirror the mutex registry's discipline:
+// monotone, and moved by the operations that claim to move them.
+TEST(ShimCond, LifecycleStatsMove) {
+  auto& stats = cond_stats();
+  const auto waits = stats.waits.load();
+  const auto signals = stats.signals.load();
+  const auto broadcasts = stats.broadcasts.load();
+  const auto timeouts = stats.timeouts.load();
+  pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t cv = PTHREAD_COND_INITIALIZER;
+  struct timespec past;
+  clock_gettime(CLOCK_REALTIME, &past);
+  past.tv_sec -= 1;
+  ShimMutex::shim_lock(&mu);
+  EXPECT_EQ(ShimCond::shim_timedwait(&cv, &mu, &past), ETIMEDOUT);
+  ShimMutex::shim_unlock(&mu);
+  ShimCond::shim_signal(&cv);
+  ShimCond::shim_broadcast(&cv);
+  EXPECT_GT(stats.waits.load(), waits);
+  EXPECT_GT(stats.signals.load(), signals);
+  EXPECT_GT(stats.broadcasts.load(), broadcasts);
+  EXPECT_GT(stats.timeouts.load(), timeouts);
+  ShimCond::shim_destroy(&cv);
+  ShimMutex::shim_destroy(&mu);
+}
+
 // Full integration: run the plain-pthreads demo binary under
 // LD_PRELOAD for every supported algorithm. The demo exits non-zero
 // if its counters are wrong, so one EXPECT per algorithm covers
@@ -213,6 +575,25 @@ TEST(PreloadIntegration, DemoRunsCorrectlyUnderEveryAlgorithm) {
   const std::string fallback =
       env + " HEMLOCK_LOCK=nonsense " + demo + " > /dev/null 2>&1";
   EXPECT_EQ(std::system(fallback.c_str()), 0);
+#endif
+}
+
+// The condvar demo (producer/consumer through real pthread_cond_*)
+// under LD_PRELOAD for every condvar-capable algorithm: the overlay's
+// wait/signal/broadcast/timedwait paths through the actual dynamic
+// linker, on top of each hosted mutex.
+TEST(PreloadIntegration, CondDemoRunsCorrectlyUnderEveryAlgorithm) {
+#if !defined(HEMLOCK_PRELOAD_SO) || !defined(HEMLOCK_PRELOAD_COND_DEMO)
+  GTEST_SKIP() << "preload paths not configured";
+#else
+  const std::string preload = HEMLOCK_PRELOAD_SO;
+  const std::string demo = HEMLOCK_PRELOAD_COND_DEMO;
+  const std::string env = "HEMLOCK_DEMO_ITERS=1000 LD_PRELOAD=" + preload;
+  for (const std::string_view algo : supported_cond_lock_names()) {
+    const std::string cmd = env + " HEMLOCK_LOCK=" + std::string(algo) + " " +
+                            demo + " > /dev/null";
+    EXPECT_EQ(std::system(cmd.c_str()), 0) << "HEMLOCK_LOCK=" << algo;
+  }
 #endif
 }
 

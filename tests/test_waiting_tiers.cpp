@@ -96,11 +96,13 @@ TEST(QueueWaitingTier, ParkedWaiterRechecksItsPredicate) {
   EXPECT_TRUE(proceeded.load());
 }
 
-// The governor's parked census never leaks entries across a hand-off.
+// The governor's parked census never leaks entries across a hand-off
+// — neither on the waited word's own bucket nor process-wide.
 TEST(QueueWaitingTier, ParkCensusReturnsToBaseline) {
   auto& gov = ContentionGovernor::instance();
-  const std::uint32_t before = gov.parked();
   std::atomic<std::uint32_t> w{1};
+  const std::uint32_t before_here = gov.parked(&w);
+  const std::uint32_t before_total = gov.parked_total();
   std::vector<std::thread> waiters;
   for (int i = 0; i < 4; ++i) {
     waiters.emplace_back(
@@ -109,7 +111,8 @@ TEST(QueueWaitingTier, ParkCensusReturnsToBaseline) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   SpinThenParkWaiting::publish(w, std::uint32_t{0});
   for (auto& t : waiters) t.join();
-  EXPECT_EQ(gov.parked(), before);
+  EXPECT_EQ(gov.parked(&w), before_here);
+  EXPECT_EQ(gov.parked_total(), before_total);
 }
 
 // --------------------------------------- oversubscribed exclusion --

@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""bench_compare — the bench-trajectory regression gate.
+
+CI's perf-smoke job has recorded a ``BENCH_*.json`` (schema
+``hemlock-bench-v1``) trajectory artifact on every commit since PR 2,
+but nothing *compared* them: a PR could halve a lock's hand-off
+throughput and merge green. This tool closes that loop. It diffs a
+candidate set of trajectory files (the PR's perf-smoke output) against
+a baseline set (the latest main-branch artifact) and fails on any
+median-throughput drop beyond the threshold for a (bench, lock,
+threads) key.
+
+Design notes, sized to the tiny CI budgets that produce these files:
+
+* Keys are compared point-by-point — a regression confined to one
+  lock at one thread count (the classic oversubscription convoy) must
+  not be averaged away by twenty healthy curves.
+* The default threshold is deliberately loose (30%) because the
+  perf-smoke budgets are deliberately tiny (50 ms runs): this gate
+  exists to catch collapses — a convoying queue lock is 10-100x off,
+  not 1.3x — while staying quiet across runner-to-runner jitter.
+* A noise floor skips keys whose baseline value is too small to
+  divide meaningfully: near-zero throughput at a tiny budget is
+  mostly timer noise, and a ratio of two noises gates nothing.
+* Values are "higher is better" (every emitting bench reports
+  throughput; the schema's ``unit`` is asserted to look like one).
+* Baseline/candidate asymmetries (new bench, removed lock, different
+  thread sweep) are reported but never fail the gate: trajectories
+  evolve with the roster, and only like-for-like keys are evidence.
+
+Exit status: 0 when no enforced regression (or ``--advisory``),
+1 on regression, 2 on usage/schema errors.
+
+Run ``bench_compare.py --self-test`` for the synthetic-fixture suite
+CI registers as a ctest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA = "hemlock-bench-v1"
+
+
+def load_trajectories(directory):
+    """Map bench id -> parsed doc for every BENCH_*.json in directory."""
+    docs = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        if doc.get("schema") != SCHEMA:
+            raise ValueError(f"{path}: schema {doc.get('schema')!r}, "
+                             f"want {SCHEMA!r}")
+        unit = doc.get("unit", "")
+        if "per_sec" not in unit:
+            raise ValueError(f"{path}: unit {unit!r} is not a throughput "
+                             "(higher-is-better) unit; teach bench_compare "
+                             "its direction before gating on it")
+        docs[doc["bench"]] = doc
+    return docs
+
+
+def point_map(doc):
+    """Flatten a trajectory doc to {(lock, threads): value}, skipping
+    null values (a bench that could not run a configuration)."""
+    points = {}
+    for series in doc.get("series", []):
+        lock = series["lock"]
+        for point in series.get("points", []):
+            value = point.get("value")
+            if value is not None:
+                points[(lock, point["threads"])] = float(value)
+    return points
+
+
+def compare(baseline_docs, candidate_docs, threshold, noise_floor):
+    """Return (regressions, notes, compared_keys).
+
+    regressions: list of (bench, lock, threads, base, cand, drop_frac)
+    notes: human-readable asymmetry/skip notes (never failures)
+    """
+    regressions = []
+    notes = []
+    compared = 0
+    for bench in sorted(set(baseline_docs) | set(candidate_docs)):
+        if bench not in baseline_docs:
+            notes.append(f"{bench}: new bench (no baseline) — advisory only")
+            continue
+        if bench not in candidate_docs:
+            notes.append(f"{bench}: present in baseline but not in candidate")
+            continue
+        base_points = point_map(baseline_docs[bench])
+        cand_points = point_map(candidate_docs[bench])
+        for key in sorted(set(base_points) | set(cand_points)):
+            lock, threads = key
+            if key not in base_points or key not in cand_points:
+                where = "baseline" if key not in cand_points else "candidate"
+                notes.append(f"{bench}/{lock}@{threads}t: only in {where}")
+                continue
+            base = base_points[key]
+            cand = cand_points[key]
+            if base < noise_floor:
+                notes.append(f"{bench}/{lock}@{threads}t: baseline {base:g} "
+                             f"below noise floor {noise_floor:g}, skipped")
+                continue
+            compared += 1
+            drop = (base - cand) / base
+            if drop > threshold:
+                regressions.append((bench, lock, threads, base, cand, drop))
+    return regressions, notes, compared
+
+
+def run_compare(args):
+    try:
+        baseline_docs = load_trajectories(args.baseline)
+        candidate_docs = load_trajectories(args.candidate)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+    if not baseline_docs:
+        # First run ever (or artifact fetch failed upstream): nothing to
+        # gate against. Advisory by definition.
+        print(f"bench_compare: no baseline trajectories in {args.baseline!r} "
+              "— advisory pass (gate becomes enforcing once a main-branch "
+              "artifact exists)")
+        return 0
+    if not candidate_docs:
+        print(f"bench_compare: no candidate trajectories in "
+              f"{args.candidate!r}", file=sys.stderr)
+        return 2
+
+    try:
+        regressions, notes, compared = compare(
+            baseline_docs, candidate_docs, args.threshold, args.noise_floor)
+    except (KeyError, TypeError, ValueError) as err:
+        # A doc that passed the schema tag but is structurally broken
+        # (series missing "lock"/"threads", non-numeric value, ...)
+        # is a schema error (exit 2), not a perf regression (exit 1) —
+        # the CI gate must not send authors bisecting lock hand-off
+        # paths over a malformed artifact.
+        print(f"bench_compare: malformed trajectory document: {err!r}",
+              file=sys.stderr)
+        return 2
+
+    for note in notes:
+        print(f"  note: {note}")
+    print(f"bench_compare: {compared} (bench, lock, threads) keys compared, "
+          f"threshold {args.threshold:.0%} drop, noise floor "
+          f"{args.noise_floor:g}")
+    if not regressions:
+        print("bench_compare: no regression beyond threshold")
+        return 0
+    regressions.sort(key=lambda r: -r[5])
+    print(f"bench_compare: {len(regressions)} REGRESSION(S):")
+    for bench, lock, threads, base, cand, drop in regressions:
+        print(f"  {bench}/{lock}@{threads}t: {base:g} -> {cand:g} "
+              f"({drop:+.0%} drop)")
+    if args.advisory:
+        print("bench_compare: advisory mode — reporting only, not failing")
+        return 0
+    print("bench_compare: FAIL — median throughput dropped beyond the "
+          "threshold.\nIf the drop is intended (e.g. a correctness fix "
+          "with a known cost), say so in the PR and re-run with a fresh "
+          "main baseline after merge; if not, bisect the touched lock's "
+          "hand-off path (see README 'Perf regression gate').",
+          file=sys.stderr)
+    return 1
+
+
+# ---------------------------------------------------------------------
+# Self-test: synthetic fixtures exercising every verdict the CI gate
+# relies on. Registered as ctest `test_bench_compare`.
+# ---------------------------------------------------------------------
+
+def _write_doc(directory, bench, values, unit="msteps_per_sec"):
+    """values: {lock: {threads: value-or-None}}"""
+    doc = {
+        "schema": SCHEMA,
+        "bench": bench,
+        "unit": unit,
+        "host": {"logical_cpus": 4, "model": "self-test"},
+        "duration_ms": 50,
+        "runs": 1,
+        "series": [
+            {"lock": lock,
+             "points": [{"threads": t, "value": v}
+                        for t, v in sorted(points.items())]}
+            for lock, points in sorted(values.items())
+        ],
+    }
+    path = os.path.join(directory, f"BENCH_{bench}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+    return path
+
+
+def _gate(baseline, candidate, **kwargs):
+    args = argparse.Namespace(
+        baseline=baseline, candidate=candidate,
+        threshold=kwargs.get("threshold", 0.30),
+        noise_floor=kwargs.get("noise_floor", 1.0),
+        advisory=kwargs.get("advisory", False))
+    return run_compare(args)
+
+
+def self_test():
+    failures = []
+
+    def check(name, got, want):
+        status = "ok" if got == want else f"FAIL (exit {got}, want {want})"
+        print(f"self-test: {name}: {status}")
+        if got != want:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "base")
+        os.makedirs(base)
+        healthy = {"hemlock": {1: 30.0, 4: 12.0}, "mcs": {1: 28.0, 4: 3.0}}
+        _write_doc(base, "fig2_max_contention", healthy)
+
+        # Identical candidate: pass.
+        same = os.path.join(tmp, "same")
+        os.makedirs(same)
+        _write_doc(same, "fig2_max_contention", healthy)
+        check("identical trajectories pass", _gate(base, same), 0)
+
+        # Jitter within the threshold (20% drop on one key): pass.
+        jitter = os.path.join(tmp, "jitter")
+        os.makedirs(jitter)
+        _write_doc(jitter, "fig2_max_contention",
+                   {"hemlock": {1: 24.0, 4: 12.5}, "mcs": {1: 28.9, 4: 3.1}})
+        check("20% jitter passes at 30% threshold", _gate(base, jitter), 0)
+
+        # The acceptance case: one key synthetically degraded far past
+        # the threshold (the convoy shape) must fail the gate.
+        degraded = os.path.join(tmp, "degraded")
+        os.makedirs(degraded)
+        _write_doc(degraded, "fig2_max_contention",
+                   {"hemlock": {1: 30.0, 4: 1.2}, "mcs": {1: 28.0, 4: 3.0}})
+        check("90% drop on one key fails", _gate(base, degraded), 1)
+        check("...but passes in advisory mode",
+              _gate(base, degraded, advisory=True), 0)
+
+        # Noise floor: a 'collapse' from 0.4 to 0.1 is two timer noises
+        # at a 50 ms budget, not evidence.
+        noisy_base = os.path.join(tmp, "noisy_base")
+        os.makedirs(noisy_base)
+        _write_doc(noisy_base, "oversub", {"mcs-park": {16: 0.4}})
+        noisy_cand = os.path.join(tmp, "noisy_cand")
+        os.makedirs(noisy_cand)
+        _write_doc(noisy_cand, "oversub", {"mcs-park": {16: 0.1}})
+        check("sub-noise-floor drop is skipped",
+              _gate(noisy_base, noisy_cand), 0)
+
+        # Asymmetries are notes, not failures.
+        asym = os.path.join(tmp, "asym")
+        os.makedirs(asym)
+        _write_doc(asym, "fig2_max_contention",
+                   {"hemlock": {1: 30.0, 4: 12.0, 8: 9.0},
+                    "clh": {1: 20.0}})  # mcs gone, clh new, 8t new
+        check("roster/sweep asymmetry passes", _gate(base, asym), 0)
+
+        # Null values (a configuration that could not run) are skipped.
+        nulls = os.path.join(tmp, "nulls")
+        os.makedirs(nulls)
+        _write_doc(nulls, "fig2_max_contention",
+                   {"hemlock": {1: 30.0, 4: None}, "mcs": {1: 28.0, 4: 3.0}})
+        check("null candidate points are skipped", _gate(base, nulls), 0)
+
+        # Empty baseline directory: advisory pass (first-run bootstrap).
+        empty = os.path.join(tmp, "empty")
+        os.makedirs(empty)
+        check("missing baseline is an advisory pass", _gate(empty, same), 0)
+
+        # Malformed schema: usage error, not a silent pass.
+        bad = os.path.join(tmp, "bad")
+        os.makedirs(bad)
+        with open(os.path.join(bad, "BENCH_x.json"), "w",
+                  encoding="utf-8") as f:
+            json.dump({"schema": "nope", "bench": "x",
+                       "unit": "msteps_per_sec"}, f)
+        check("wrong schema is an error", _gate(base, bad), 2)
+
+        # Right schema tag but structurally broken (series point
+        # missing "threads"): schema error (2), never a fake
+        # regression verdict (1).
+        broken = os.path.join(tmp, "broken")
+        os.makedirs(broken)
+        with open(os.path.join(broken, "BENCH_fig2_max_contention.json"),
+                  "w", encoding="utf-8") as f:
+            json.dump({"schema": SCHEMA, "bench": "fig2_max_contention",
+                       "unit": "msteps_per_sec",
+                       "series": [{"lock": "hemlock",
+                                   "points": [{"value": 3.0}]}]}, f)
+        check("structurally broken doc is an error", _gate(base, broken), 2)
+
+        # A latency-unit file must be rejected until taught, not
+        # silently gated in the wrong direction.
+        lat = os.path.join(tmp, "lat")
+        os.makedirs(lat)
+        _write_doc(lat, "latency", {"hemlock": {1: 100.0}}, unit="ns_per_op")
+        check("non-throughput unit is an error", _gate(lat, lat), 2)
+
+    if failures:
+        print(f"self-test: {len(failures)} FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("self-test: all verdicts OK")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Diff hemlock-bench-v1 BENCH_*.json trajectory sets; "
+                    "fail on per-key median-throughput regressions.")
+    parser.add_argument("--baseline",
+                        help="directory holding the baseline BENCH_*.json "
+                             "(e.g. the latest main-branch perf-smoke "
+                             "artifact)")
+    parser.add_argument("--candidate",
+                        help="directory holding the PR's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional drop that fails a key "
+                             "(default 0.30 = 30%%)")
+    parser.add_argument("--noise-floor", type=float, default=1.0,
+                        help="skip keys whose baseline value is below this "
+                             "(tiny-budget noise; default 1.0 bench units)")
+    parser.add_argument("--advisory", action="store_true",
+                        help="report regressions but always exit 0")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the synthetic-fixture suite and exit")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("--baseline and --candidate are required "
+                     "(or use --self-test)")
+    return run_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
