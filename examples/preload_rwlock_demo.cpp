@@ -1,0 +1,160 @@
+// preload_rwlock_demo — a deliberately plain pthreads rwlock workload.
+//
+// Like the other preload demos it knows nothing about this library:
+// readers and writers share a small table guarded by one
+// pthread_rwlock_t. Run it bare and it uses glibc's rwlock; run it
+// under the interposition library and the same binary runs on the
+// compact hemlock-style rwlock family:
+//
+//   LD_PRELOAD=$BUILD/libhemlock_preload.so HEMLOCK_RWLOCK=rwlock-compact
+//     HEMLOCK_WAIT=park ./preload_rwlock_demo
+//
+// Every writer advances all table cells by one, keeping them equal;
+// every reader (rdlock and occasionally timedrdlock) snapshots the
+// table and checks the cells agree — a reader overlapping a writer
+// sees torn cells and the demo exits nonzero. Exit code 0 iff no
+// reader ever observed a torn table, the final generation equals the
+// writer count, and a trywrlock taken mid-run behaved. This makes
+// the binary double as the rwlock overlay's integration test (a lost
+// writer wake hangs it; the CI smoke runs it under `timeout`).
+#include <pthread.h>
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace {
+
+long env_long(const char* key, long def) {
+  const char* env = std::getenv(key);
+  const long parsed = env != nullptr ? std::atol(env) : 0;
+  return parsed > 0 ? parsed : def;
+}
+
+/// Total threads; HEMLOCK_DEMO_THREADS overrides (the CI
+/// oversubscription smoke runs at a multiple of the host's cores).
+/// Split ~3/4 readers, at least one of each role.
+int threads() {
+  static const int n = static_cast<int>(env_long("HEMLOCK_DEMO_THREADS", 8));
+  return n >= 2 ? n : 2;
+}
+int writers() { return threads() / 4 > 0 ? threads() / 4 : 1; }
+int readers() { return threads() - writers(); }
+
+/// Write generations per writer; HEMLOCK_DEMO_ITERS overrides.
+long iters() {
+  static const long n = env_long("HEMLOCK_DEMO_ITERS", 2000);
+  return n;
+}
+
+constexpr int kCells = 8;
+
+pthread_rwlock_t g_table_lock = PTHREAD_RWLOCK_INITIALIZER;  // lazy adoption
+long g_table[kCells];
+
+long g_torn_observations = 0;  // readers: cells disagreed (exclusion bug)
+long g_reads = 0;              // successful reader snapshots
+/// Per-thread result slots (reads, then torn counts), summed after
+/// join so reader threads never share a counter.
+std::vector<long>* g_sink;
+
+void* writer(void*) {
+  for (long i = 0, n = iters(); i < n; ++i) {
+    pthread_rwlock_wrlock(&g_table_lock);
+    for (long& cell : g_table) ++cell;
+    pthread_rwlock_unlock(&g_table_lock);
+  }
+  return nullptr;
+}
+
+void* reader(void* arg) {
+  const long id = reinterpret_cast<long>(arg);
+  long reads = 0, torn = 0;
+  for (;;) {
+    // Alternate plain and timed read acquires so both overlay paths
+    // run; the timed deadline is generous (200 ms) so timeouts only
+    // fire if writers wedge the lock.
+    int rc;
+    if ((reads & 7) == 7) {
+      struct timespec deadline;
+      clock_gettime(CLOCK_REALTIME, &deadline);
+      deadline.tv_nsec += 200 * 1000 * 1000;
+      if (deadline.tv_nsec >= 1000000000L) {
+        deadline.tv_nsec -= 1000000000L;
+        ++deadline.tv_sec;
+      }
+      rc = pthread_rwlock_timedrdlock(&g_table_lock, &deadline);
+    } else {
+      rc = pthread_rwlock_rdlock(&g_table_lock);
+    }
+    if (rc != 0) continue;
+    const long first = g_table[0];
+    for (const long cell : g_table) {
+      if (cell != first) {
+        ++torn;
+        break;
+      }
+    }
+    pthread_rwlock_unlock(&g_table_lock);
+    ++reads;
+    if (first >= static_cast<long>(writers()) * iters()) break;  // done
+    if ((reads & 3) == 0) {
+      // Brief backoff so writers make progress even under glibc's
+      // default reader-preferring rwlock (bare, un-preloaded runs);
+      // the interposed family is writer-preferring and needs none.
+      struct timespec nap{0, 100 * 1000};
+      nanosleep(&nap, nullptr);
+    }
+  }
+  (*g_sink)[static_cast<std::size_t>(id)] = reads;
+  (*g_sink)[static_cast<std::size_t>(readers() + id)] = torn;
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  g_sink = new std::vector<long>(static_cast<std::size_t>(2 * readers()), 0);
+
+  std::vector<pthread_t> workers(
+      static_cast<std::size_t>(readers() + writers()));
+  for (int r = 0; r < readers(); ++r) {
+    pthread_create(&workers[static_cast<std::size_t>(r)], nullptr, reader,
+                   reinterpret_cast<void*>(static_cast<long>(r)));
+  }
+  for (int w = 0; w < writers(); ++w) {
+    pthread_create(&workers[static_cast<std::size_t>(readers() + w)], nullptr,
+                   writer, nullptr);
+  }
+
+  // Mid-run trywrlock sanity from the main thread: either acquire
+  // (then the table must be coherent) or observe EBUSY — never hang.
+  bool try_ok = true;
+  if (pthread_rwlock_trywrlock(&g_table_lock) == 0) {
+    const long first = g_table[0];
+    for (const long cell : g_table) try_ok = try_ok && cell == first;
+    pthread_rwlock_unlock(&g_table_lock);
+  }
+
+  for (auto& w : workers) pthread_join(w, nullptr);
+  for (int r = 0; r < readers(); ++r) {
+    g_reads += (*g_sink)[static_cast<std::size_t>(r)];
+    g_torn_observations += (*g_sink)[static_cast<std::size_t>(readers() + r)];
+  }
+
+  const long expected = static_cast<long>(writers()) * iters();
+  const bool generations_ok = g_table[0] == expected;
+  pthread_rwlock_destroy(&g_table_lock);
+
+  std::printf("writers: %d x %ld generations (final %ld, expected %ld)\n",
+              writers(), iters(), g_table[0], expected);
+  std::printf("readers: %d threads, %ld snapshots, %ld torn\n", readers(),
+              g_reads, g_torn_observations);
+
+  const bool ok =
+      generations_ok && g_torn_observations == 0 && try_ok && g_reads > 0;
+  std::puts(ok ? "OK" : "FAILED");
+  delete g_sink;
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -62,6 +62,15 @@ struct LockVTable {
   /// Non-blocking attempt; algorithms without a native try_lock
   /// (CLH, Anderson — see info.has_trylock) conservatively fail.
   bool (*try_lock)(void* storage);
+  /// Shared (reader) mode. Reader-writer algorithms
+  /// (info.rwlock_capable) admit concurrent readers here; exclusive
+  /// algorithms degrade to their exclusive operations, so the shared
+  /// surface is total over the roster (a shared acquire is then just
+  /// an exclusive one — the "erased exclusive baseline" rwlock
+  /// benches compare against).
+  void (*lock_shared)(void* storage);
+  void (*unlock_shared)(void* storage);
+  bool (*try_lock_shared)(void* storage);
 };
 
 namespace detail {
@@ -126,6 +135,17 @@ class AnyLock {
   /// Non-blocking attempt; always false when !info().has_trylock.
   bool try_lock() { return vt_->try_lock(storage_); }
 
+  /// Shared (reader) acquire. Concurrent readers are admitted only
+  /// when info().rwlock_capable; exclusive algorithms serve this as a
+  /// plain lock(), so code written against the shared surface runs
+  /// any roster algorithm (and an rwlock-aware caller can check the
+  /// descriptor to know which semantics it got).
+  void lock_shared() { vt_->lock_shared(storage_); }
+  /// Shared release (must pair with lock_shared/try_lock_shared).
+  void unlock_shared() { vt_->unlock_shared(storage_); }
+  /// Non-blocking shared attempt.
+  bool try_lock_shared() { return vt_->try_lock_shared(storage_); }
+
   /// The hosted algorithm's descriptor.
   const LockInfo& info() const noexcept { return vt_->info; }
   /// The hosted algorithm's registry name.
@@ -147,6 +167,7 @@ class AnyLock {
 
 static_assert(BasicLockable<AnyLock>);
 static_assert(TryLockable<AnyLock>);
+static_assert(SharedLockable<AnyLock>);
 
 /// The erasure thunks for lock type L, and the one static vtable per
 /// algorithm that AnyLock instances share.
@@ -175,6 +196,27 @@ struct LockErasure {
       return false;  // conservative: an attempt that never succeeds
     }
   }
+  static void do_lock_shared(void* p) {
+    if constexpr (SharedLockable<L>) {
+      static_cast<L*>(p)->lock_shared();
+    } else {
+      static_cast<L*>(p)->lock();  // exclusive fallback (one "reader")
+    }
+  }
+  static void do_unlock_shared(void* p) {
+    if constexpr (SharedLockable<L>) {
+      static_cast<L*>(p)->unlock_shared();
+    } else {
+      static_cast<L*>(p)->unlock();
+    }
+  }
+  static bool do_try_lock_shared(void* p) {
+    if constexpr (SharedLockable<L>) {
+      return static_cast<L*>(p)->try_lock_shared();
+    } else {
+      return do_try_lock(p);
+    }
+  }
 };
 
 /// The static vtable for lock type L. One per algorithm per process;
@@ -184,6 +226,9 @@ inline constexpr LockVTable lock_vtable = {
     make_lock_info<L>(),        &LockErasure<L>::construct,
     &LockErasure<L>::destroy,   &LockErasure<L>::do_lock,
     &LockErasure<L>::do_unlock, &LockErasure<L>::do_try_lock,
+    &LockErasure<L>::do_lock_shared,
+    &LockErasure<L>::do_unlock_shared,
+    &LockErasure<L>::do_try_lock_shared,
 };
 
 }  // namespace hemlock

@@ -57,6 +57,13 @@ struct LockInfo {
   /// qualifies unless its traits opt out. Follows pthread_overlay_safe
   /// when the trait does not declare condvar_capable.
   bool condvar_capable;
+  /// Native shared (reader) mode: lock_shared / try_lock_shared /
+  /// unlock_shared admit concurrent readers. When false, the erased
+  /// shared-mode surface still exists but degrades to the exclusive
+  /// operations (one "reader" at a time) — how an rwlock bench
+  /// baselines against an exclusive lock, and how the descriptor
+  /// gates what the pthread_rwlock_t shim may host.
+  bool rwlock_capable;
   /// Waiting-policy name: how contenders wait ("spin", "yield",
   /// "park", "adaptive" for the queue-lock tiers; "ctr-cas" / "load" /
   /// "ctr-faa" / "futex" for the Hemlock Grant policies; see
@@ -104,6 +111,11 @@ constexpr LockInfo make_lock_info() noexcept {
   } else {
     info.condvar_capable = info.pthread_overlay_safe;
   }
+  info.rwlock_capable = requires(L& l) {
+    l.lock_shared();
+    l.unlock_shared();
+    l.try_lock_shared();
+  };
   if constexpr (requires { T::waiting; }) {
     info.waiting = T::waiting;
   } else {

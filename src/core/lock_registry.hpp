@@ -25,6 +25,7 @@
 #include "locks/lock_traits.hpp"
 #include "locks/mcs.hpp"
 #include "locks/mcs_k42.hpp"
+#include "locks/rwlock.hpp"
 #include "locks/system.hpp"
 #include "locks/tas.hpp"
 #include "locks/ticket.hpp"
@@ -55,7 +56,8 @@ using AndersonGovernedDefault = AndersonLockT<64, GovernedWaiting>;
 /// Every algorithm in the library, core contribution first, then the
 /// paper's baselines, then the queue locks' oversubscription waiting
 /// tiers (-yield / -park / -adaptive; see core/waiting.hpp), then the
-/// reference system mutexes.
+/// reader-writer family (sharded-ingress and pthread_rwlock_t-sized
+/// compact, each across the tiers), then the reference system mutexes.
 using AllLockTags = std::tuple<
     lock_tag<Hemlock>, lock_tag<HemlockNaive>, lock_tag<HemlockFaa>,
     lock_tag<HemlockFutex>, lock_tag<HemlockAdaptive>,
@@ -70,7 +72,11 @@ using AllLockTags = std::tuple<
     lock_tag<ClhGovernedLock>, lock_tag<TicketYieldLock>,
     lock_tag<TicketParkLock>, lock_tag<TicketGovernedLock>,
     lock_tag<AndersonYieldDefault>, lock_tag<AndersonParkDefault>,
-    lock_tag<AndersonGovernedDefault>, lock_tag<PthreadMutex>>;
+    lock_tag<AndersonGovernedDefault>, lock_tag<RwLock>,
+    lock_tag<RwYieldLock>, lock_tag<RwParkLock>,
+    lock_tag<RwGovernedLock>, lock_tag<RwCompactLock>,
+    lock_tag<RwCompactYieldLock>, lock_tag<RwCompactParkLock>,
+    lock_tag<RwCompactGovernedLock>, lock_tag<PthreadMutex>>;
 
 /// The five algorithms the paper's figures plot: MCS, CLH, Ticket,
 /// Hemlock (CTR) and Hemlock- (naive).

@@ -339,6 +339,70 @@ inline std::atomic<std::uint32_t>* futex_word(std::atomic<T>& w) noexcept {
   return reinterpret_cast<std::atomic<std::uint32_t>*>(&w);
 }
 
+// ---------------------------------------------------------------------
+// Per-slot parking ring for exact-value waits (the ticket shape).
+//
+// Ticket locks wait globally: every waiter polls the one now-serving
+// word, so when the parked tiers sleep there, every release must wake
+// *every* sleeper — N-1 of which immediately re-park (the classic
+// thundering herd of parked ticket locks; each hand-off paid N wake +
+// N-1 re-park syscalls). But a ticket waiter knows the exact value it
+// is waiting for, so its sleep can be keyed on (word address, awaited
+// value) instead of the word alone: waiters hash into a small global
+// ring of generation-counted futex words, and a release wakes only the
+// slot of the ticket it just served — the front waiter (plus rare hash
+// collisions, which re-check and re-park harmlessly).
+// ---------------------------------------------------------------------
+
+/// Slots in the process-wide ticket-parking ring. Collisions are
+/// correctness-neutral (a woken collider re-checks its predicate and
+/// re-parks), so the ring only needs to be large enough to make them
+/// rare across the handful of hot parked ticket locks a process runs.
+inline constexpr std::size_t kTicketRingSlots = 256;
+
+/// The ring: generation counters bumped by every publish that targets
+/// the slot. Sleepers snapshot the generation before re-checking their
+/// predicate; the kernel's compare against that snapshot closes the
+/// publish-vs-sleep race exactly as it does for direct word parks.
+inline std::atomic<std::uint32_t> g_ticket_ring[kTicketRingSlots];
+
+/// The ring slot for value `v` awaited on the word at `addr`.
+template <typename T>
+inline std::atomic<std::uint32_t>& ticket_slot(const void* addr,
+                                               T v) noexcept {
+  auto a = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+  const auto mix = static_cast<std::uintptr_t>(
+      static_cast<std::uint64_t>(v) * 0x9E3779B97F4A7C15ULL);
+  const std::uintptr_t h = (a ^ (a >> 7)) + mix;
+  return g_ticket_ring[static_cast<std::size_t>(h ^ (h >> 11)) &
+                       (kTicketRingSlots - 1)];
+}
+
+/// One parking round on the slot keyed by (w, expected) instead of on
+/// w itself. The generation snapshot plays the role the waited word's
+/// value plays in park_round: a publisher bumps the slot's generation
+/// (a seq_cst RMW — also the Dekker fence against the parked census)
+/// strictly after storing the serving word, so a sleeper either reads
+/// the bumped generation (and its predicate re-check then sees the
+/// store) or is refused by the kernel's compare. Sleeps are bounded
+/// anyway: a 2^32-generation wrap during one descheduled window is the
+/// same theoretical hazard as the wide-word alias, and the same bound
+/// turns it into a re-check.
+template <typename T, typename Pred>
+inline void park_round_slotted(std::atomic<T>& w, T expected,
+                               const Pred& done) noexcept {
+  auto& slot = ticket_slot(&w, expected);
+  const std::uint32_t gen = slot.load(std::memory_order_acquire);
+  if (done(w.load(std::memory_order_acquire))) return;
+  auto& gov = ContentionGovernor::instance();
+  gov.begin_park(&slot);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!done(w.load(std::memory_order_relaxed))) {
+    futex_wait_for(&slot, gen, kWideWordParkNanos);
+  }
+  gov.end_park(&slot);
+}
+
 /// One parking round: announce the parked intent, re-check the word
 /// behind a seq_cst fence (the Dekker handshake with publish()'s
 /// store-fence-read of the parked census), then sleep. The kernel's
@@ -365,17 +429,20 @@ inline void park_round(std::atomic<T>& w, const Pred& done) noexcept {
   gov.end_park(&w);
 }
 
-/// The escalating wait shared by every tier: a free doorstep spin,
-/// then rounds whose behavior `tier_of_round(round)` selects. Returns
-/// the first value satisfying `done`. Escalated rounds are registered
-/// with the governor's waiter census (that census *is* the
-/// oversubscription signal classify() consumes). Callers that already
-/// performed their own doorstep (GovernedGrantWaiting's CTR CAS loop)
-/// pass doorstep_spins = 0 so escalation latency stays one budget.
-template <typename T, typename Done, typename TierFn>
-inline T wait_escalating(std::atomic<T>& w, const Done& done,
-                         const TierFn& tier_of_round,
-                         std::uint32_t doorstep_spins = kDoorstepSpins) noexcept {
+/// The escalating wait's engine: a free doorstep spin, then rounds
+/// whose behavior `tier_of_round(round)` selects, with `park_once`
+/// supplying the park round (direct-word park_round, or the ticket
+/// ring's slotted variant). Returns the first value satisfying
+/// `done`. Escalated rounds are registered with the governor's waiter
+/// census (that census *is* the oversubscription signal classify()
+/// consumes). Callers that already performed their own doorstep
+/// (GovernedGrantWaiting's CTR CAS loop) pass doorstep_spins = 0 so
+/// escalation latency stays one budget.
+template <typename T, typename Done, typename TierFn, typename ParkFn>
+inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
+                              const TierFn& tier_of_round,
+                              const ParkFn& park_once,
+                              std::uint32_t doorstep_spins) noexcept {
   for (std::uint32_t i = 0; i < doorstep_spins; ++i) {
     const T v = w.load(std::memory_order_acquire);
     if (done(v)) return v;
@@ -405,7 +472,7 @@ inline T wait_escalating(std::atomic<T>& w, const Done& done,
         break;
       }
       case WaitTier::kPark:
-        park_round(w, done);
+        park_once();
         break;
     }
     const T v = w.load(std::memory_order_acquire);
@@ -414,6 +481,16 @@ inline T wait_escalating(std::atomic<T>& w, const Done& done,
       return v;
     }
   }
+}
+
+/// The escalating wait shared by every tier, parking directly on the
+/// waited word.
+template <typename T, typename Done, typename TierFn>
+inline T wait_escalating(std::atomic<T>& w, const Done& done,
+                         const TierFn& tier_of_round,
+                         std::uint32_t doorstep_spins = kDoorstepSpins) noexcept {
+  return wait_escalating_with(
+      w, done, tier_of_round, [&] { park_round(w, done); }, doorstep_spins);
 }
 
 /// Hand-off store for the parking tiers: release the value, then wake
@@ -432,6 +509,32 @@ inline void publish_and_wake(std::atomic<T>& w, T value) noexcept {
   }
 }
 
+/// wait_escalating for an exact awaited value, with park rounds routed
+/// through the ticket ring (see park_round_slotted) so a release wakes
+/// only the waiter it serves.
+template <typename T, typename TierFn>
+inline void wait_escalating_slotted(std::atomic<T>& w, T expected,
+                                    const TierFn& tier_of_round) noexcept {
+  const auto done = [expected](T v) { return v == expected; };
+  (void)wait_escalating_with(
+      w, done, tier_of_round,
+      [&] { park_round_slotted(w, expected, done); }, kDoorstepSpins);
+}
+
+/// Hand-off store for slotted (exact-value) waiters: release the
+/// value, bump its slot's generation (the RMW is the Dekker fence),
+/// then wake that slot only — the front waiter, not the herd. Waiters
+/// of *other* tickets sleep on their own slots and are not disturbed.
+template <typename T>
+inline void publish_and_wake_slotted(std::atomic<T>& w, T value) noexcept {
+  w.store(value, std::memory_order_release);
+  auto& slot = ticket_slot(&w, value);
+  slot.fetch_add(1, std::memory_order_seq_cst);
+  if (ContentionGovernor::instance().parked(&slot) != 0) {
+    futex_wake_all(&slot);
+  }
+}
+
 }  // namespace queue_wait
 
 /// Pure busy-waiting — the paper's §5.1 baseline configuration and the
@@ -441,6 +544,8 @@ inline void publish_and_wake(std::atomic<T>& w, T value) noexcept {
 struct QueueSpinWaiting {
   static constexpr const char* name = "spin";
   static constexpr bool oversub_safe = false;
+  /// Waiters never sleep — publishers need no wake consideration.
+  static constexpr bool may_park = false;
 
   template <typename T>
   static void wait_until(std::atomic<T>& w, T expected) noexcept {
@@ -470,6 +575,7 @@ struct QueueSpinWaiting {
 struct QueueYieldWaiting {
   static constexpr const char* name = "yield";
   static constexpr bool oversub_safe = true;
+  static constexpr bool may_park = false;
 
   template <typename T>
   static void wait_until(std::atomic<T>& w, T expected) noexcept {
@@ -502,6 +608,7 @@ struct QueueYieldWaiting {
 struct SpinThenParkWaiting {
   static constexpr const char* name = "park";
   static constexpr bool oversub_safe = true;
+  static constexpr bool may_park = true;
 
   template <typename T>
   static void wait_until(std::atomic<T>& w, T expected) noexcept {
@@ -518,6 +625,20 @@ struct SpinThenParkWaiting {
   template <typename T>
   static void publish(std::atomic<T>& w, T value) noexcept {
     queue_wait::publish_and_wake(w, value);
+  }
+
+  /// Exact-value wait on a globally-shared word (ticket shape): park
+  /// rounds sleep on the (word, value) ring slot, so a hand-off wakes
+  /// only the waiter it serves instead of the whole herd.
+  template <typename T>
+  static void wait_ticket(std::atomic<T>& w, T expected) noexcept {
+    queue_wait::wait_escalating_slotted(w, expected, tier_of_round);
+  }
+
+  /// The matching hand-off store: wake the published value's slot only.
+  template <typename T>
+  static void publish_ticket(std::atomic<T>& w, T value) noexcept {
+    queue_wait::publish_and_wake_slotted(w, value);
   }
 
  private:
@@ -537,6 +658,7 @@ struct SpinThenParkWaiting {
 struct GovernedWaiting {
   static constexpr const char* name = "adaptive";
   static constexpr bool oversub_safe = true;
+  static constexpr bool may_park = true;
 
   template <typename T>
   static void wait_until(std::atomic<T>& w, T expected) noexcept {
@@ -554,6 +676,18 @@ struct GovernedWaiting {
   static void publish(std::atomic<T>& w, T value) noexcept {
     // Governed waiters may be parked; same gated wake as the park tier.
     queue_wait::publish_and_wake(w, value);
+  }
+
+  /// Slotted ticket waiting, as in SpinThenParkWaiting (the governed
+  /// tier parks under heavy oversubscription, so it herds identically).
+  template <typename T>
+  static void wait_ticket(std::atomic<T>& w, T expected) noexcept {
+    queue_wait::wait_escalating_slotted(w, expected, tier_of_round);
+  }
+
+  template <typename T>
+  static void publish_ticket(std::atomic<T>& w, T value) noexcept {
+    queue_wait::publish_and_wake_slotted(w, value);
   }
 
  private:

@@ -1,12 +1,14 @@
 // pthread_interpose.cpp — the LD_PRELOAD surface.
 //
 // Compiled only into libhemlock_preload.so. Defines the strong
-// pthread_mutex_* and pthread_cond_* symbols so a preloaded
-// application's mutexes are transparently replaced by the
-// HEMLOCK_LOCK-selected algorithm and its condition variables by the
-// futex overlay that knows how to wait on those mutexes — the paper's
-// §5 evaluation mechanism, widened from mutex-only programs to the
-// full wait/notify workloads real preload targets run:
+// pthread_mutex_*, pthread_cond_* and pthread_rwlock_* symbols so a
+// preloaded application's mutexes are transparently replaced by the
+// HEMLOCK_LOCK-selected algorithm, its condition variables by the
+// futex overlay that knows how to wait on those mutexes, and its
+// reader-writer locks by the HEMLOCK_RWLOCK-selected compact rwlock —
+// the paper's §5 evaluation mechanism, widened from mutex-only
+// programs to the full wait/notify and read-mostly workloads real
+// preload targets run:
 //
 //   LD_PRELOAD=libhemlock_preload.so HEMLOCK_LOCK=hemlock ./app
 //
@@ -31,19 +33,22 @@
 
 #include "interpose/shim_cond.hpp"
 #include "interpose/shim_mutex.hpp"
+#include "interpose/shim_rwlock.hpp"
 
 using hemlock::interpose::ShimCond;
 using hemlock::interpose::ShimMutex;
+using hemlock::interpose::ShimRwLock;
 
 extern "C" {
 
 // ---- pthread_mutex_* -------------------------------------------------
 
-int pthread_mutex_init(pthread_mutex_t* m,
-                       const pthread_mutexattr_t* /*attr*/) {
-  // Attributes (recursive/errorcheck/robust) are not modelled — the
-  // paper's framework likewise exposes plain mutex semantics.
-  return ShimMutex::shim_init(m);
+int pthread_mutex_init(pthread_mutex_t* m, const pthread_mutexattr_t* attr) {
+  // PTHREAD_PROCESS_SHARED routes to glibc (the overlay is
+  // process-local); other attributes (recursive/errorcheck/robust)
+  // are not modelled — the paper's framework likewise exposes plain
+  // mutex semantics.
+  return ShimMutex::shim_init(m, attr);
 }
 
 int pthread_mutex_destroy(pthread_mutex_t* m) {
@@ -62,11 +67,10 @@ int pthread_mutex_unlock(pthread_mutex_t* m) {
 
 // ---- pthread_cond_* --------------------------------------------------
 
-int pthread_cond_init(pthread_cond_t* c, const pthread_condattr_t* /*attr*/) {
-  // Attributes are not modelled: the wait clock is the POSIX default
-  // CLOCK_REALTIME and pshared condvars are out of scope (as are
-  // pshared mutexes in the mutex shim).
-  return ShimCond::shim_init(c);
+int pthread_cond_init(pthread_cond_t* c, const pthread_condattr_t* attr) {
+  // The condattr clock is honored (timedwait measures deadlines on
+  // it); PTHREAD_PROCESS_SHARED routes to glibc.
+  return ShimCond::shim_init(c, attr);
 }
 
 int pthread_cond_destroy(pthread_cond_t* c) {
@@ -91,6 +95,57 @@ int pthread_cond_signal(pthread_cond_t* c) { return ShimCond::shim_signal(c); }
 
 int pthread_cond_broadcast(pthread_cond_t* c) {
   return ShimCond::shim_broadcast(c);
+}
+
+// ---- pthread_rwlock_* ------------------------------------------------
+
+int pthread_rwlock_init(pthread_rwlock_t* rw,
+                        const pthread_rwlockattr_t* attr) {
+  return ShimRwLock::shim_init(rw, attr);
+}
+
+int pthread_rwlock_destroy(pthread_rwlock_t* rw) {
+  return ShimRwLock::shim_destroy(rw);
+}
+
+int pthread_rwlock_rdlock(pthread_rwlock_t* rw) {
+  return ShimRwLock::shim_rdlock(rw);
+}
+
+int pthread_rwlock_tryrdlock(pthread_rwlock_t* rw) {
+  return ShimRwLock::shim_tryrdlock(rw);
+}
+
+int pthread_rwlock_timedrdlock(pthread_rwlock_t* rw,
+                               const struct timespec* abstime) {
+  return ShimRwLock::shim_timedrdlock(rw, abstime);
+}
+
+int pthread_rwlock_clockrdlock(pthread_rwlock_t* rw, clockid_t clock,
+                               const struct timespec* abstime) {
+  return ShimRwLock::shim_clockrdlock(rw, clock, abstime);
+}
+
+int pthread_rwlock_wrlock(pthread_rwlock_t* rw) {
+  return ShimRwLock::shim_wrlock(rw);
+}
+
+int pthread_rwlock_trywrlock(pthread_rwlock_t* rw) {
+  return ShimRwLock::shim_trywrlock(rw);
+}
+
+int pthread_rwlock_timedwrlock(pthread_rwlock_t* rw,
+                               const struct timespec* abstime) {
+  return ShimRwLock::shim_timedwrlock(rw, abstime);
+}
+
+int pthread_rwlock_clockwrlock(pthread_rwlock_t* rw, clockid_t clock,
+                               const struct timespec* abstime) {
+  return ShimRwLock::shim_clockwrlock(rw, clock, abstime);
+}
+
+int pthread_rwlock_unlock(pthread_rwlock_t* rw) {
+  return ShimRwLock::shim_unlock(rw);
 }
 
 }  // extern "C"

@@ -4,9 +4,11 @@
 #include <sched.h>
 #include <time.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "api/factory.hpp"
+#include "interpose/foreign.hpp"
 #include "interpose/shim_mutex.hpp"
 #include "runtime/futex.hpp"
 
@@ -148,15 +150,38 @@ int wait_common(pthread_cond_t* c, pthread_mutex_t* m, clockid_t clock,
 
 }  // namespace
 
-int ShimCond::shim_init(pthread_cond_t* c) {
+int ShimCond::shim_init(pthread_cond_t* c, const pthread_condattr_t* attr) {
   if (c == nullptr) return EINVAL;
+  if (attr != nullptr) {
+    int pshared = PTHREAD_PROCESS_PRIVATE;
+    if (pthread_condattr_getpshared(attr, &pshared) == 0 &&
+        pshared == PTHREAD_PROCESS_SHARED) {
+      // Same rule as the mutex shim: pshared objects are glibc's.
+      const int rc = route_pshared_init(
+          c, "pthread_cond", [&] { return real_pthread().cond_init(c, attr); });
+      if (rc >= 0) return rc;
+    }
+  }
+  // Clear any stale routing entry left by a destroy-less pshared
+  // object previously at this address (see shim_mutex's init).
+  if (ForeignRegistry::contains(c)) ForeignRegistry::erase(c);
   std::memset(static_cast<void*>(c), 0, sizeof(*c));
-  adopt(c);
+  ShimCond* sc = adopt(c);
+  clockid_t ck = CLOCK_REALTIME;
+  if (attr != nullptr && pthread_condattr_getclock(attr, &ck) == 0) {
+    sc->clock.store(static_cast<std::int32_t>(ck),
+                    std::memory_order_relaxed);
+  }
   return 0;
 }
 
 int ShimCond::shim_destroy(pthread_cond_t* c) {
   if (c == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(c)) {
+    const int rc = real_pthread().cond_destroy(c);
+    ForeignRegistry::erase(c);
+    return rc;
+  }
   auto* sc = reinterpret_cast<ShimCond*>(c);
   if (sc->magic.load(std::memory_order_acquire) == kReady) {
     // Drain: threads still inside wait (POSIX allows destroy as soon
@@ -177,26 +202,71 @@ int ShimCond::shim_destroy(pthread_cond_t* c) {
   return 0;
 }
 
+namespace {
+
+/// A glibc-routed (pshared) condvar may only wait on a glibc-routed
+/// mutex: handing glibc's cond_wait a hemlock-hosted mutex would let
+/// glibc manipulate the overlay bytes as its own mutex state. POSIX
+/// already makes a pshared condvar with a non-pshared mutex
+/// undefined; the shim makes it a loud EINVAL.
+bool foreign_wait_mutex_ok(pthread_mutex_t* m) {
+  if (m != nullptr && ForeignRegistry::contains(m)) return true;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "[hemlock-interpose] PROCESS_SHARED condvar waited on a "
+                 "process-local (hemlock-hosted) mutex: refusing with "
+                 "EINVAL — a pshared condvar needs a pshared mutex\n");
+  }
+  return false;
+}
+
+}  // namespace
+
 int ShimCond::shim_wait(pthread_cond_t* c, pthread_mutex_t* m) {
+  if (c != nullptr && ForeignRegistry::contains(c)) {
+    if (!foreign_wait_mutex_ok(m)) return EINVAL;
+    return real_pthread().cond_wait(c, m);
+  }
   return wait_common(c, m, CLOCK_REALTIME, nullptr);
 }
 
 int ShimCond::shim_timedwait(pthread_cond_t* c, pthread_mutex_t* m,
                              const struct timespec* abstime) {
   if (abstime == nullptr) return EINVAL;
-  return wait_common(c, m, CLOCK_REALTIME, abstime);
+  if (c != nullptr && ForeignRegistry::contains(c)) {
+    if (!foreign_wait_mutex_ok(m)) return EINVAL;
+    return real_pthread().cond_timedwait(c, m, abstime);
+  }
+  if (c == nullptr) return EINVAL;
+  // The deadline is measured on the condvar's configured clock
+  // (condattr; CLOCK_REALTIME when defaulted or statically
+  // initialized) — previously hard-coded to CLOCK_REALTIME, which
+  // turned CLOCK_MONOTONIC deadlines into immediate timeouts.
+  const auto clock = static_cast<clockid_t>(
+      adopt(c)->clock.load(std::memory_order_relaxed));
+  return wait_common(c, m, clock, abstime);
 }
 
 int ShimCond::shim_clockwait(pthread_cond_t* c, pthread_mutex_t* m,
                              clockid_t clock,
                              const struct timespec* abstime) {
   if (abstime == nullptr) return EINVAL;
+  if (c != nullptr && ForeignRegistry::contains(c)) {
+    if (!foreign_wait_mutex_ok(m)) return EINVAL;
+    const RealPthread& real = real_pthread();
+    if (real.cond_clockwait != nullptr) {
+      return real.cond_clockwait(c, m, clock, abstime);
+    }
+    return EINVAL;
+  }
   if (clock != CLOCK_REALTIME && clock != CLOCK_MONOTONIC) return EINVAL;
   return wait_common(c, m, clock, abstime);
 }
 
 int ShimCond::shim_signal(pthread_cond_t* c) {
   if (c == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(c)) return real_pthread().cond_signal(c);
   ShimCond* sc = adopt(c);
   cond_stats().signals.fetch_add(1, std::memory_order_relaxed);
   sc->seq.fetch_add(1, std::memory_order_seq_cst);
@@ -214,6 +284,7 @@ int ShimCond::shim_signal(pthread_cond_t* c) {
 
 int ShimCond::shim_broadcast(pthread_cond_t* c) {
   if (c == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(c)) return real_pthread().cond_broadcast(c);
   ShimCond* sc = adopt(c);
   cond_stats().broadcasts.fetch_add(1, std::memory_order_relaxed);
   const std::uint32_t newseq =

@@ -35,10 +35,11 @@
 //    that role and hand-over happens at condvar exit).
 //
 // Where semantics diverge from glibc (documented in the README):
-//  * condattr clocks are not modelled: timedwait measures
-//    CLOCK_REALTIME absolute deadlines (the POSIX default) via a
-//    relative kernel timeout, so a realtime clock *jump* during a
-//    wait shifts the effective deadline. clockwait accepts
+//  * timedwait measures its absolute deadline on the condvar's
+//    configured clock (pthread_condattr_setclock; default
+//    CLOCK_REALTIME) but converts it to a *relative* kernel timeout,
+//    so a realtime clock jump during a CLOCK_REALTIME wait shifts
+//    the effective deadline. clockwait accepts CLOCK_REALTIME or
 //    CLOCK_MONOTONIC explicitly.
 //  * wakeup-ordering fairness is the kernel futex queue's (FIFO per
 //    word), not glibc's group machinery; a waiter that arrives after
@@ -119,21 +120,29 @@ struct ShimCond {
   /// chain would be spent without waking anyone, and the sleeper it
   /// was meant for would be stranded forever.
   std::atomic<std::uint32_t> windows;
+  /// The clock pthread_cond_timedwait deadlines are measured on:
+  /// pthread_condattr_setclock's choice, recorded at init. Zero —
+  /// the lazy-adoption (PTHREAD_COND_INITIALIZER) state — is
+  /// CLOCK_REALTIME, the POSIX default, so statically initialized
+  /// condvars need no special case.
+  std::atomic<std::int32_t> clock;
   /// The associated mutex, recorded at wait time. POSIX requires all
   /// concurrent waiters to use the same mutex; a mismatch while
   /// waiters are present is reported as EINVAL instead of UB.
   std::atomic<pthread_mutex_t*> mutex;
 
   // ---- the pthread_cond_* surface --------------------------------------
-  /// pthread_cond_init (attrs not modelled: the clock is the POSIX
-  /// default CLOCK_REALTIME; pshared condvars are out of scope, like
-  /// pshared mutexes in the mutex shim).
-  static int shim_init(pthread_cond_t* c);
+  /// pthread_cond_init. The condattr clock is honored (stored in
+  /// `clock`, measured by timedwait); a PTHREAD_PROCESS_SHARED attr
+  /// routes the condvar to glibc like the mutex shim does.
+  static int shim_init(pthread_cond_t* c,
+                       const pthread_condattr_t* attr = nullptr);
   /// pthread_cond_destroy: drain in-flight waiters, scrub storage.
   static int shim_destroy(pthread_cond_t* c);
   /// pthread_cond_wait.
   static int shim_wait(pthread_cond_t* c, pthread_mutex_t* m);
-  /// pthread_cond_timedwait (CLOCK_REALTIME absolute deadline).
+  /// pthread_cond_timedwait: absolute deadline on the condvar's
+  /// configured clock (condattr clock; default CLOCK_REALTIME).
   static int shim_timedwait(pthread_cond_t* c, pthread_mutex_t* m,
                             const struct timespec* abstime);
   /// pthread_cond_clockwait (CLOCK_REALTIME or CLOCK_MONOTONIC).

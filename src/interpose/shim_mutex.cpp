@@ -8,6 +8,8 @@
 #include <string_view>
 
 #include "api/factory.hpp"
+#include "interpose/foreign.hpp"
+#include "interpose/tier_select.hpp"
 #include "runtime/governor.hpp"
 #include "runtime/pause.hpp"
 
@@ -51,32 +53,11 @@ std::vector<std::string_view> supported_lock_names() {
 
 namespace {
 
-/// The chosen algorithm's family name: the registered name minus its
-/// waiting-tier suffix ("mcs-park" -> "mcs", "hemlock-futex" ->
-/// "hemlock"), so HEMLOCK_WAIT can move *within* a family.
-std::string_view waiting_family(std::string_view name) noexcept {
-  for (const std::string_view suffix :
-       {std::string_view{"-spin"}, std::string_view{"-yield"},
-        std::string_view{"-park"}, std::string_view{"-adaptive"},
-        std::string_view{"-futex"}}) {
-    if (name.size() > suffix.size() && name.ends_with(suffix)) {
-      return name.substr(0, name.size() - suffix.size());
-    }
-  }
-  return name;
-}
-
-/// The hostable factory entry named `family + suffix`, or nullptr.
-/// Fixed-buffer concatenation: no allocation on this path.
+/// Mutex-overlay hostability as tier_select's lookup gate.
 const LockVTable* hostable_variant(std::string_view family,
                                    std::string_view suffix) noexcept {
-  char buf[96];
-  if (family.size() + suffix.size() >= sizeof(buf)) return nullptr;
-  std::memcpy(buf, family.data(), family.size());
-  std::memcpy(buf + family.size(), suffix.data(), suffix.size());
-  const std::string_view name(buf, family.size() + suffix.size());
-  const LockVTable* vt = find_lock(name);
-  return (vt != nullptr && shim_hostable(vt->info)) ? vt : nullptr;
+  return interpose::hostable_variant(
+      family, suffix, [](const LockInfo& info) { return shim_hostable(info); });
 }
 
 }  // namespace
@@ -175,13 +156,35 @@ const LockVTable& selected_lock() {
   return vt;
 }
 
-int ShimMutex::shim_init(pthread_mutex_t* m) {
+int ShimMutex::shim_init(pthread_mutex_t* m, const pthread_mutexattr_t* attr) {
+  int pshared = PTHREAD_PROCESS_PRIVATE;
+  if (attr != nullptr &&
+      pthread_mutexattr_getpshared(attr, &pshared) == 0 &&
+      pshared == PTHREAD_PROCESS_SHARED) {
+    // Our overlay is process-local state; hosting a pshared mutex
+    // would corrupt its cross-process users. Route it to glibc and
+    // remember the address so every later operation forwards too
+    // (-1: real symbols unresolved — host locally, notice printed).
+    const int rc = route_pshared_init(
+        m, "pthread_mutex", [&] { return real_pthread().mutex_init(m, attr); });
+    if (rc >= 0) return rc;
+  }
+  // A pshared object at this address may have been freed without its
+  // destroy (the peer process owns the teardown); hosting here without
+  // clearing the stale routing entry would forward this fresh mutex's
+  // operations to glibc over overlay bytes.
+  if (ForeignRegistry::contains(m)) ForeignRegistry::erase(m);
   std::memset(static_cast<void*>(m), 0, sizeof(*m));
   adopt(m);
   return 0;
 }
 
 int ShimMutex::shim_destroy(pthread_mutex_t* m) {
+  if (ForeignRegistry::contains(m)) {
+    const int rc = real_pthread().mutex_destroy(m);
+    ForeignRegistry::erase(m);
+    return rc;
+  }
   auto* sm = reinterpret_cast<ShimMutex*>(m);
   if (sm->magic.load(std::memory_order_acquire) == kReady) {
     sm->vt->destroy(sm->storage);
@@ -191,17 +194,20 @@ int ShimMutex::shim_destroy(pthread_mutex_t* m) {
 }
 
 int ShimMutex::shim_lock(pthread_mutex_t* m) {
+  if (ForeignRegistry::contains(m)) return real_pthread().mutex_lock(m);
   ShimMutex* sm = adopt(m);
   sm->vt->lock(sm->storage);
   return 0;
 }
 
 int ShimMutex::shim_trylock(pthread_mutex_t* m) {
+  if (ForeignRegistry::contains(m)) return real_pthread().mutex_trylock(m);
   ShimMutex* sm = adopt(m);
   return sm->vt->try_lock(sm->storage) ? 0 : EBUSY;
 }
 
 int ShimMutex::shim_unlock(pthread_mutex_t* m) {
+  if (ForeignRegistry::contains(m)) return real_pthread().mutex_unlock(m);
   ShimMutex* sm = adopt(m);
   sm->vt->unlock(sm->storage);
   return 0;

@@ -101,7 +101,12 @@ struct ShimMutex {
 
   // ---- the pthread_mutex_* surface -----------------------------------
   /// pthread_mutex_init: adopt eagerly with the process-wide choice.
-  static int shim_init(pthread_mutex_t* m);
+  /// A PTHREAD_PROCESS_SHARED attr routes the mutex to glibc instead
+  /// (our overlay is process-local; hosting a pshared mutex would
+  /// corrupt its cross-process users) — see interpose/foreign.hpp.
+  /// Other attributes (recursive/errorcheck/robust) are not modelled.
+  static int shim_init(pthread_mutex_t* m,
+                       const pthread_mutexattr_t* attr = nullptr);
   /// pthread_mutex_destroy.
   static int shim_destroy(pthread_mutex_t* m);
   /// pthread_mutex_lock.

@@ -1,0 +1,338 @@
+#include "interpose/shim_rwlock.hpp"
+
+#include <errno.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "api/factory.hpp"
+#include "interpose/foreign.hpp"
+#include "interpose/tier_select.hpp"
+#include "runtime/futex.hpp"
+#include "runtime/governor.hpp"
+#include "runtime/pause.hpp"
+
+namespace hemlock::interpose {
+
+std::vector<std::string_view> supported_rwlock_names() {
+  std::vector<std::string_view> names;
+  for (const LockVTable* vt : LockFactory::instance().entries()) {
+    if (shim_rwlock_hostable(vt->info)) names.push_back(vt->info.name);
+  }
+  return names;
+}
+
+namespace {
+
+/// The default hosted family. The sharded "rwlock" names cannot fit
+/// the overlay; their compact siblings are the same protocol with a
+/// packed ingress word.
+constexpr std::string_view kDefaultRwFamily = "rwlock-compact";
+
+/// Rwlock-overlay hostability as tier_select's lookup gate.
+const LockVTable* hostable_rw_variant(std::string_view family,
+                                      std::string_view suffix) noexcept {
+  return hostable_variant(family, suffix, [](const LockInfo& info) {
+    return shim_rwlock_hostable(info);
+  });
+}
+
+}  // namespace
+
+const LockVTable& resolve_shim_rwlock(const char* rwlock_env,
+                                      const char* wait_env) noexcept {
+  const LockVTable* fallback = find_lock(kDefaultRwFamily);
+  const LockVTable* chosen = fallback;
+  bool explicit_spin = false;
+  if (rwlock_env != nullptr && rwlock_env[0] != '\0') {
+    const LockVTable* named = find_lock(rwlock_env);
+    if (named != nullptr && shim_rwlock_hostable(named->info)) {
+      chosen = named;
+      explicit_spin = std::string_view(rwlock_env).ends_with("-spin");
+    } else if (named != nullptr && named->info.rwlock_capable) {
+      // A real rwlock that does not fit the overlay (the sharded
+      // family): host its compact sibling in the same tier.
+      const std::string_view tier = named->info.waiting;
+      const LockVTable* compact =
+          tier == QueueSpinWaiting::name
+              ? hostable_rw_variant(kDefaultRwFamily, "")
+              : (hostable_rw_variant(
+                     kDefaultRwFamily,
+                     tier == QueueYieldWaiting::name  ? "-yield"
+                     : tier == SpinThenParkWaiting::name ? "-park"
+                                                         : "-adaptive"));
+      if (compact != nullptr) {
+        std::fprintf(stderr,
+                     "[hemlock-interpose] HEMLOCK_RWLOCK=%s does not fit "
+                     "the pthread_rwlock_t overlay; hosting %.*s\n",
+                     rwlock_env,
+                     static_cast<int>(compact->info.name.size()),
+                     compact->info.name.data());
+        chosen = compact;
+        explicit_spin = std::string_view(rwlock_env).ends_with("-spin");
+      }
+    } else {
+      std::fprintf(stderr,
+                   "[hemlock-interpose] HEMLOCK_RWLOCK=%s rejected (%s); "
+                   "using %.*s\n",
+                   rwlock_env,
+                   named == nullptr ? "not a factory algorithm"
+                                    : "no shared (reader) mode",
+                   static_cast<int>(kDefaultRwFamily.size()),
+                   kDefaultRwFamily.data());
+    }
+  }
+
+  const std::string_view family = waiting_family(chosen->info.name);
+  WaitTier tier;
+  if (parse_wait_tier(wait_env, &tier)) {
+    const LockVTable* variant = nullptr;
+    switch (tier) {
+      case WaitTier::kSpin:
+        variant = hostable_rw_variant(family, "");
+        break;
+      case WaitTier::kYield:
+        variant = hostable_rw_variant(family, "-yield");
+        break;
+      case WaitTier::kPark:
+        variant = hostable_rw_variant(family, "-park");
+        break;
+    }
+    if (variant != nullptr) {
+      chosen = variant;
+    } else {
+      std::fprintf(stderr,
+                   "[hemlock-interpose] HEMLOCK_WAIT=%s: no such waiting "
+                   "tier for %.*s; keeping %.*s\n",
+                   wait_env, static_cast<int>(family.size()), family.data(),
+                   static_cast<int>(chosen->info.name.size()),
+                   chosen->info.name.data());
+    }
+  } else if (!chosen->info.oversub_safe && !explicit_spin) {
+    // Auto: same rule as the mutex shim — a busy-waiting selection
+    // would convoy when the process oversubscribes the host, so host
+    // the governed variant (identical spinning while contenders fit
+    // the CPUs). Silent, unlike the mutex shim's note: the rwlock
+    // default itself lands here on every preload.
+    const LockVTable* safe = hostable_rw_variant(family, "-adaptive");
+    if (safe != nullptr) chosen = safe;
+  }
+  return *chosen;
+}
+
+const LockVTable& selected_rwlock() {
+  static const LockVTable& vt = resolve_shim_rwlock(
+      std::getenv("HEMLOCK_RWLOCK"), std::getenv("HEMLOCK_WAIT"));
+  return vt;
+}
+
+namespace {
+
+/// Adopt the pthread_rwlock_t storage (the mutex overlay's lazy
+/// adoption, verbatim: PTHREAD_RWLOCK_INITIALIZER is all-zero).
+ShimRwLock* adopt(pthread_rwlock_t* rw) {
+  auto* srw = reinterpret_cast<ShimRwLock*>(rw);
+  std::uint32_t cur = srw->magic.load(std::memory_order_acquire);
+  if (cur == ShimRwLock::kReady) return srw;
+  std::uint32_t expected = 0;
+  if (srw->magic.compare_exchange_strong(expected, ShimRwLock::kIniting,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    srw->vt = &selected_rwlock();
+    srw->vt->construct(srw->storage);
+    srw->wheld.store(0, std::memory_order_relaxed);
+    srw->magic.store(ShimRwLock::kReady, std::memory_order_release);
+    return srw;
+  }
+  while (srw->magic.load(std::memory_order_acquire) != ShimRwLock::kReady) {
+    cpu_relax();
+  }
+  return srw;
+}
+
+/// Deadline-polled acquisition for the timed entry points: bounded
+/// try + sleep until `abstime` on `clock`. Not a queued wait — the
+/// hosted algorithms have no cancellable queue entry — but POSIX only
+/// promises the deadline, which this honors on the kernel's clock.
+template <typename TryFn>
+int timed_poll(clockid_t clock, const struct timespec* abstime,
+               const TryFn& try_acquire) {
+  if (abstime == nullptr ||
+      abstime->tv_nsec < 0 || abstime->tv_nsec >= 1000000000L) {
+    return EINVAL;
+  }
+  constexpr long kPollNanos = 500 * 1000;  // 0.5 ms between attempts
+  for (std::uint32_t spin = 0;; ++spin) {
+    if (try_acquire()) return 0;
+    struct timespec now;
+    if (clock_gettime(clock, &now) != 0) return EINVAL;
+    if (now.tv_sec > abstime->tv_sec ||
+        (now.tv_sec == abstime->tv_sec && now.tv_nsec >= abstime->tv_nsec)) {
+      return ETIMEDOUT;
+    }
+    if (spin < 64) {
+      cpu_relax();
+    } else {
+      struct timespec nap{0, kPollNanos};
+      nanosleep(&nap, nullptr);
+    }
+  }
+}
+
+}  // namespace
+
+int ShimRwLock::shim_init(pthread_rwlock_t* rw,
+                          const pthread_rwlockattr_t* attr) {
+  if (rw == nullptr) return EINVAL;
+  if (attr != nullptr) {
+    int pshared = PTHREAD_PROCESS_PRIVATE;
+    if (pthread_rwlockattr_getpshared(attr, &pshared) == 0 &&
+        pshared == PTHREAD_PROCESS_SHARED) {
+      // Same rule as the mutex shim: pshared objects are glibc's.
+      const int rc = route_pshared_init(rw, "pthread_rwlock", [&] {
+        return real_pthread().rwlock_init(rw, attr);
+      });
+      if (rc >= 0) return rc;
+    }
+    // rwlockattr kind (reader/writer preference) is not modelled: the
+    // hosted family is writer-preferring regardless.
+  }
+  // Clear any stale routing entry left by a destroy-less pshared
+  // object previously at this address (see shim_mutex's init).
+  if (ForeignRegistry::contains(rw)) ForeignRegistry::erase(rw);
+  std::memset(static_cast<void*>(rw), 0, sizeof(*rw));
+  adopt(rw);
+  return 0;
+}
+
+int ShimRwLock::shim_destroy(pthread_rwlock_t* rw) {
+  if (rw == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(rw)) {
+    const int rc = real_pthread().rwlock_destroy(rw);
+    ForeignRegistry::erase(rw);
+    return rc;
+  }
+  auto* srw = reinterpret_cast<ShimRwLock*>(rw);
+  if (srw->magic.load(std::memory_order_acquire) == kReady) {
+    srw->vt->destroy(srw->storage);
+  }
+  std::memset(static_cast<void*>(rw), 0, sizeof(*rw));
+  return 0;
+}
+
+int ShimRwLock::shim_rdlock(pthread_rwlock_t* rw) {
+  if (rw == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(rw)) return real_pthread().rwlock_rdlock(rw);
+  ShimRwLock* srw = adopt(rw);
+  srw->vt->lock_shared(srw->storage);
+  return 0;
+}
+
+int ShimRwLock::shim_tryrdlock(pthread_rwlock_t* rw) {
+  if (rw == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(rw)) {
+    return real_pthread().rwlock_tryrdlock(rw);
+  }
+  ShimRwLock* srw = adopt(rw);
+  return srw->vt->try_lock_shared(srw->storage) ? 0 : EBUSY;
+}
+
+int ShimRwLock::shim_timedrdlock(pthread_rwlock_t* rw,
+                                 const struct timespec* abstime) {
+  if (rw == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(rw)) {
+    return real_pthread().rwlock_timedrdlock(rw, abstime);
+  }
+  ShimRwLock* srw = adopt(rw);
+  return timed_poll(CLOCK_REALTIME, abstime, [srw] {
+    return srw->vt->try_lock_shared(srw->storage);
+  });
+}
+
+int ShimRwLock::shim_clockrdlock(pthread_rwlock_t* rw, clockid_t clock,
+                                 const struct timespec* abstime) {
+  if (rw == nullptr) return EINVAL;
+  if (clock != CLOCK_REALTIME && clock != CLOCK_MONOTONIC) return EINVAL;
+  if (ForeignRegistry::contains(rw)) {
+    const RealPthread& real = real_pthread();
+    return real.rwlock_clockrdlock != nullptr
+               ? real.rwlock_clockrdlock(rw, clock, abstime)
+               : EINVAL;
+  }
+  ShimRwLock* srw = adopt(rw);
+  return timed_poll(clock, abstime, [srw] {
+    return srw->vt->try_lock_shared(srw->storage);
+  });
+}
+
+int ShimRwLock::shim_wrlock(pthread_rwlock_t* rw) {
+  if (rw == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(rw)) return real_pthread().rwlock_wrlock(rw);
+  ShimRwLock* srw = adopt(rw);
+  srw->vt->lock(srw->storage);
+  srw->wheld.store(1, std::memory_order_relaxed);
+  return 0;
+}
+
+int ShimRwLock::shim_trywrlock(pthread_rwlock_t* rw) {
+  if (rw == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(rw)) {
+    return real_pthread().rwlock_trywrlock(rw);
+  }
+  ShimRwLock* srw = adopt(rw);
+  if (!srw->vt->try_lock(srw->storage)) return EBUSY;
+  srw->wheld.store(1, std::memory_order_relaxed);
+  return 0;
+}
+
+int ShimRwLock::shim_timedwrlock(pthread_rwlock_t* rw,
+                                 const struct timespec* abstime) {
+  if (rw == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(rw)) {
+    return real_pthread().rwlock_timedwrlock(rw, abstime);
+  }
+  ShimRwLock* srw = adopt(rw);
+  const int rc = timed_poll(CLOCK_REALTIME, abstime, [srw] {
+    return srw->vt->try_lock(srw->storage);
+  });
+  if (rc == 0) srw->wheld.store(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int ShimRwLock::shim_clockwrlock(pthread_rwlock_t* rw, clockid_t clock,
+                                 const struct timespec* abstime) {
+  if (rw == nullptr) return EINVAL;
+  if (clock != CLOCK_REALTIME && clock != CLOCK_MONOTONIC) return EINVAL;
+  if (ForeignRegistry::contains(rw)) {
+    const RealPthread& real = real_pthread();
+    return real.rwlock_clockwrlock != nullptr
+               ? real.rwlock_clockwrlock(rw, clock, abstime)
+               : EINVAL;
+  }
+  ShimRwLock* srw = adopt(rw);
+  const int rc = timed_poll(clock, abstime, [srw] {
+    return srw->vt->try_lock(srw->storage);
+  });
+  if (rc == 0) srw->wheld.store(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int ShimRwLock::shim_unlock(pthread_rwlock_t* rw) {
+  if (rw == nullptr) return EINVAL;
+  if (ForeignRegistry::contains(rw)) return real_pthread().rwlock_unlock(rw);
+  ShimRwLock* srw = adopt(rw);
+  // Mode dispatch: wheld is set only between a write acquire and its
+  // release, and readers run only while no writer holds — so a reader
+  // unlocking always reads it clear, and the writer (the sole holder)
+  // always reads its own store.
+  if (srw->wheld.load(std::memory_order_relaxed) != 0) {
+    srw->wheld.store(0, std::memory_order_relaxed);
+    srw->vt->unlock(srw->storage);
+  } else {
+    srw->vt->unlock_shared(srw->storage);
+  }
+  return 0;
+}
+
+}  // namespace hemlock::interpose

@@ -1,0 +1,53 @@
+// tier_select.hpp — name/tier primitives shared by the shim resolvers.
+//
+// Both environment resolvers (HEMLOCK_LOCK in shim_mutex,
+// HEMLOCK_RWLOCK in shim_rwlock) re-tier a chosen algorithm within
+// its family by suffix: strip the waiting-tier suffix to find the
+// family, then look up "<family><suffix>" gated on the caller's
+// hostability rule. These helpers are the single implementation of
+// that vocabulary; the resolvers keep only their own fallback rules.
+// Everything here is allocation-free — it runs inside the
+// application's first pthread operation, where a malloc could
+// re-enter the interposed surface.
+#pragma once
+
+#include <cstring>
+#include <string_view>
+
+#include "api/any_lock.hpp"
+
+namespace hemlock::interpose {
+
+/// The chosen algorithm's family name: the registered name minus its
+/// waiting-tier suffix ("mcs-park" -> "mcs", "hemlock-futex" ->
+/// "hemlock", "rwlock-compact-adaptive" -> "rwlock-compact"), so
+/// HEMLOCK_WAIT can move *within* a family.
+inline std::string_view waiting_family(std::string_view name) noexcept {
+  for (const std::string_view suffix :
+       {std::string_view{"-spin"}, std::string_view{"-yield"},
+        std::string_view{"-park"}, std::string_view{"-adaptive"},
+        std::string_view{"-futex"}}) {
+    if (name.size() > suffix.size() && name.ends_with(suffix)) {
+      return name.substr(0, name.size() - suffix.size());
+    }
+  }
+  return name;
+}
+
+/// The factory entry named `family + suffix` that satisfies the
+/// caller's hostability rule, or nullptr. Fixed-buffer concatenation:
+/// no allocation on this path.
+template <typename HostablePred>
+const LockVTable* hostable_variant(std::string_view family,
+                                   std::string_view suffix,
+                                   const HostablePred& hostable) noexcept {
+  char buf[96];
+  if (family.size() + suffix.size() >= sizeof(buf)) return nullptr;
+  std::memcpy(buf, family.data(), family.size());
+  std::memcpy(buf + family.size(), suffix.data(), suffix.size());
+  const std::string_view name(buf, family.size() + suffix.size());
+  const LockVTable* vt = find_lock(name);
+  return (vt != nullptr && hostable(vt->info)) ? vt : nullptr;
+}
+
+}  // namespace hemlock::interpose

@@ -30,6 +30,17 @@ concept TryLockable = BasicLockable<L> && requires(L& l) {
   { l.try_lock() } -> std::convertible_to<bool>;
 };
 
+/// A reader-writer lock: the exclusive BasicLockable surface plus a
+/// shared mode in which any number of readers may hold the lock
+/// simultaneously (std::shared_mutex's Lockable subset). Exclusive
+/// and shared holds are mutually exclusive.
+template <typename L>
+concept SharedLockable = BasicLockable<L> && requires(L& l) {
+  l.lock_shared();
+  l.unlock_shared();
+  { l.try_lock_shared() } -> std::convertible_to<bool>;
+};
+
 /// Minimal RAII guard, equivalent to std::lock_guard but usable with
 /// our lock concept in contexts where <mutex> is undesirable.
 /// Prefer this (or std::lock_guard) over bare lock()/unlock() pairs.
@@ -42,6 +53,22 @@ class [[nodiscard]] LockGuard {
 
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  L& lock_;
+};
+
+/// RAII guard for the shared (reader) side of a SharedLockable —
+/// std::shared_lock's scope-only subset, without <shared_mutex>.
+template <SharedLockable L>
+class [[nodiscard]] SharedLockGuard {
+ public:
+  /// Acquires `l` in shared mode; releases it on scope exit.
+  explicit SharedLockGuard(L& l) : lock_(l) { lock_.lock_shared(); }
+  ~SharedLockGuard() { lock_.unlock_shared(); }
+
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
 
  private:
   L& lock_;

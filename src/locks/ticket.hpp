@@ -9,13 +9,13 @@
 // uncontended release a plain store (Table: atomic counts, §2).
 //
 // The Waiting template parameter selects the waiting tier
-// (core/waiting.hpp). Parking tiers wait on the low half of the
-// 64-bit now-serving word; every release increments it, so sleepers
-// always observe a changed futex word. Because all waiters share the
-// word (global spinning), a parked-tier release wakes every sleeper
-// and the non-front ones re-park — the usual thundering-herd cost of
-// parked ticket locks, still far cheaper than convoying when threads
-// outnumber cores.
+// (core/waiting.hpp). All waiters share the now-serving word (global
+// spinning), but each knows the exact ticket value it awaits, so the
+// parking tiers sleep on a per-(lock, ticket) slot of the global
+// ticket ring (queue_wait::ticket_slot) rather than on the shared
+// word: a release wakes only the front waiter's slot instead of the
+// whole herd (which previously re-parked N-1 sleepers per hand-off).
+// Spin and yield tiers are untouched — they never sleep.
 #pragma once
 
 #include <atomic>
@@ -33,10 +33,15 @@ template <typename Waiting = QueueSpinWaiting>
 class TicketLockT {
  public:
   /// Acquire: draw a ticket, wait until it is served (global
-  /// waiting — every waiter polls now_serving_).
+  /// waiting — every waiter polls now_serving_; parking tiers sleep
+  /// on their ticket's own ring slot, see wait_ticket).
   void lock() noexcept {
     const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
-    Waiting::wait_until(now_serving_, my);
+    if constexpr (requires { Waiting::wait_ticket(now_serving_, my); }) {
+      Waiting::wait_ticket(now_serving_, my);
+    } else {
+      Waiting::wait_until(now_serving_, my);
+    }
   }
 
   /// Opportunistic non-blocking attempt: succeeds only when no ticket
@@ -59,10 +64,15 @@ class TicketLockT {
 
   /// Release: advance now-serving (a wait-free store; the paper notes
   /// Ticket/CLH unlock is wait-free, unlike MCS/Hemlock). The parking
-  /// tiers fold their census-gated wake into publish().
+  /// tiers wake only the served ticket's ring slot via publish_ticket.
   void unlock() noexcept {
-    Waiting::publish(now_serving_,
-                     now_serving_.load(std::memory_order_relaxed) + 1);
+    const std::uint64_t next =
+        now_serving_.load(std::memory_order_relaxed) + 1;
+    if constexpr (requires { Waiting::publish_ticket(now_serving_, next); }) {
+      Waiting::publish_ticket(now_serving_, next);
+    } else {
+      Waiting::publish(now_serving_, next);
+    }
   }
 
  private:

@@ -102,11 +102,20 @@ class DB {
   }
 
   /// Point lookup. The central-mutex critical section is only the
-  /// snapshot of (memtable, version); the search runs unlocked.
+  /// snapshot of (memtable, version); the search runs unlocked. When
+  /// the central lock has a shared mode (an rwlock, or an AnyLock
+  /// naming one), the snapshot is taken as a *reader* — concurrent
+  /// gets no longer serialize on the paper's Figure-8 bottleneck; the
+  /// two shared_ptr copies are safe under shared holds because every
+  /// mutator of mem_/version_ runs under the exclusive mode.
   Status get(const Slice& key, std::string* value) {
     std::shared_ptr<MemTable> mem;
     std::shared_ptr<TableVersion> version;
-    {
+    if constexpr (SharedLockable<CentralLock>) {
+      SharedLockGuard<CentralLock> g(mu_.value);  // DBImpl::Mutex, shared
+      mem = mem_;
+      version = version_;
+    } else {
       LockGuard<CentralLock> g(mu_.value);  // DBImpl::Mutex
       mem = mem_;
       version = version_;

@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "api/factory.hpp"
+#include "interpose/foreign.hpp"
 #include "interpose/shim_cond.hpp"
 #include "interpose/shim_mutex.hpp"
+#include "interpose/shim_rwlock.hpp"
 #include "runtime/governor.hpp"
 
 namespace hemlock::interpose {
@@ -551,6 +553,350 @@ TEST(ShimCond, LifecycleStatsMove) {
   ShimMutex::shim_destroy(&mu);
 }
 
+// ===================================================================
+// The pthread_rwlock_t overlay (shim_rwlock).
+// ===================================================================
+
+TEST(ShimRwLock, OverlayFitsPthreadStorage) {
+  EXPECT_LE(sizeof(ShimRwLock), sizeof(pthread_rwlock_t));
+  EXPECT_LE(alignof(ShimRwLock), alignof(pthread_rwlock_t));
+}
+
+// The hostable subset: the compact rwlock family (16 bytes, native
+// shared mode); the sharded family and every exclusive-only algorithm
+// are excluded by the descriptor gate.
+TEST(ShimRwLock, SupportedNamesAreTheRwlockHostableSubset) {
+  const auto& factory = LockFactory::instance();
+  const auto supported = supported_rwlock_names();
+  ASSERT_FALSE(supported.empty());
+  std::vector<std::string_view> expected;
+  for (const LockVTable* vt : factory.entries()) {
+    if (shim_rwlock_hostable(vt->info)) expected.push_back(vt->info.name);
+  }
+  EXPECT_EQ(supported, expected);
+  for (const char* name :
+       {"rwlock-compact", "rwlock-compact-yield", "rwlock-compact-park",
+        "rwlock-compact-adaptive"}) {
+    EXPECT_NE(std::find(supported.begin(), supported.end(), name),
+              supported.end())
+        << name;
+  }
+  // Exclusive algorithms and the sharded family are not rwlock-hostable.
+  for (const char* name : {"hemlock", "mcs", "ticket", "rwlock"}) {
+    const LockInfo* info = factory.info(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_FALSE(shim_rwlock_hostable(*info)) << name;
+    EXPECT_EQ(std::find(supported.begin(), supported.end(), name),
+              supported.end())
+        << name;
+  }
+}
+
+// The (HEMLOCK_RWLOCK, HEMLOCK_WAIT) selection rule through the pure
+// resolver.
+TEST(ShimRwLock, ResolverSelectsTiersWithinTheCompactFamily) {
+  const auto resolved = [](const char* rwlock_env, const char* wait_env) {
+    return resolve_shim_rwlock(rwlock_env, wait_env).info.name;
+  };
+  // Default (auto): the compact family's governed tier, so the rwlock
+  // through the shim never convoys when the host oversubscribes.
+  EXPECT_EQ(resolved(nullptr, nullptr), "rwlock-compact-adaptive");
+  EXPECT_EQ(resolved("", ""), "rwlock-compact-adaptive");
+  // Explicit tiers move within the family.
+  EXPECT_EQ(resolved("rwlock-compact", "spin"), "rwlock-compact");
+  EXPECT_EQ(resolved("rwlock-compact", "yield"), "rwlock-compact-yield");
+  EXPECT_EQ(resolved("rwlock-compact", "park"), "rwlock-compact-park");
+  EXPECT_EQ(resolved(nullptr, "park"), "rwlock-compact-park");
+  // The "-spin" alias is the explicit pure-spin request: honored.
+  EXPECT_EQ(resolved("rwlock-compact-spin", nullptr), "rwlock-compact");
+  // The sharded names do not fit: their compact sibling in the same
+  // tier is hosted instead (then auto-tiering applies as usual).
+  EXPECT_EQ(resolved("rwlock", nullptr), "rwlock-compact-adaptive");
+  EXPECT_EQ(resolved("rwlock-park", nullptr), "rwlock-compact-park");
+  EXPECT_EQ(resolved("rwlock", "spin"), "rwlock-compact");
+  // Non-rwlock and unknown names fall back (with a stderr note).
+  EXPECT_EQ(resolved("mcs", nullptr), "rwlock-compact-adaptive");
+  EXPECT_EQ(resolved("nonsense", "park"), "rwlock-compact-park");
+}
+
+TEST(ShimRwLock, InitLockUnlockDestroyRoundTrip) {
+  pthread_rwlock_t rw;
+  ASSERT_EQ(ShimRwLock::shim_init(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_rdlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_rdlock(&rw), 0);  // second reader
+  EXPECT_EQ(ShimRwLock::shim_trywrlock(&rw), EBUSY);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_wrlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_tryrdlock(&rw), EBUSY);
+  EXPECT_EQ(ShimRwLock::shim_trywrlock(&rw), EBUSY);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_tryrdlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_destroy(&rw), 0);
+  // Re-init after destroy (POSIX lifecycle).
+  ASSERT_EQ(ShimRwLock::shim_init(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_wrlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_destroy(&rw), 0);
+}
+
+TEST(ShimRwLock, StaticInitializerAdoptedLazily) {
+  pthread_rwlock_t rw = PTHREAD_RWLOCK_INITIALIZER;  // never shim_init'ed
+  EXPECT_EQ(ShimRwLock::shim_rdlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_destroy(&rw), 0);
+}
+
+// Readers and writers through the shim surface: exact write totals
+// and no torn reads, i.e. the hosted rwlock's exclusion survives the
+// overlay's unlock-mode dispatch.
+TEST(ShimRwLock, MixedReadersWritersAreExact) {
+  pthread_rwlock_t rw = PTHREAD_RWLOCK_INITIALIZER;
+  long a = 0, b = 0;
+  std::atomic<long> torn{0};
+  constexpr int kWriters = 2, kReaders = 4, kWrites = 2000;
+  std::vector<std::thread> ts;
+  std::atomic<bool> stop{false};
+  for (int r = 0; r < kReaders; ++r) {
+    ts.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ShimRwLock::shim_rdlock(&rw);
+        if (a != b) torn.fetch_add(1, std::memory_order_relaxed);
+        ShimRwLock::shim_unlock(&rw);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kWrites; ++i) {
+        ShimRwLock::shim_wrlock(&rw);
+        ++a;
+        ++b;
+        ShimRwLock::shim_unlock(&rw);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    ts[static_cast<size_t>(kReaders + w)].join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (int r = 0; r < kReaders; ++r) ts[static_cast<size_t>(r)].join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(a, static_cast<long>(kWriters) * kWrites);
+  EXPECT_EQ(b, a);
+  ShimRwLock::shim_destroy(&rw);
+}
+
+TEST(ShimRwLock, TimedLocksHonorDeadlinesAndEinval) {
+  pthread_rwlock_t rw = PTHREAD_RWLOCK_INITIALIZER;
+  // Invalid abstime: EINVAL before any state change.
+  struct timespec bad{};
+  bad.tv_nsec = 2000000000L;
+  EXPECT_EQ(ShimRwLock::shim_timedrdlock(&rw, &bad), EINVAL);
+  EXPECT_EQ(ShimRwLock::shim_timedwrlock(&rw, &bad), EINVAL);
+  EXPECT_EQ(ShimRwLock::shim_clockrdlock(&rw, CLOCK_TAI, &bad), EINVAL);
+  // Uncontended timed acquires succeed immediately.
+  struct timespec soon;
+  clock_gettime(CLOCK_REALTIME, &soon);
+  soon.tv_sec += 1;
+  EXPECT_EQ(ShimRwLock::shim_timedrdlock(&rw, &soon), 0);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_timedwrlock(&rw, &soon), 0);
+  // Contended: a past deadline reports ETIMEDOUT promptly, and a
+  // short future deadline expires rather than hanging.
+  struct timespec past;
+  clock_gettime(CLOCK_REALTIME, &past);
+  past.tv_sec -= 1;
+  EXPECT_EQ(ShimRwLock::shim_timedrdlock(&rw, &past), ETIMEDOUT);
+  struct timespec brief;
+  clock_gettime(CLOCK_MONOTONIC, &brief);
+  brief.tv_nsec += 50 * 1000 * 1000;
+  if (brief.tv_nsec >= 1000000000L) {
+    brief.tv_nsec -= 1000000000L;
+    ++brief.tv_sec;
+  }
+  EXPECT_EQ(ShimRwLock::shim_clockrdlock(&rw, CLOCK_MONOTONIC, &brief),
+            ETIMEDOUT);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  ShimRwLock::shim_destroy(&rw);
+}
+
+TEST(ShimRwLock, NullIsEinval) {
+  EXPECT_EQ(ShimRwLock::shim_rdlock(nullptr), EINVAL);
+  EXPECT_EQ(ShimRwLock::shim_wrlock(nullptr), EINVAL);
+  EXPECT_EQ(ShimRwLock::shim_unlock(nullptr), EINVAL);
+  EXPECT_EQ(ShimRwLock::shim_destroy(nullptr), EINVAL);
+}
+
+// ===================================================================
+// PROCESS_SHARED routing (interpose/foreign).
+// ===================================================================
+
+// A pshared mutex must not be hosted in the process-local overlay: it
+// is routed to glibc at init, every operation forwards, and destroy
+// deregisters it.
+TEST(ForeignRouting, PsharedMutexRoutesToGlibc) {
+  if (!real_pthread().resolved) {
+    GTEST_SKIP() << "real pthread symbols not resolvable";
+  }
+  pthread_mutexattr_t attr;
+  ASSERT_EQ(pthread_mutexattr_init(&attr), 0);
+  ASSERT_EQ(pthread_mutexattr_setpshared(&attr, PTHREAD_PROCESS_SHARED), 0);
+  pthread_mutex_t m;
+  ASSERT_EQ(ShimMutex::shim_init(&m, &attr), 0);
+  EXPECT_TRUE(ForeignRegistry::contains(&m));
+  // Operations forward to glibc and behave.
+  EXPECT_EQ(ShimMutex::shim_lock(&m), 0);
+  std::thread([&] { EXPECT_EQ(ShimMutex::shim_trylock(&m), EBUSY); }).join();
+  EXPECT_EQ(ShimMutex::shim_unlock(&m), 0);
+  long counter = 0;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        ShimMutex::shim_lock(&m);
+        ++counter;
+        ShimMutex::shim_unlock(&m);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, 4000);
+  EXPECT_EQ(ShimMutex::shim_destroy(&m), 0);
+  EXPECT_FALSE(ForeignRegistry::contains(&m));
+  pthread_mutexattr_destroy(&attr);
+}
+
+TEST(ForeignRouting, PsharedCondRoutesToGlibc) {
+  if (!real_pthread().resolved) {
+    GTEST_SKIP() << "real pthread symbols not resolvable";
+  }
+  pthread_mutexattr_t mattr;
+  pthread_condattr_t cattr;
+  ASSERT_EQ(pthread_mutexattr_init(&mattr), 0);
+  ASSERT_EQ(pthread_mutexattr_setpshared(&mattr, PTHREAD_PROCESS_SHARED), 0);
+  ASSERT_EQ(pthread_condattr_init(&cattr), 0);
+  ASSERT_EQ(pthread_condattr_setpshared(&cattr, PTHREAD_PROCESS_SHARED), 0);
+  pthread_mutex_t m;
+  pthread_cond_t c;
+  ASSERT_EQ(ShimMutex::shim_init(&m, &mattr), 0);
+  ASSERT_EQ(ShimCond::shim_init(&c, &cattr), 0);
+  EXPECT_TRUE(ForeignRegistry::contains(&c));
+  // A real glibc signal/wait round trip through the forwarded surface.
+  bool flag = false;
+  std::thread waiter([&] {
+    ShimMutex::shim_lock(&m);
+    while (!flag) EXPECT_EQ(ShimCond::shim_wait(&c, &m), 0);
+    ShimMutex::shim_unlock(&m);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ShimMutex::shim_lock(&m);
+  flag = true;
+  ShimMutex::shim_unlock(&m);
+  EXPECT_EQ(ShimCond::shim_signal(&c), 0);
+  waiter.join();
+  EXPECT_EQ(ShimCond::shim_destroy(&c), 0);
+  EXPECT_FALSE(ForeignRegistry::contains(&c));
+  EXPECT_EQ(ShimMutex::shim_destroy(&m), 0);
+  pthread_condattr_destroy(&cattr);
+  pthread_mutexattr_destroy(&mattr);
+}
+
+TEST(ForeignRouting, PsharedRwlockRoutesToGlibc) {
+  if (!real_pthread().resolved) {
+    GTEST_SKIP() << "real pthread symbols not resolvable";
+  }
+  pthread_rwlockattr_t attr;
+  ASSERT_EQ(pthread_rwlockattr_init(&attr), 0);
+  ASSERT_EQ(pthread_rwlockattr_setpshared(&attr, PTHREAD_PROCESS_SHARED), 0);
+  pthread_rwlock_t rw;
+  ASSERT_EQ(ShimRwLock::shim_init(&rw, &attr), 0);
+  EXPECT_TRUE(ForeignRegistry::contains(&rw));
+  EXPECT_EQ(ShimRwLock::shim_rdlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_tryrdlock(&rw), 0);  // glibc: shared re-entry
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_wrlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_trywrlock(&rw), EBUSY);
+  EXPECT_EQ(ShimRwLock::shim_unlock(&rw), 0);
+  EXPECT_EQ(ShimRwLock::shim_destroy(&rw), 0);
+  EXPECT_FALSE(ForeignRegistry::contains(&rw));
+  pthread_rwlockattr_destroy(&attr);
+}
+
+// Process-private attrs stay in the overlay (no foreign routing).
+TEST(ForeignRouting, PrivateAttrObjectsStayHosted) {
+  pthread_mutexattr_t attr;
+  ASSERT_EQ(pthread_mutexattr_init(&attr), 0);
+  pthread_mutex_t m;
+  ASSERT_EQ(ShimMutex::shim_init(&m, &attr), 0);
+  EXPECT_FALSE(ForeignRegistry::contains(&m));
+  EXPECT_EQ(ShimMutex::shim_lock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_unlock(&m), 0);
+  EXPECT_EQ(ShimMutex::shim_destroy(&m), 0);
+  pthread_mutexattr_destroy(&attr);
+}
+
+// ===================================================================
+// Condattr clocks (ShimCond::clock).
+// ===================================================================
+
+// A condvar configured for CLOCK_MONOTONIC must measure timedwait
+// deadlines on CLOCK_MONOTONIC. The old hard-coded CLOCK_REALTIME
+// turned any monotonic deadline (epoch: boot) into the distant past
+// and returned ETIMEDOUT immediately — so the elapsed-time assertion
+// is the regression discriminator.
+TEST(ShimCondClock, TimedwaitMeasuresTheConfiguredClock) {
+  pthread_condattr_t attr;
+  ASSERT_EQ(pthread_condattr_init(&attr), 0);
+  ASSERT_EQ(pthread_condattr_setclock(&attr, CLOCK_MONOTONIC), 0);
+  pthread_mutex_t mu = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t cv;
+  ASSERT_EQ(ShimCond::shim_init(&cv, &attr), 0);
+  const auto* sc = reinterpret_cast<const ShimCond*>(&cv);
+  EXPECT_EQ(sc->clock.load(), CLOCK_MONOTONIC);
+
+  constexpr long kWaitMs = 60;
+  struct timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_nsec += kWaitMs * 1000 * 1000;
+  if (deadline.tv_nsec >= 1000000000L) {
+    deadline.tv_nsec -= 1000000000L;
+    ++deadline.tv_sec;
+  }
+  ShimMutex::shim_lock(&mu);
+  const auto start = std::chrono::steady_clock::now();
+  const int rc = ShimCond::shim_timedwait(&cv, &mu, &deadline);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ShimMutex::shim_unlock(&mu);
+  EXPECT_EQ(rc, ETIMEDOUT);
+  EXPECT_GE(elapsed.count(), kWaitMs - 20)
+      << "monotonic deadline was measured on the wrong clock";
+  ShimCond::shim_destroy(&cv);
+  ShimMutex::shim_destroy(&mu);
+  pthread_condattr_destroy(&attr);
+}
+
+// Defaulted attrs and static initializers keep the POSIX default.
+TEST(ShimCondClock, DefaultIsRealtime) {
+  pthread_cond_t lazy = PTHREAD_COND_INITIALIZER;
+  ShimCond::shim_signal(&lazy);  // adopt
+  EXPECT_EQ(reinterpret_cast<const ShimCond*>(&lazy)->clock.load(),
+            CLOCK_REALTIME);
+  ShimCond::shim_destroy(&lazy);
+
+  pthread_condattr_t attr;
+  ASSERT_EQ(pthread_condattr_init(&attr), 0);
+  pthread_cond_t cv;
+  ASSERT_EQ(ShimCond::shim_init(&cv, &attr), 0);
+  EXPECT_EQ(reinterpret_cast<const ShimCond*>(&cv)->clock.load(),
+            CLOCK_REALTIME);
+  ShimCond::shim_destroy(&cv);
+  pthread_condattr_destroy(&attr);
+}
+
 // Full integration: run the plain-pthreads demo binary under
 // LD_PRELOAD for every supported algorithm. The demo exits non-zero
 // if its counters are wrong, so one EXPECT per algorithm covers
@@ -594,6 +940,31 @@ TEST(PreloadIntegration, CondDemoRunsCorrectlyUnderEveryAlgorithm) {
                             demo + " > /dev/null";
     EXPECT_EQ(std::system(cmd.c_str()), 0) << "HEMLOCK_LOCK=" << algo;
   }
+#endif
+}
+
+// The rwlock demo (readers/writers through real pthread_rwlock_*)
+// under LD_PRELOAD for every rwlock-hostable algorithm: the overlay's
+// rdlock/wrlock/timedrdlock/trywrlock/unlock dispatch through the
+// actual dynamic linker. The demo exits non-zero on any torn read or
+// lost write generation.
+TEST(PreloadIntegration, RwlockDemoRunsCorrectlyUnderEveryAlgorithm) {
+#if !defined(HEMLOCK_PRELOAD_SO) || !defined(HEMLOCK_PRELOAD_RWLOCK_DEMO)
+  GTEST_SKIP() << "preload paths not configured";
+#else
+  const std::string preload = HEMLOCK_PRELOAD_SO;
+  const std::string demo = HEMLOCK_PRELOAD_RWLOCK_DEMO;
+  const std::string env = "HEMLOCK_DEMO_ITERS=500 LD_PRELOAD=" + preload;
+  for (const std::string_view algo : supported_rwlock_names()) {
+    const std::string cmd = env +
+                            " HEMLOCK_RWLOCK=" + std::string(algo) + " " +
+                            demo + " > /dev/null";
+    EXPECT_EQ(std::system(cmd.c_str()), 0) << "HEMLOCK_RWLOCK=" << algo;
+  }
+  // Unknown selection falls back to the default family but still works.
+  const std::string fallback =
+      env + " HEMLOCK_RWLOCK=nonsense " + demo + " > /dev/null 2>&1";
+  EXPECT_EQ(std::system(fallback.c_str()), 0);
 #endif
 }
 

@@ -1,0 +1,310 @@
+// test_rwlock.cpp — the reader-writer family (locks/rwlock.hpp): the
+// reader/writer exclusion invariant (plain-variable mutation under the
+// write mode, checked from the read mode — TSan sees any overlap as a
+// data race), genuine reader concurrency, the writer-starvation bound
+// writer preference buys, 4x-oversubscribed mixed traffic across the
+// spin/park/adaptive tiers, try-operation semantics, and the
+// type-erased shared surface (AnyLock lock_shared, the exclusive
+// fallback, and the rwlock_capable descriptor).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "api/hemlock_api.hpp"
+#include "locks/rwlock.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace hemlock {
+namespace {
+
+// ------------------------------------------------- exclusion invariant --
+// Writers advance two plain (non-atomic) counters in lockstep; readers
+// snapshot both and require equality. A reader overlapping a writer is
+// a torn snapshot here and a data race under TSan; a writer
+// overlapping a writer loses increments.
+template <typename Rw>
+void reader_writer_exclusion(int writer_iters) {
+  const unsigned readers = 4, writers = 2;
+  CacheAligned<Rw> lock;
+  std::uint64_t a = 0, b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  SpinBarrier start(readers + writers);
+  std::vector<std::thread> ts;
+  for (unsigned r = 0; r < readers; ++r) {
+    ts.emplace_back([&] {
+      start.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        lock.value.lock_shared();
+        if (a != b) torn.fetch_add(1, std::memory_order_relaxed);
+        lock.value.unlock_shared();
+      }
+    });
+  }
+  for (unsigned w = 0; w < writers; ++w) {
+    ts.emplace_back([&] {
+      start.arrive_and_wait();
+      for (int i = 0; i < writer_iters; ++i) {
+        lock.value.lock();
+        ++a;
+        ++b;
+        lock.value.unlock();
+      }
+    });
+  }
+  for (unsigned w = 0; w < writers; ++w) ts[readers + w].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (unsigned r = 0; r < readers; ++r) ts[r].join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(a, static_cast<std::uint64_t>(writers) * writer_iters);
+  EXPECT_EQ(b, a);
+  EXPECT_TRUE(lock.value.appears_unlocked());
+}
+
+TEST(RwLockExclusion, Spin) { reader_writer_exclusion<RwLock>(4000); }
+TEST(RwLockExclusion, Yield) { reader_writer_exclusion<RwYieldLock>(4000); }
+TEST(RwLockExclusion, Park) { reader_writer_exclusion<RwParkLock>(4000); }
+TEST(RwLockExclusion, Adaptive) {
+  reader_writer_exclusion<RwGovernedLock>(4000);
+}
+TEST(RwLockExclusion, Compact) {
+  reader_writer_exclusion<RwCompactLock>(4000);
+}
+TEST(RwLockExclusion, CompactPark) {
+  reader_writer_exclusion<RwCompactParkLock>(4000);
+}
+
+// ------------------------------------------------- reader concurrency --
+// All N readers must be inside the shared section simultaneously: an
+// rwlock degraded to exclusive would admit one at a time and this
+// rendezvous could never complete (the suite timeout catches it).
+template <typename Rw>
+void readers_overlap() {
+  constexpr unsigned kReaders = 4;
+  CacheAligned<Rw> lock;
+  std::atomic<unsigned> inside{0};
+  std::vector<std::thread> ts;
+  for (unsigned r = 0; r < kReaders; ++r) {
+    ts.emplace_back([&] {
+      lock.value.lock_shared();
+      inside.fetch_add(1, std::memory_order_acq_rel);
+      while (inside.load(std::memory_order_acquire) < kReaders) {
+        std::this_thread::yield();
+      }
+      lock.value.unlock_shared();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(inside.load(), kReaders);
+}
+
+TEST(RwLockConcurrency, SpinReadersOverlap) { readers_overlap<RwLock>(); }
+TEST(RwLockConcurrency, ParkReadersOverlap) {
+  readers_overlap<RwParkLock>();
+}
+TEST(RwLockConcurrency, CompactReadersOverlap) {
+  readers_overlap<RwCompactLock>();
+}
+
+// --------------------------------------------- writer starvation bound --
+// A continuous reader stream must not starve a writer: once the writer
+// closes the gate, new readers wait, admitted readers drain, and the
+// writer acquires. Generous bound — the property is "bounded", not
+// "fast".
+template <typename Rw>
+void writer_gets_through_reader_stream() {
+  CacheAligned<Rw> lock;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writer_done{false};
+  constexpr unsigned kReaders = 4;
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        lock.value.lock_shared();
+        lock.value.unlock_shared();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread writer([&] {
+    lock.value.lock();
+    lock.value.unlock();
+    writer_done.store(true, std::memory_order_release);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!writer_done.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(writer_done.load()) << "writer starved by readers";
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  for (auto& t : readers) t.join();
+}
+
+TEST(RwLockStarvation, SpinWriterBounded) {
+  writer_gets_through_reader_stream<RwLock>();
+}
+TEST(RwLockStarvation, AdaptiveWriterBounded) {
+  writer_gets_through_reader_stream<RwGovernedLock>();
+}
+TEST(RwLockStarvation, CompactParkWriterBounded) {
+  writer_gets_through_reader_stream<RwCompactParkLock>();
+}
+
+// --------------------------------------- oversubscribed mixed traffic --
+// threads = 4x hardware, ~80% reads. Exact write totals prove writer
+// exclusion; zero torn reads prove reader/writer exclusion; finishing
+// inside the suite timeout proves the tier does not livelock the host
+// (mirrors tests/test_waiting_tiers.cpp's budgets: tiny for spin,
+// an order more for the surrendering tiers).
+template <typename Rw>
+void oversubscribed_mixed(int writes_per_thread) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads = 4 * hw;
+  CacheAligned<Rw> lock;
+  std::uint64_t a = 0, b = 0;
+  std::atomic<std::uint64_t> torn{0};
+  SpinBarrier start(threads);
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      start.arrive_and_wait();
+      int writes = 0;
+      for (std::uint32_t i = 0; writes < writes_per_thread; ++i) {
+        if ((i + t) % 5 == 0) {
+          lock.value.lock();
+          ++a;
+          ++b;
+          lock.value.unlock();
+          ++writes;
+        } else {
+          lock.value.lock_shared();
+          if (a != b) torn.fetch_add(1, std::memory_order_relaxed);
+          lock.value.unlock_shared();
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(a, static_cast<std::uint64_t>(threads) * writes_per_thread);
+  EXPECT_EQ(b, a);
+}
+
+constexpr int kSpinWrites = 30;
+constexpr int kParkWrites = 400;
+
+TEST(RwLockOversubscribed, Spin) {
+  oversubscribed_mixed<RwLock>(kSpinWrites);
+}
+TEST(RwLockOversubscribed, Park) {
+  oversubscribed_mixed<RwParkLock>(kParkWrites);
+}
+TEST(RwLockOversubscribed, Adaptive) {
+  oversubscribed_mixed<RwGovernedLock>(kParkWrites);
+}
+TEST(RwLockOversubscribed, CompactPark) {
+  oversubscribed_mixed<RwCompactParkLock>(kParkWrites);
+}
+TEST(RwLockOversubscribed, CompactAdaptive) {
+  oversubscribed_mixed<RwCompactGovernedLock>(kParkWrites);
+}
+
+// --------------------------------------------------- try-op semantics --
+TEST(RwLockTry, WriteExcludesEverything) {
+  RwLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock_shared());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(RwLockTry, ReadersShareButExcludeWriters) {
+  RwLock lock;
+  ASSERT_TRUE(lock.try_lock_shared());
+  EXPECT_TRUE(lock.try_lock_shared());  // a second reader is admitted
+  EXPECT_FALSE(lock.try_lock());        // a writer is not
+  lock.unlock_shared();
+  EXPECT_FALSE(lock.try_lock());  // one reader still holds
+  lock.unlock_shared();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+// ------------------------------------------------- type-erased surface --
+TEST(AnyLockShared, RwlockCapableDescriptor) {
+  const auto& factory = LockFactory::instance();
+  for (const char* name :
+       {"rwlock", "rwlock-yield", "rwlock-park", "rwlock-adaptive",
+        "rwlock-compact", "rwlock-compact-park"}) {
+    const LockInfo* info = factory.info(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_TRUE(info->rwlock_capable) << name;
+  }
+  for (const char* name : {"hemlock", "mcs", "ticket", "pthread"}) {
+    const LockInfo* info = factory.info(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_FALSE(info->rwlock_capable) << name;
+  }
+}
+
+TEST(AnyLockShared, NativeSharedModeAdmitsConcurrentReaders) {
+  AnyLock lk("rwlock");
+  EXPECT_TRUE(lk.info().rwlock_capable);
+  lk.lock_shared();
+  EXPECT_TRUE(lk.try_lock_shared());  // concurrent reader admitted
+  EXPECT_FALSE(lk.try_lock());
+  lk.unlock_shared();
+  lk.unlock_shared();
+  lk.lock();
+  EXPECT_FALSE(lk.try_lock_shared());
+  lk.unlock();
+}
+
+TEST(AnyLockShared, ExclusiveFallbackAdmitsOneReader) {
+  AnyLock lk("hemlock");
+  EXPECT_FALSE(lk.info().rwlock_capable);
+  lk.lock_shared();                    // really an exclusive hold
+  EXPECT_FALSE(lk.try_lock_shared());  // a second "reader" is refused
+  lk.unlock_shared();
+  EXPECT_TRUE(lk.try_lock_shared());
+  lk.unlock_shared();
+}
+
+// The whole roster serves the shared surface: mixed shared/exclusive
+// traffic stays exact whether the mode is native or the fallback.
+TEST(AnyLockShared, SharedSurfaceIsTotalOverTheRoster) {
+  for (const LockVTable* vt : LockFactory::instance().entries()) {
+    AnyLock lk(*vt);
+    lk.lock_shared();
+    lk.unlock_shared();
+    lk.lock();
+    lk.unlock();
+  }
+}
+
+// minikv's read path takes the shared mode through DB<AnyLock>; the
+// dedicated minikv suite covers the database semantics — here we only
+// pin that a shared-capable central lock is accepted end to end.
+TEST(AnyLockShared, SharedGuardInterop) {
+  AnyLock lk("rwlock-compact");
+  {
+    SharedLockGuard<AnyLock> g(lk);
+    EXPECT_FALSE(lk.try_lock());
+  }
+  EXPECT_TRUE(lk.try_lock());
+  lk.unlock();
+}
+
+}  // namespace
+}  // namespace hemlock

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -94,6 +95,110 @@ TEST(QueueWaitingTier, ParkedWaiterRechecksItsPredicate) {
   SpinThenParkWaiting::publish(serving, std::uint64_t{42});
   waiter.join();
   EXPECT_TRUE(proceeded.load());
+}
+
+// ---------------------------------------- slotted (ticket) parking --
+// The per-slot futex ring (queue_wait::ticket_slot) that fixes the
+// ticket-park thundering herd: a release wakes only the slot of the
+// ticket it serves, so parked waiters for other tickets stay parked.
+
+// Same (word, value) always maps to the same slot — waiter and
+// publisher must agree — and consecutive tickets on one lock spread
+// across slots (so the front waiter's wake is not shared with the
+// herd behind it).
+TEST(TicketRing, SlotKeyingIsStableAndSpreads) {
+  std::atomic<std::uint64_t> word{0};
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    EXPECT_EQ(&queue_wait::ticket_slot(&word, t),
+              &queue_wait::ticket_slot(&word, t));
+  }
+  std::set<const void*> distinct;
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    distinct.insert(&queue_wait::ticket_slot(&word, t));
+  }
+  // 16 consecutive tickets over 256 slots: collisions are possible in
+  // principle but the multiplicative hash must not degenerate.
+  EXPECT_GE(distinct.size(), 12u);
+}
+
+template <typename Policy>
+void slotted_ticket_roundtrip() {
+  std::atomic<std::uint64_t> serving{41};
+  std::thread waiter([&] {
+    Policy::wait_ticket(serving, std::uint64_t{42});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  Policy::publish_ticket(serving, std::uint64_t{42});
+  waiter.join();
+  EXPECT_EQ(serving.load(), 42u);
+}
+
+TEST(TicketRing, ParkRoundtrip) {
+  slotted_ticket_roundtrip<SpinThenParkWaiting>();
+}
+TEST(TicketRing, GovernedRoundtrip) {
+  slotted_ticket_roundtrip<GovernedWaiting>();
+}
+
+// A slotted waiter must not proceed on a non-matching grant: serving
+// an earlier ticket leaves the ticket-43 waiter blocked (its own slot
+// was never woken), and the eventual matching publish releases it.
+TEST(TicketRing, WaiterIgnoresOtherTicketsGrants) {
+  std::atomic<std::uint64_t> serving{41};
+  std::atomic<bool> proceeded{false};
+  std::thread waiter([&] {
+    SpinThenParkWaiting::wait_ticket(serving, std::uint64_t{43});
+    proceeded.store(true);
+  });
+  SpinThenParkWaiting::publish_ticket(serving, std::uint64_t{42});
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(proceeded.load());
+  SpinThenParkWaiting::publish_ticket(serving, std::uint64_t{43});
+  waiter.join();
+  EXPECT_TRUE(proceeded.load());
+}
+
+// FIFO chain through the slotted path: waiters for tickets 1..N each
+// parked on their own slot; each release wakes exactly the next
+// ticket's slot and the chain unravels in order.
+TEST(TicketRing, HandoffChainServesInTicketOrder) {
+  constexpr std::uint64_t kWaiters = 4;
+  std::atomic<std::uint64_t> serving{0};
+  std::atomic<std::uint64_t> order{0};
+  std::vector<std::uint64_t> served(kWaiters, 0);
+  std::vector<std::thread> ts;
+  for (std::uint64_t t = 1; t <= kWaiters; ++t) {
+    ts.emplace_back([&, t] {
+      SpinThenParkWaiting::wait_ticket(serving, t);
+      served[t - 1] = order.fetch_add(1) + 1;
+      SpinThenParkWaiting::publish_ticket(serving, t + 1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  SpinThenParkWaiting::publish_ticket(serving, std::uint64_t{1});
+  for (auto& t : ts) t.join();
+  for (std::uint64_t t = 1; t <= kWaiters; ++t) {
+    EXPECT_EQ(served[t - 1], t) << "ticket " << t;
+  }
+}
+
+// The slotted census balances like the direct-word one.
+TEST(TicketRing, ParkCensusReturnsToBaseline) {
+  auto& gov = ContentionGovernor::instance();
+  const std::uint32_t before_total = gov.parked_total();
+  std::atomic<std::uint64_t> serving{0};
+  std::vector<std::thread> waiters;
+  for (std::uint64_t t = 1; t <= 3; ++t) {
+    waiters.emplace_back(
+        [&, t] { SpinThenParkWaiting::wait_ticket(serving, t); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (std::uint64_t t = 1; t <= 3; ++t) {
+    SpinThenParkWaiting::publish_ticket(serving, t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(gov.parked_total(), before_total);
 }
 
 // The governor's parked census never leaks entries across a hand-off

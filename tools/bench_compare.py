@@ -6,15 +6,22 @@ CI's perf-smoke job has recorded a ``BENCH_*.json`` (schema
 but nothing *compared* them: a PR could halve a lock's hand-off
 throughput and merge green. This tool closes that loop. It diffs a
 candidate set of trajectory files (the PR's perf-smoke output) against
-a baseline set (the latest main-branch artifact) and fails on any
-median-throughput drop beyond the threshold for a (bench, lock,
-threads) key.
+a baseline *window* — ``--baseline`` may be repeated, one directory
+per recent main-branch artifact — and fails on any throughput drop
+beyond the threshold for a (bench, lock, threads) key.
 
 Design notes, sized to the tiny CI budgets that produce these files:
 
 * Keys are compared point-by-point — a regression confined to one
   lock at one thread count (the classic oversubscription convoy) must
   not be averaged away by twenty healthy curves.
+* Each key's baseline is the **median across the window**, not the
+  latest value alone. A single latest-artifact gate lets slow
+  multi-PR drift through (five successive 20% drops each pass a 30%
+  per-step check while compounding to 2.4x); against the window
+  median, the accumulated drop eventually exceeds the threshold and
+  the gate trips. The median also shrugs off one anomalously slow or
+  fast runner in the window.
 * The default threshold is deliberately loose (30%) because the
   perf-smoke budgets are deliberately tiny (50 ms runs): this gate
   exists to catch collapses — a convoying queue lock is 10-100x off,
@@ -41,6 +48,7 @@ import argparse
 import glob
 import json
 import os
+import statistics
 import sys
 import tempfile
 
@@ -78,8 +86,14 @@ def point_map(doc):
     return points
 
 
-def compare(baseline_docs, candidate_docs, threshold, noise_floor):
+def compare(baseline_window, candidate_docs, threshold, noise_floor):
     """Return (regressions, notes, compared_keys).
+
+    baseline_window: list of {bench: doc} maps, one per baseline
+    artifact. A key's baseline value is the median of its values
+    across the window (the windowed trend check: slow multi-PR drift
+    that stays under the threshold per step still exceeds it against
+    the window median).
 
     regressions: list of (bench, lock, threads, base, cand, drop_frac)
     notes: human-readable asymmetry/skip notes (never failures)
@@ -87,22 +101,30 @@ def compare(baseline_docs, candidate_docs, threshold, noise_floor):
     regressions = []
     notes = []
     compared = 0
-    for bench in sorted(set(baseline_docs) | set(candidate_docs)):
-        if bench not in baseline_docs:
+    baseline_benches = set()
+    for docs in baseline_window:
+        baseline_benches |= set(docs)
+    for bench in sorted(baseline_benches | set(candidate_docs)):
+        if bench not in baseline_benches:
             notes.append(f"{bench}: new bench (no baseline) — advisory only")
             continue
         if bench not in candidate_docs:
             notes.append(f"{bench}: present in baseline but not in candidate")
             continue
-        base_points = point_map(baseline_docs[bench])
+        window_points = [point_map(docs[bench]) for docs in baseline_window
+                         if bench in docs]
+        baseline_keys = set()
+        for points in window_points:
+            baseline_keys |= set(points)
         cand_points = point_map(candidate_docs[bench])
-        for key in sorted(set(base_points) | set(cand_points)):
+        for key in sorted(baseline_keys | set(cand_points)):
             lock, threads = key
-            if key not in base_points or key not in cand_points:
+            if key not in baseline_keys or key not in cand_points:
                 where = "baseline" if key not in cand_points else "candidate"
                 notes.append(f"{bench}/{lock}@{threads}t: only in {where}")
                 continue
-            base = base_points[key]
+            base = statistics.median([points[key] for points in window_points
+                                      if key in points])
             cand = cand_points[key]
             if base < noise_floor:
                 notes.append(f"{bench}/{lock}@{threads}t: baseline {base:g} "
@@ -116,16 +138,19 @@ def compare(baseline_docs, candidate_docs, threshold, noise_floor):
 
 
 def run_compare(args):
+    baselines = args.baseline if isinstance(args.baseline, list) \
+        else [args.baseline]
     try:
-        baseline_docs = load_trajectories(args.baseline)
+        baseline_window = [load_trajectories(d) for d in baselines]
         candidate_docs = load_trajectories(args.candidate)
     except (OSError, ValueError, KeyError) as err:
         print(f"bench_compare: {err}", file=sys.stderr)
         return 2
-    if not baseline_docs:
+    baseline_window = [docs for docs in baseline_window if docs]
+    if not baseline_window:
         # First run ever (or artifact fetch failed upstream): nothing to
         # gate against. Advisory by definition.
-        print(f"bench_compare: no baseline trajectories in {args.baseline!r} "
+        print(f"bench_compare: no baseline trajectories in {baselines!r} "
               "— advisory pass (gate becomes enforcing once a main-branch "
               "artifact exists)")
         return 0
@@ -136,7 +161,8 @@ def run_compare(args):
 
     try:
         regressions, notes, compared = compare(
-            baseline_docs, candidate_docs, args.threshold, args.noise_floor)
+            baseline_window, candidate_docs, args.threshold,
+            args.noise_floor)
     except (KeyError, TypeError, ValueError) as err:
         # A doc that passed the schema tag but is structurally broken
         # (series missing "lock"/"threads", non-numeric value, ...)
@@ -149,9 +175,10 @@ def run_compare(args):
 
     for note in notes:
         print(f"  note: {note}")
-    print(f"bench_compare: {compared} (bench, lock, threads) keys compared, "
-          f"threshold {args.threshold:.0%} drop, noise floor "
-          f"{args.noise_floor:g}")
+    print(f"bench_compare: {compared} (bench, lock, threads) keys compared "
+          f"against a {len(baseline_window)}-artifact baseline window "
+          f"(per-key median), threshold {args.threshold:.0%} drop, noise "
+          f"floor {args.noise_floor:g}")
     if not regressions:
         print("bench_compare: no regression beyond threshold")
         return 0
@@ -272,10 +299,58 @@ def self_test():
                    {"hemlock": {1: 30.0, 4: None}, "mcs": {1: 28.0, 4: 3.0}})
         check("null candidate points are skipped", _gate(base, nulls), 0)
 
+        # ---- windowed trend check (multi-baseline) -------------------
+        # Slow drift: main artifacts decayed 30 -> 24 -> 20 (each step
+        # under the 30% threshold, so a latest-only gate never fires);
+        # the candidate continues the slide to 14. Against the window
+        # median (24) that is a 42% drop — caught. Against the latest
+        # artifact alone (20) it is exactly 30% — passed. The pair of
+        # verdicts is the whole point of the window.
+        drift1 = os.path.join(tmp, "drift1")  # oldest
+        drift2 = os.path.join(tmp, "drift2")
+        drift3 = os.path.join(tmp, "drift3")  # latest
+        for d, v in ((drift1, 30.0), (drift2, 24.0), (drift3, 20.0)):
+            os.makedirs(d)
+            _write_doc(d, "fig2_max_contention", {"hemlock": {4: v}})
+        drift_cand = os.path.join(tmp, "drift_cand")
+        os.makedirs(drift_cand)
+        _write_doc(drift_cand, "fig2_max_contention", {"hemlock": {4: 14.0}})
+        check("slow drift passes a latest-only gate",
+              _gate(drift3, drift_cand), 0)
+        check("slow drift fails against the window median",
+              _gate([drift1, drift2, drift3], drift_cand), 1)
+
+        # One anomalously slow baseline run in the window must not
+        # inflate a healthy candidate into a pass of a real regression
+        # — nor fail a healthy candidate: the median ignores it.
+        outlier = os.path.join(tmp, "outlier")
+        os.makedirs(outlier)
+        _write_doc(outlier, "fig2_max_contention", {"hemlock": {4: 2.0}})
+        healthy_cand = os.path.join(tmp, "healthy_cand")
+        os.makedirs(healthy_cand)
+        _write_doc(healthy_cand, "fig2_max_contention", {"hemlock": {4: 29.0}})
+        check("window median shrugs off one slow baseline run",
+              _gate([drift1, outlier, drift2], healthy_cand), 0)
+
+        # A key present in only part of the window still gates (median
+        # over the artifacts that have it).
+        partial = os.path.join(tmp, "partial")
+        os.makedirs(partial)
+        _write_doc(partial, "fig2_max_contention",
+                   {"hemlock": {4: 30.0}, "clh": {4: 10.0}})
+        clh_drop = os.path.join(tmp, "clh_drop")
+        os.makedirs(clh_drop)
+        _write_doc(clh_drop, "fig2_max_contention",
+                   {"hemlock": {4: 30.0}, "clh": {4: 1.0}})
+        check("key in part of the window still gates",
+              _gate([drift1, partial], clh_drop), 1)
+
         # Empty baseline directory: advisory pass (first-run bootstrap).
         empty = os.path.join(tmp, "empty")
         os.makedirs(empty)
         check("missing baseline is an advisory pass", _gate(empty, same), 0)
+        check("window of empty baselines is an advisory pass",
+              _gate([empty, empty], same), 0)
 
         # Malformed schema: usage error, not a silent pass.
         bad = os.path.join(tmp, "bad")
@@ -318,10 +393,12 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Diff hemlock-bench-v1 BENCH_*.json trajectory sets; "
                     "fail on per-key median-throughput regressions.")
-    parser.add_argument("--baseline",
-                        help="directory holding the baseline BENCH_*.json "
-                             "(e.g. the latest main-branch perf-smoke "
-                             "artifact)")
+    parser.add_argument("--baseline", action="append",
+                        help="directory holding baseline BENCH_*.json "
+                             "(a main-branch perf-smoke artifact). May be "
+                             "repeated: each key is gated against the "
+                             "MEDIAN across the window, so slow multi-PR "
+                             "drift is caught, not just single-step drops")
     parser.add_argument("--candidate",
                         help="directory holding the PR's BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.30,
