@@ -9,12 +9,12 @@
 // roster algorithm chosen by a runtime string.
 //
 // Design constraints, in order:
-//  * No heap allocation, ever: the selected lock is constructed
+//  * AnyLock itself never allocates: the selected lock is constructed
 //    in-place in an inline buffer sized (at compile time) to the
-//    largest algorithm in the roster. A lock that allocated on
-//    construction could not back the pthread interposition shim and
-//    would wreck tail latencies in embedders that create locks on
-//    hot paths.
+//    largest algorithm in the roster. (A *hosted* lock may allocate in
+//    its own constructor — the BoxedLock<> side-storage adapters do,
+//    which is why their traits opt out of the interposition shim via
+//    pthread_overlay_safe = false.)
 //  * One indirect call of overhead: operations dispatch through a
 //    static vtable (one per algorithm, function-pointer thunks; see
 //    lock_vtable<L>). No RTTI, no virtual bases, no double
@@ -26,9 +26,12 @@
 //    knowing the concrete type.
 //
 // Note on size: the inline-buffer guarantee makes sizeof(AnyLock)
-// the roster *maximum* — dominated by Anderson's waiting array
-// (~4 KiB at the registry's default capacity), not by the one-word
-// Hemlock. Embedders that need Table-1-sized locks use the concrete
+// the roster *maximum*. Bulk-bodied algorithms (Anderson's ~4 KiB
+// waiting array, the sharded-ingress rwlock) enter the roster through
+// locks/boxed.hpp — erased footprint: one pointer — precisely so that
+// maximum stays cacheline-scale and per-shard erased locks (the
+// sharded serving layer holds one per shard) cost bytes, not
+// kilobytes. Embedders that need Table-1-sized locks use the concrete
 // templates directly; AnyLock is the flexibility end of that
 // trade-off, matching progress64's stable-C-surface approach.
 #pragma once
@@ -173,13 +176,14 @@ static_assert(SharedLockable<AnyLock>);
 /// algorithm that AnyLock instances share.
 template <typename L>
 struct LockErasure {
-  // The no-heap guarantee: every algorithm handed to AnyLock must fit
+  // The in-place guarantee: every algorithm handed to AnyLock must fit
   // the inline buffer. Trivially true for roster members (the buffer
   // is sized from the roster); this is the tripwire for future locks
-  // registered without resizing the roster tuple.
+  // registered without resizing the roster tuple — box oversized
+  // bodies via locks/boxed.hpp instead of growing the buffer.
   static_assert(sizeof(L) <= AnyLock::kStorageBytes,
                 "AnyLock's inline buffer must fit every registered lock "
-                "(no heap allocation) — add the type to AllLockTags");
+                "— box it (locks/boxed.hpp) or add it to AllLockTags");
   static_assert(alignof(L) <= AnyLock::kStorageAlign,
                 "AnyLock's inline buffer must satisfy every registered "
                 "lock's alignment");

@@ -1,5 +1,6 @@
 #include "api/factory.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -7,6 +8,58 @@
 #include "core/lock_registry.hpp"
 
 namespace hemlock {
+
+namespace {
+
+// ---- runtime-registered families --------------------------------------
+// Fixed-capacity, allocation-free: find_lock() must stay callable from
+// inside the interposition shim (see the comment on find_lock below),
+// so the runtime roster is a static array published with a
+// release-store of the count. Slots are written before the count that
+// covers them, so lock-free readers only ever see fully-written
+// entries.
+
+const LockVTable* g_runtime[LockFactory::kMaxRuntimeLocks] = {};
+std::atomic<std::size_t> g_runtime_count{0};
+/// Serializes registrations (duplicate check + publish must be one
+/// step); never taken on any lookup path.
+std::atomic<bool> g_runtime_reg_lock{false};
+
+const LockVTable* find_runtime_lock(std::string_view name) noexcept {
+  const std::size_t n = g_runtime_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g_runtime[i]->info.name == name) return g_runtime[i];
+  }
+  return nullptr;
+}
+
+/// "-spin" is the explicit spelling of the default pure-spin tier:
+/// the roster registers "mcs" (spin), "mcs-yield", "mcs-park",
+/// "mcs-adaptive" — so "mcs-spin" canonicalizes to "mcs". Returns the
+/// base name, or an empty view when the alias does not apply.
+std::string_view strip_spin_suffix(std::string_view name) noexcept {
+  constexpr std::string_view kSuffix = "-spin";
+  if (name.size() > kSuffix.size() && name.ends_with(kSuffix)) {
+    return name.substr(0, name.size() - kSuffix.size());
+  }
+  return {};
+}
+
+/// Exact lookup across the compile-time roster then the runtime
+/// registrations, allocation-free (see find_lock).
+const LockVTable* find_lock_exact(std::string_view name) noexcept {
+  const LockVTable* found = nullptr;
+  for_each_lock_type<AllLockTags>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    if (found == nullptr && name == lock_vtable<L>.info.name) {
+      found = &lock_vtable<L>;
+    }
+  });
+  if (found != nullptr) return found;
+  return find_runtime_lock(name);
+}
+
+}  // namespace
 
 LockFactory::LockFactory() {
   entries_.reserve(std::tuple_size_v<AllLockTags>);
@@ -28,34 +81,11 @@ const LockFactory& LockFactory::instance() {
   return factory;
 }
 
-namespace {
-
-/// "-spin" is the explicit spelling of the default pure-spin tier:
-/// the roster registers "mcs" (spin), "mcs-yield", "mcs-park",
-/// "mcs-adaptive" — so "mcs-spin" canonicalizes to "mcs". Returns the
-/// base name, or an empty view when the alias does not apply.
-std::string_view strip_spin_suffix(std::string_view name) noexcept {
-  constexpr std::string_view kSuffix = "-spin";
-  if (name.size() > kSuffix.size() && name.ends_with(kSuffix)) {
-    return name.substr(0, name.size() - kSuffix.size());
-  }
-  return {};
-}
-
-}  // namespace
-
 const LockVTable* LockFactory::find(std::string_view name) const noexcept {
-  const auto exact = [this](std::string_view n) -> const LockVTable* {
-    for (const LockVTable* vt : entries_) {
-      if (vt->info.name == n) return vt;
-    }
-    return nullptr;
-  };
-  if (const LockVTable* vt = exact(name)) return vt;
-  // One strip, then an exact lookup only — "mcs-spin" is an alias,
-  // "mcs-spin-spin" is a typo.
-  const std::string_view base = strip_spin_suffix(name);
-  return base.empty() ? nullptr : exact(base);
+  // Same resolution as the free function (compile-time roster,
+  // runtime registrations, one "-spin" strip) — there is exactly one
+  // name→algorithm rule in the library.
+  return find_lock(name);
 }
 
 AnyLock LockFactory::make(std::string_view name) const {
@@ -79,21 +109,46 @@ std::vector<std::string_view> LockFactory::names() const {
   return out;
 }
 
-namespace {
-
-/// Exact roster lookup, allocation-free (see find_lock).
-const LockVTable* find_lock_exact(std::string_view name) noexcept {
-  const LockVTable* found = nullptr;
-  for_each_lock_type<AllLockTags>([&](auto tag) {
-    using L = typename decltype(tag)::type;
-    if (found == nullptr && name == lock_vtable<L>.info.name) {
-      found = &lock_vtable<L>;
+bool LockFactory::register_lock(const LockVTable& vt) noexcept {
+  if (vt.info.name.empty() || vt.construct == nullptr ||
+      vt.destroy == nullptr || vt.lock == nullptr || vt.unlock == nullptr ||
+      vt.try_lock == nullptr || vt.lock_shared == nullptr ||
+      vt.unlock_shared == nullptr || vt.try_lock_shared == nullptr) {
+    return false;
+  }
+  // The inline-buffer contract: AnyLock constructs registered locks
+  // in place, so an oversized entry would smash the buffer. (The
+  // typed path, register_lock_type<L>, rejects this at compile time;
+  // big-bodied algorithms go through locks/boxed.hpp.)
+  if (vt.info.size_bytes > AnyLock::kStorageBytes ||
+      vt.info.align_bytes > AnyLock::kStorageAlign) {
+    return false;
+  }
+  while (g_runtime_reg_lock.exchange(true, std::memory_order_acquire)) {
+  }
+  bool registered = false;
+  // Duplicate check under the lock, against everything resolvable —
+  // including the "-spin" alias, so a registration can never shadow
+  // or be shadowed by an existing spelling.
+  if (find_lock(vt.info.name) == nullptr) {
+    const std::size_t n = g_runtime_count.load(std::memory_order_relaxed);
+    if (n < kMaxRuntimeLocks) {
+      g_runtime[n] = &vt;
+      g_runtime_count.store(n + 1, std::memory_order_release);
+      registered = true;
     }
-  });
-  return found;
+  }
+  g_runtime_reg_lock.store(false, std::memory_order_release);
+  return registered;
 }
 
-}  // namespace
+std::vector<const LockVTable*> LockFactory::runtime_entries() {
+  std::vector<const LockVTable*> out;
+  const std::size_t n = g_runtime_count.load(std::memory_order_acquire);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(g_runtime[i]);
+  return out;
+}
 
 const LockVTable* find_lock(std::string_view name) noexcept {
   // Deliberately allocation-free (no LockFactory::instance()): the
@@ -101,10 +156,12 @@ const LockVTable* find_lock(std::string_view name) noexcept {
   // from inside the application's first pthread_mutex_lock, where a
   // malloc — whose allocator may itself guard state with a pthread
   // mutex — could re-enter the shim and deadlock. The vtables are
-  // constant-initialized statics; this is pure name comparison.
+  // constant-initialized statics (or, for runtime registrations,
+  // caller-owned statics behind a release-published count); this is
+  // pure name comparison.
   if (const LockVTable* found = find_lock_exact(name)) return found;
-  // Same "-spin" canonicalization as LockFactory::find: one strip,
-  // then an exact lookup only, so suffixes never chain.
+  // Same "-spin" canonicalization as ever: one strip, then an exact
+  // lookup only, so suffixes never chain.
   const std::string_view base = strip_spin_suffix(name);
   return base.empty() ? nullptr : find_lock_exact(base);
 }

@@ -6,6 +6,15 @@
 // turns a *string* into a *lock* goes through here — the
 // LD_PRELOAD shim's HEMLOCK_LOCK, the bench harness's --lock=<name>,
 // examples, tests. Nothing else maintains a name table.
+//
+// Embedders can additionally register families at RUN TIME
+// (register_lock / register_lock_type<L>): the vtable mechanism never
+// cared whether an entry came from the tuple, so a registered family
+// resolves through find()/make()/find_lock() — and therefore through
+// AnyLock("name"), DB<AnyLock>, the sharded serving layer and the
+// traffic driver — without editing AllLockTags. Registration is
+// deliberately bounded (fixed slots, no allocation) so the shim-safe
+// find_lock() stays allocation-free.
 #pragma once
 
 #include <string_view>
@@ -40,16 +49,46 @@ class LockFactory {
   /// The named algorithm's descriptor, or nullptr if unknown.
   const LockInfo* info(std::string_view name) const noexcept;
 
-  /// Names of all registered algorithms, registry order.
+  /// Names of all compile-time roster algorithms, registry order.
+  /// (Runtime-registered families resolve through find()/make()/
+  /// info() but are listed by runtime_entries(), not here — the
+  /// roster sweeps in tests/benches pin down the static registry.)
   std::vector<std::string_view> names() const;
 
-  /// All entries, registry order (for roster sweeps).
+  /// Compile-time roster entries, registry order (for roster sweeps).
   const std::vector<const LockVTable*>& entries() const noexcept {
     return entries_;
   }
 
-  /// Number of registered algorithms.
+  /// Number of compile-time roster algorithms.
   std::size_t size() const noexcept { return entries_.size(); }
+
+  // ---- runtime registration -------------------------------------------
+
+  /// Maximum number of runtime-registered families per process. A
+  /// fixed bound keeps lookup allocation-free (the interposition
+  /// shim's constraint) — this is a roster, not a plugin ecosystem.
+  static constexpr std::size_t kMaxRuntimeLocks = 16;
+
+  /// Register a lock family at run time. `vt` must have static
+  /// storage duration (entry pointers are handed out for the life of
+  /// the process). Returns false — registering nothing — when the
+  /// name is empty or already taken (including via the "-spin"
+  /// alias), when a lifecycle/operation thunk is missing, when the
+  /// lock would not fit AnyLock's inline buffer (size or alignment),
+  /// or when all kMaxRuntimeLocks slots are used. Thread-safe.
+  static bool register_lock(const LockVTable& vt) noexcept;
+
+  /// Register lock type L through its static vtable — the typed
+  /// convenience over register_lock(); the erasure's static_asserts
+  /// check the buffer fit at compile time.
+  template <typename L>
+  static bool register_lock_type() noexcept {
+    return register_lock(lock_vtable<L>);
+  }
+
+  /// Snapshot of the runtime-registered entries, registration order.
+  static std::vector<const LockVTable*> runtime_entries();
 
  private:
   LockFactory();  // populates from AllLockTags

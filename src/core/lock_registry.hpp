@@ -21,6 +21,7 @@
 #include "core/hemlock_ohv.hpp"
 #include "core/hemlock_overlap.hpp"
 #include "locks/anderson.hpp"
+#include "locks/boxed.hpp"
 #include "locks/clh.hpp"
 #include "locks/lock_traits.hpp"
 #include "locks/mcs.hpp"
@@ -39,19 +40,34 @@ struct lock_tag {
   using type = L;
 };
 
-/// Default Anderson capacity used by registry consumers. The choice
-/// is a compromise: the waiting array must cover every concurrent
-/// contender (lock() wraps the slot ring past this bound — runtime
-/// consumers check LockInfo::max_threads), but the array also sizes
-/// AnyLock's inline buffer, which must hold the roster's largest
-/// lock. 64 keeps AnyLock at ~4 KiB while covering the thread counts
-/// the test suites and typical hosts use; benches sweeping wider
-/// instantiate AndersonLock<N> directly.
+/// Default Anderson capacity used by registry consumers: the waiting
+/// array must cover every concurrent contender (lock() wraps the slot
+/// ring past this bound — runtime consumers check
+/// LockInfo::max_threads). 64 covers the thread counts the test
+/// suites and typical hosts use; benches sweeping wider instantiate
+/// AndersonLock<N> directly.
 using AndersonDefault = AndersonLock<64>;
 /// Waiting-tier variants of the default-capacity Anderson lock.
 using AndersonYieldDefault = AndersonLockT<64, QueueYieldWaiting>;
 using AndersonParkDefault = AndersonLockT<64, SpinThenParkWaiting>;
 using AndersonGovernedDefault = AndersonLockT<64, GovernedWaiting>;
+
+// Bulk-bodied algorithms enter the registry through the boxed
+// side-storage path (locks/boxed.hpp): the erased footprint is one
+// pointer, so AnyLock's inline buffer — sized to the roster MAXIMUM —
+// stays cacheline-scale instead of inheriting Anderson's ~4 KiB
+// waiting array or the sharded rwlock's per-shard ingress lines. The
+// factory names are unchanged ("anderson", "rwlock", ...); only the
+// erased storage strategy differs. Embedders that want the arrays
+// inline use the concrete templates directly.
+using AndersonBoxed = BoxedLock<AndersonDefault>;
+using AndersonYieldBoxed = BoxedLock<AndersonYieldDefault>;
+using AndersonParkBoxed = BoxedLock<AndersonParkDefault>;
+using AndersonGovernedBoxed = BoxedLock<AndersonGovernedDefault>;
+using RwBoxed = BoxedLock<RwLock>;
+using RwYieldBoxed = BoxedLock<RwYieldLock>;
+using RwParkBoxed = BoxedLock<RwParkLock>;
+using RwGovernedBoxed = BoxedLock<RwGovernedLock>;
 
 /// Every algorithm in the library, core contribution first, then the
 /// paper's baselines, then the queue locks' oversubscription waiting
@@ -66,15 +82,15 @@ using AllLockTags = std::tuple<
     lock_tag<HemlockChain>, lock_tag<McsLock>, lock_tag<McsK42Lock>,
     lock_tag<ClhLock>, lock_tag<TicketLock>, lock_tag<TasLock>,
     lock_tag<TtasLock>, lock_tag<TtasBackoffLock>,
-    lock_tag<AndersonDefault>, lock_tag<McsYieldLock>,
+    lock_tag<AndersonBoxed>, lock_tag<McsYieldLock>,
     lock_tag<McsParkLock>, lock_tag<McsGovernedLock>,
     lock_tag<ClhYieldLock>, lock_tag<ClhParkLock>,
     lock_tag<ClhGovernedLock>, lock_tag<TicketYieldLock>,
     lock_tag<TicketParkLock>, lock_tag<TicketGovernedLock>,
-    lock_tag<AndersonYieldDefault>, lock_tag<AndersonParkDefault>,
-    lock_tag<AndersonGovernedDefault>, lock_tag<RwLock>,
-    lock_tag<RwYieldLock>, lock_tag<RwParkLock>,
-    lock_tag<RwGovernedLock>, lock_tag<RwCompactLock>,
+    lock_tag<AndersonYieldBoxed>, lock_tag<AndersonParkBoxed>,
+    lock_tag<AndersonGovernedBoxed>, lock_tag<RwBoxed>,
+    lock_tag<RwYieldBoxed>, lock_tag<RwParkBoxed>,
+    lock_tag<RwGovernedBoxed>, lock_tag<RwCompactLock>,
     lock_tag<RwCompactYieldLock>, lock_tag<RwCompactParkLock>,
     lock_tag<RwCompactGovernedLock>, lock_tag<PthreadMutex>>;
 

@@ -1,0 +1,87 @@
+// boxed.hpp — heap-boxed storage adapter for oversized roster locks.
+//
+// AnyLock's inline buffer is sized to the LARGEST algorithm in the
+// registry (api/any_lock.hpp). Anderson's waiting array (~4 KiB at
+// the default capacity) and the sharded-ingress rwlock (one cache
+// line per reader shard) used to dominate that maximum, so EVERY
+// erased lock — including the one-word Hemlock the paper is about —
+// paid kilobytes per instance. That is exactly backwards for the
+// sharded serving layer, which holds one erased lock per shard.
+//
+// BoxedLock<L> demotes such algorithms to a side-storage path: the
+// erased footprint is one pointer (plus the vtable AnyLock already
+// carries) and the big body lives on the heap, allocated once at
+// construction. The traits — and therefore the factory name, the
+// Table-1 accounting, the waiting tier, the max_threads bound — are
+// inherited from L: "anderson" is still Anderson, it just no longer
+// taxes every other algorithm's inline storage.
+//
+// The cost is deliberate and disclosed: construction allocates, and
+// every operation adds one pointer chase. Hence the two trait
+// overrides below: nontrivial_init (there is now a real ctor/dtor)
+// and pthread_overlay_safe = false — the interposition shim must
+// never host a lock whose construction can call malloc, because the
+// allocator may itself take a pthread mutex and re-enter the shim.
+#pragma once
+
+#include <memory>
+
+#include "locks/lock_traits.hpp"
+#include "locks/lockable.hpp"
+
+namespace hemlock {
+
+/// Heap-boxed adapter: same locking surface as L, pointer-sized body.
+template <BasicLockable L>
+class BoxedLock {
+ public:
+  BoxedLock() : inner_(std::make_unique<L>()) {}
+  BoxedLock(const BoxedLock&) = delete;
+  BoxedLock& operator=(const BoxedLock&) = delete;
+
+  void lock() { inner_->lock(); }
+  void unlock() { inner_->unlock(); }
+
+  bool try_lock()
+    requires TryLockable<L>
+  {
+    return inner_->try_lock();
+  }
+
+  void lock_shared()
+    requires SharedLockable<L>
+  {
+    inner_->lock_shared();
+  }
+  void unlock_shared()
+    requires SharedLockable<L>
+  {
+    inner_->unlock_shared();
+  }
+  bool try_lock_shared()
+    requires SharedLockable<L>
+  {
+    return inner_->try_lock_shared();
+  }
+
+  /// The boxed algorithm (tests peeking at capacity() etc.).
+  L& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<L> inner_;
+};
+
+/// Boxed locks keep the inner algorithm's identity (name, Table 1
+/// accounting, FIFO-ness, bounds, waiting tier) — only the storage
+/// facts change.
+template <BasicLockable L>
+struct lock_traits<BoxedLock<L>> : lock_traits<L> {
+  static constexpr bool nontrivial_init = true;  // heap-allocating ctor
+  /// Construction mallocs: hosting this inside an interposed
+  /// pthread_mutex_t could re-enter the shim through the allocator's
+  /// own lock. The shim falls back to its compact families instead.
+  static constexpr bool pthread_overlay_safe = false;
+  static constexpr bool condvar_capable = false;
+};
+
+}  // namespace hemlock

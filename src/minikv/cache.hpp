@@ -3,16 +3,31 @@
 // LevelDB routes every table block read through a ShardedLRUCache;
 // MiniKV reproduces that layer so the Figure-8 readrandom workload
 // has the same memory behaviour (hot blocks served from cache, cold
-// reads paying the decode cost). Shards each have their own mutex —
-// these are *internal* locks, distinct from the DB's central mutex
-// that the benchmark contends on (and they use std::mutex so cache
-// overhead stays constant while the central lock algorithm varies).
+// reads paying the decode cost). Shards each have their own
+// reader-writer mutex — these are *internal* locks, distinct from the
+// DB's central mutex that the benchmark contends on (and they use
+// std::shared_mutex so cache overhead stays constant while the
+// central lock algorithm varies).
+//
+// The lookup path is a SHARED acquisition: when DB<Lock>::get() runs
+// with a shared-mode central lock, its whole read path — snapshot,
+// memtable search, block-cache touch — now admits concurrent readers;
+// previously the cache's exclusive std::mutex made every cache hit
+// briefly re-serialize reads that the central lock had just let
+// through together. A shared holder cannot splice the recency list,
+// so recency is tracked with a per-entry "referenced" bit (set on
+// hit) and eviction runs second-chance/CLOCK over the list: a
+// referenced victim is recycled to the front with its bit cleared
+// instead of evicted. The scan is bounded by the list length, so one
+// insert cannot loop forever under a storm of concurrent touches.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 namespace hemlock::minikv {
@@ -37,31 +52,37 @@ struct BlockKeyHash {
   }
 };
 
-/// One LRU shard: hash map + intrusive recency list, byte-budgeted.
+/// One cache shard: hash map + recency list, byte-budgeted.
+/// Lookups take the shard lock SHARED; mutations (insert/erase) take
+/// it exclusive.
 template <typename V>
 class LruShard {
  public:
   /// Set the shard's byte capacity.
   void set_capacity(std::size_t bytes) { capacity_ = bytes; }
 
-  /// Look up; promotes to most-recently-used on hit.
+  /// Look up; marks the entry referenced (second-chance recency) on
+  /// hit. Shared acquisition — concurrent lookups never serialize.
   std::shared_ptr<V> lookup(const BlockKey& key) {
-    std::lock_guard<std::mutex> g(mu_);
+    std::shared_lock<std::shared_mutex> g(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
-      ++misses_;
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    it->second.referenced.store(true, std::memory_order_relaxed);
     return it->second.value;
   }
 
-  /// Insert (replacing any existing entry), evicting LRU entries
-  /// until within capacity.
+  /// Insert (replacing any existing entry), evicting entries until
+  /// within capacity. Second-chance: a victim whose referenced bit is
+  /// set gets recycled to the front (bit cleared) instead of evicted;
+  /// the walk is bounded by the list length, after which eviction is
+  /// unconditional.
   void insert(const BlockKey& key, std::shared_ptr<V> value,
               std::size_t charge) {
-    std::lock_guard<std::mutex> g(mu_);
+    std::lock_guard<std::shared_mutex> g(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       usage_ -= it->second.charge;
@@ -69,12 +90,24 @@ class LruShard {
       map_.erase(it);
     }
     lru_.push_front(key);
-    map_.emplace(key, Entry{std::move(value), charge, lru_.begin()});
+    auto [pos, inserted] =
+        map_.try_emplace(key, std::move(value), charge, lru_.begin());
+    (void)pos;
+    (void)inserted;
     usage_ += charge;
+    std::size_t chances = lru_.size();
     while (usage_ > capacity_ && !lru_.empty()) {
       const BlockKey victim = lru_.back();
-      lru_.pop_back();
       auto vit = map_.find(victim);
+      if (chances > 0 &&
+          vit->second.referenced.load(std::memory_order_relaxed)) {
+        --chances;
+        vit->second.referenced.store(false, std::memory_order_relaxed);
+        lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
+        vit->second.lru_pos = lru_.begin();
+        continue;
+      }
+      lru_.pop_back();
       usage_ -= vit->second.charge;
       map_.erase(vit);
       ++evictions_;
@@ -83,7 +116,7 @@ class LruShard {
 
   /// Remove a specific key if present.
   void erase(const BlockKey& key) {
-    std::lock_guard<std::mutex> g(mu_);
+    std::lock_guard<std::shared_mutex> g(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) return;
     usage_ -= it->second.charge;
@@ -93,12 +126,14 @@ class LruShard {
 
   /// Bytes currently cached.
   std::size_t usage() const {
-    std::lock_guard<std::mutex> g(mu_);
+    std::shared_lock<std::shared_mutex> g(mu_);
     return usage_;
   }
   /// Hit/miss/eviction counters (monotone).
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
   std::uint64_t evictions() const { return evictions_; }
 
  private:
@@ -106,12 +141,20 @@ class LruShard {
     std::shared_ptr<V> value;
     std::size_t charge;
     typename std::list<BlockKey>::iterator lru_pos;
+    /// Set by lookups under the SHARED lock (hence atomic); consumed
+    /// by the second-chance eviction walk under the exclusive lock.
+    std::atomic<bool> referenced{false};
+
+    Entry(std::shared_ptr<V> v, std::size_t c,
+          typename std::list<BlockKey>::iterator pos)
+        : value(std::move(v)), charge(c), lru_pos(pos) {}
   };
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::size_t capacity_ = 0;
-  std::size_t usage_ = 0;
-  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  std::size_t usage_ = 0;  ///< mutated under exclusive mu_ only
+  std::atomic<std::uint64_t> hits_{0}, misses_{0};
+  std::uint64_t evictions_ = 0;  ///< exclusive mu_ only
   std::list<BlockKey> lru_;
   std::unordered_map<BlockKey, Entry, BlockKeyHash> map_;
 };

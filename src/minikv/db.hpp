@@ -34,6 +34,7 @@
 #include "locks/lockable.hpp"
 #include "minikv/cache.hpp"
 #include "minikv/memtable.hpp"
+#include "minikv/scan.hpp"
 #include "minikv/slice.hpp"
 #include "minikv/status.hpp"
 #include "minikv/table.hpp"
@@ -58,13 +59,9 @@ struct DbOptions {
   std::size_t compaction_trigger = 8;
 };
 
-/// Version: the immutable set of tables current at some instant.
-/// Snapshotted (shared_ptr copy) under the central mutex, searched
-/// outside it — newest table first, exactly LevelDB's read path
-/// across levels.
-struct TableVersion {
-  std::vector<std::shared_ptr<ImmutableTable>> tables;  // newest first
-};
+// (TableVersion — the immutable table set snapshotted under the
+// central mutex — now lives in minikv/table.hpp, shared with the
+// sharded serving layer and the merge-scan helper.)
 
 /// MiniKV database with central mutex of type CentralLock.
 template <BasicLockable CentralLock>
@@ -132,6 +129,37 @@ class DB {
       if (table_get(*table, key, value)) return Status::ok();
     }
     return Status::not_found();
+  }
+
+  /// Range scan: up to `limit` entries with key >= `start`, ascending,
+  /// newest version per key. Same locking shape as get(): the central
+  /// mutex covers only the (memtable, version) snapshot — shared mode
+  /// when the lock has one — and the k-way merge runs unlocked over
+  /// the immutable snapshot.
+  std::size_t scan(const Slice& start, std::size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+    out->clear();
+    if (limit == 0) return 0;
+    std::shared_ptr<MemTable> mem;
+    std::shared_ptr<TableVersion> version;
+    if constexpr (SharedLockable<CentralLock>) {
+      SharedLockGuard<CentralLock> g(mu_.value);
+      mem = mem_;
+      version = version_;
+    } else {
+      LockGuard<CentralLock> g(mu_.value);
+      mem = mem_;
+      version = version_;
+    }
+    auto fetch = [this](const ImmutableTable& t, std::size_t b) {
+      return read_block_cached(t, b);
+    };
+    merge_scan(*mem, *version, start, fetch,
+               [&](const Slice& k, const Slice& v) {
+                 out->emplace_back(k.to_string(), v.to_string());
+                 return out->size() < limit;
+               });
+    return out->size();
   }
 
   /// Force the current memtable into an immutable table.
@@ -203,18 +231,27 @@ class DB {
     ++compactions_;
   }
 
+  /// Materialize one table block through the block cache (unlocked;
+  /// the cache's own lookup path is a shared acquisition, so this
+  /// never re-serializes concurrent shared-mode readers on a hit).
+  std::shared_ptr<Block> read_block_cached(const ImmutableTable& table,
+                                           std::size_t idx) {
+    const BlockKey bkey{table.id(), static_cast<std::uint32_t>(idx)};
+    std::shared_ptr<Block> block = cache_.lookup(bkey);
+    if (block == nullptr) {
+      block = table.read_block(idx);
+      cache_.insert(bkey, block, block->charge());
+    }
+    return block;
+  }
+
   /// Search one table through the block cache (unlocked).
   bool table_get(const ImmutableTable& table, const Slice& key,
                  std::string* value) {
     const std::int64_t idx = table.block_for(key);
     if (idx < 0) return false;
-    const BlockKey bkey{table.id(), static_cast<std::uint32_t>(idx)};
-    std::shared_ptr<Block> block = cache_.lookup(bkey);
-    if (block == nullptr) {
-      block = table.read_block(static_cast<std::size_t>(idx));
-      cache_.insert(bkey, block, block->charge());
-    }
-    return block->get(key, value);
+    return read_block_cached(table, static_cast<std::size_t>(idx))
+        ->get(key, value);
   }
 
   DbOptions options_;

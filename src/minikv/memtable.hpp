@@ -9,6 +9,7 @@
 // locking behaviour while staying simpler).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -107,6 +108,10 @@ struct EntryComparator {
 /// externally (the DB's central mutex); reads are safe concurrently
 /// with one writer (the skiplist contract).
 class MemTable {
+ private:
+  // Declared up front: Cursor (below) embeds an Index::Iterator.
+  using Index = SkipList<const char*, detail::EntryComparator>;
+
  public:
   MemTable() : table_(detail::EntryComparator(), &arena_) {}
   MemTable(const MemTable&) = delete;
@@ -128,27 +133,19 @@ class MemTable {
     p += vlen;
     std::memcpy(p, &seq, sizeof(seq));
     table_.insert(buf);
-    ++entries_;
+    // Relaxed: the counter is a fast-path hint (and a diagnostic),
+    // not a publication point — the skiplist's own release stores
+    // publish the entry to lock-free readers.
+    entries_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Newest value for key, if present.
   bool get(const Slice& key, std::string* value) const {
-    if (entries_ == 0) return false;  // common post-flush fast path
-    // Seek to the first entry >= (key, +inf seq) — i.e. the newest
-    // entry for `key` given the descending-sequence tie-break.
-    const std::size_t klen = key.size();
-    std::string probe;
-    probe.resize(detail::varint32_length(klen) + klen +
-                 detail::varint32_length(0) + sizeof(std::uint64_t));
-    char* p = detail::encode_varint32(probe.data(),
-                                      static_cast<std::uint32_t>(klen));
-    std::memcpy(p, key.data(), klen);
-    p += klen;
-    p = detail::encode_varint32(p, 0);  // empty value
-    const std::uint64_t max_seq = ~0ULL;
-    std::memcpy(p, &max_seq, sizeof(max_seq));
-
+    if (entries_.load(std::memory_order_relaxed) == 0) {
+      return false;  // common post-flush fast path
+    }
     Index::Iterator it(&table_);
+    const std::string probe = seek_probe(key);
     it.seek(probe.data());
     if (!it.valid()) return false;
     const Slice found = detail::entry_key(it.key());
@@ -157,8 +154,39 @@ class MemTable {
     return true;
   }
 
+  /// Forward cursor over the *newest* version of each key, ascending,
+  /// starting from the first key >= `start`. Safe concurrently with
+  /// one writer (the skiplist iteration contract): entries inserted
+  /// after a position was taken may or may not be observed, which is
+  /// the usual "scan concurrent with writes" semantics.
+  class Cursor {
+   public:
+    Cursor(const MemTable& mem, const Slice& start) : it_(&mem.table_) {
+      const std::string probe = mem.seek_probe(start);
+      it_.seek(probe.data());
+    }
+
+    bool valid() const { return it_.valid(); }
+    Slice key() const { return detail::entry_key(it_.key()); }
+    Slice value() const { return detail::entry_value(it_.key()); }
+
+    /// Advance to the next distinct key (skipping the current key's
+    /// superseded older versions, which sort immediately after).
+    void next() {
+      const Slice cur = key();  // arena-backed; stays valid across next()
+      do {
+        it_.next();
+      } while (it_.valid() && detail::entry_key(it_.key()) == cur);
+    }
+
+   private:
+    Index::Iterator it_;
+  };
+
   /// Entries inserted (including superseded versions).
-  std::size_t entries() const { return entries_; }
+  std::size_t entries() const {
+    return entries_.load(std::memory_order_relaxed);
+  }
   /// Approximate heap footprint (flush threshold input).
   std::size_t approximate_memory_usage() const {
     return arena_.memory_usage();
@@ -188,11 +216,27 @@ class MemTable {
   }
 
  private:
-  using Index = SkipList<const char*, detail::EntryComparator>;
+  /// Encoded entry that sorts as (key, +inf seq) — i.e. immediately
+  /// before the newest real entry for `key` under EntryComparator's
+  /// descending-sequence tie-break. Shared by get() and Cursor.
+  std::string seek_probe(const Slice& key) const {
+    const std::size_t klen = key.size();
+    std::string probe;
+    probe.resize(detail::varint32_length(klen) + klen +
+                 detail::varint32_length(0) + sizeof(std::uint64_t));
+    char* p = detail::encode_varint32(probe.data(),
+                                      static_cast<std::uint32_t>(klen));
+    std::memcpy(p, key.data(), klen);
+    p += klen;
+    p = detail::encode_varint32(p, 0);  // empty value
+    const std::uint64_t max_seq = ~0ULL;
+    std::memcpy(p, &max_seq, sizeof(max_seq));
+    return probe;
+  }
 
   Arena arena_;
   Index table_;
-  std::size_t entries_ = 0;
+  std::atomic<std::size_t> entries_{0};
 };
 
 }  // namespace hemlock::minikv

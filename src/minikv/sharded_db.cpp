@@ -1,0 +1,17 @@
+// sharded_db.cpp — out-of-line instantiation of the serving layer's
+// default configuration.
+//
+// ShardedDB is header-only by nature (the shard lock is a template
+// parameter), but the configuration every runtime consumer uses —
+// ShardedDB<AnyLock>, algorithm chosen by factory name — is
+// instantiated once here so the bench drivers, examples and tests
+// link against a single compiled copy instead of each re-deriving
+// ~all of the minikv + reclaim headers.
+
+#include "minikv/sharded_db.hpp"
+
+namespace hemlock::minikv {
+
+template class ShardedDB<AnyLock>;
+
+}  // namespace hemlock::minikv

@@ -77,4 +77,14 @@ class ImmutableTable {
   std::vector<std::vector<std::pair<std::string, std::string>>> blocks_;
 };
 
+/// Version: the immutable set of tables current at some instant.
+/// Snapshotted under a DB's central (or shard) lock, searched outside
+/// it — newest table first, exactly LevelDB's read path across
+/// levels. (Declared here, next to the tables it aggregates, so the
+/// single-lock DB, the sharded DB and the merge-scan helper all share
+/// one definition.)
+struct TableVersion {
+  std::vector<std::shared_ptr<ImmutableTable>> tables;  // newest first
+};
+
 }  // namespace hemlock::minikv

@@ -1,0 +1,177 @@
+#include "reclaim/epoch.hpp"
+
+#include <stdexcept>
+
+#include "runtime/pause.hpp"
+
+namespace hemlock::reclaim {
+
+namespace {
+
+/// Bitmap of claimed ThreadRec::epochs slots — one bit per live
+/// EpochDomain, process-wide.
+std::atomic<std::uint32_t> g_domain_slots{0};
+
+}  // namespace
+
+EpochDomain::EpochDomain() {
+  std::uint32_t bits = g_domain_slots.load(std::memory_order_relaxed);
+  for (;;) {
+    std::uint32_t free_bit = ThreadRec::kMaxEpochDomains;
+    for (std::uint32_t i = 0; i < ThreadRec::kMaxEpochDomains; ++i) {
+      if ((bits & (1u << i)) == 0) {
+        free_bit = i;
+        break;
+      }
+    }
+    if (free_bit == ThreadRec::kMaxEpochDomains) {
+      throw std::runtime_error(
+          "hemlock: EpochDomain slots exhausted (ThreadRec::kMaxEpochDomains "
+          "live domains already exist)");
+    }
+    if (g_domain_slots.compare_exchange_weak(bits, bits | (1u << free_bit),
+                                             std::memory_order_acq_rel)) {
+      slot_ = free_bit;
+      return;
+    }
+    // bits was refreshed by the failed CAS; rescan.
+  }
+}
+
+EpochDomain::~EpochDomain() {
+  // Contract: quiesced (no reader in-epoch, no concurrent calls), so
+  // every retiree is safe regardless of its stamp.
+  Retired* n = limbo_head_;
+  while (n != nullptr) {
+    Retired* next = n->next;
+    n->deleter(n->ptr);
+    delete n;
+    n = next;
+  }
+  limbo_head_ = nullptr;
+  g_domain_slots.fetch_and(~(1u << slot_), std::memory_order_acq_rel);
+}
+
+void EpochDomain::enter() noexcept {
+  ThreadRec& me = self();
+  if (me.epoch_depth[slot_]++ != 0) return;  // nested: already pinned
+  auto& announce = me.epochs[slot_].value;
+  std::uint64_t e = epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    // seq_cst store/load pair: an advancer either sees this
+    // announcement (and refuses to move past e+1) or has already
+    // moved the epoch, in which case the recheck re-pins the fresh
+    // value — a stale pin would needlessly block future advances.
+    announce.store(e, std::memory_order_seq_cst);
+    const std::uint64_t now = epoch_.load(std::memory_order_seq_cst);
+    if (now == e) return;
+    e = now;
+  }
+}
+
+void EpochDomain::exit() noexcept {
+  ThreadRec& me = self();
+  if (--me.epoch_depth[slot_] != 0) return;  // still nested
+  // Release: every read the section performed happens-before the
+  // quiescence an advancer observes.
+  me.epochs[slot_].value.store(0, std::memory_order_release);
+}
+
+bool EpochDomain::in_epoch() const noexcept {
+  return self().epoch_depth[slot_] != 0;
+}
+
+void EpochDomain::retire(void* p, void (*deleter)(void*)) {
+  // Stamp AFTER the caller unlinked p: monotone epochs make a late
+  // stamp conservative (frees later), never early.
+  auto* node = new Retired{p, deleter,
+                           epoch_.load(std::memory_order_acquire), nullptr};
+  lock_limbo();
+  node->next = limbo_head_;
+  limbo_head_ = node;
+  ++pending_;
+  unlock_limbo();
+}
+
+bool EpochDomain::try_advance() noexcept {
+  const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  bool blocked = false;
+  ThreadRegistry::for_each([&](ThreadRec& rec) {
+    const std::uint64_t a =
+        rec.epochs[slot_].value.load(std::memory_order_seq_cst);
+    // A thread announcing e is current; announcing an older epoch
+    // means it may still hold references unlinked two epochs back.
+    if (a != 0 && a != e) blocked = true;
+  });
+  if (blocked) {
+    advance_blocked_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::uint64_t expected = e;
+  if (epoch_.compare_exchange_strong(expected, e + 1,
+                                     std::memory_order_seq_cst)) {
+    advances_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;  // lost the race to a concurrent advancer
+}
+
+std::size_t EpochDomain::drain(std::size_t max_frees) {
+  try_advance();
+  const std::uint64_t safe = epoch_.load(std::memory_order_acquire);
+  Retired* to_free = nullptr;
+  std::size_t taken = 0;
+  lock_limbo();
+  Retired** pp = &limbo_head_;
+  while (*pp != nullptr && taken < max_frees) {
+    Retired* n = *pp;
+    if (n->epoch + 2 <= safe) {  // every possible observer has exited
+      *pp = n->next;
+      n->next = to_free;
+      to_free = n;
+      ++taken;
+    } else {
+      pp = &n->next;
+    }
+  }
+  pending_ -= taken;
+  unlock_limbo();
+  while (to_free != nullptr) {  // deleters run outside the limbo lock
+    Retired* n = to_free;
+    to_free = n->next;
+    n->deleter(n->ptr);
+    delete n;
+  }
+  freed_.fetch_add(taken, std::memory_order_relaxed);
+  return taken;
+}
+
+DomainStats EpochDomain::stats() const {
+  DomainStats s;
+  s.epoch = epoch_.load(std::memory_order_acquire);
+  lock_limbo();
+  s.pending = pending_;
+  unlock_limbo();
+  s.freed = freed_.load(std::memory_order_relaxed);
+  s.advances = advances_.load(std::memory_order_relaxed);
+  s.advance_blocked = advance_blocked_.load(std::memory_order_relaxed);
+  return s;
+}
+
+EpochDomain& EpochDomain::global() {
+  static EpochDomain domain;
+  return domain;
+}
+
+void EpochDomain::lock_limbo() const noexcept {
+  while (limbo_lock_.exchange(true, std::memory_order_acquire)) {
+    SpinWait waiter;
+    while (limbo_lock_.load(std::memory_order_relaxed)) waiter.wait();
+  }
+}
+
+void EpochDomain::unlock_limbo() const noexcept {
+  limbo_lock_.store(false, std::memory_order_release);
+}
+
+}  // namespace hemlock::reclaim

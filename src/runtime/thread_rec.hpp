@@ -42,6 +42,21 @@ struct ThreadRec {
   /// the successor's acknowledgement clearing it back to null.
   CacheAligned<std::atomic<GrantWord>> grant{kGrantEmpty};
 
+  // ---- epoch lines: reclamation slots (src/reclaim/epoch.hpp) ----------
+  /// Per-domain epoch announcement words. Slot `i` belongs to the
+  /// EpochDomain holding slot id `i`; 0 means "quiescent in that
+  /// domain", any other value is the global epoch the thread pinned on
+  /// entry. Written only by the owning thread; read by whichever
+  /// thread attempts an epoch advance. Each word owns a cache line so
+  /// readers announcing epochs never false-share with the Grant word
+  /// or with each other's announcements.
+  static constexpr std::uint32_t kMaxEpochDomains = 4;
+  CacheAligned<std::atomic<std::uint64_t>> epochs[kMaxEpochDomains]{};
+  /// Reentrancy depth per domain — owner-thread-only (a thread may
+  /// nest enter() calls; only the outermost publishes/clears the
+  /// announcement word), so plain integers on a cold line suffice.
+  std::uint32_t epoch_depth[kMaxEpochDomains] = {};
+
   // ---- cold line(s): registry + profiling ------------------------------
   /// Intrusive registry link; managed by ThreadRegistry.
   ThreadRec* registry_next = nullptr;

@@ -1,8 +1,10 @@
 // test_any_lock.cpp — the type-erased public API: factory roster
 // integrity, LockInfo consistency with lock_traits<>, unknown-name
-// rejection, the no-heap-allocation guarantee, shim/factory name-set
-// agreement, and a parameterized mutual-exclusion stress sweep that
-// runs EVERY factory algorithm through AnyLock.
+// rejection, the inline-buffer guarantee (with the boxed-storage
+// demotion of bulk-bodied algorithms), runtime lock registration,
+// shim/factory name-set agreement, and a parameterized
+// mutual-exclusion stress sweep that runs EVERY factory algorithm
+// through AnyLock.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -134,6 +136,117 @@ TEST(LockFactory, SpinSuffixCanonicalizesToTheBaseEntry) {
   EXPECT_EQ(find_lock("mcs-spin-spin"), nullptr);
 }
 
+// ------------------------------------------ runtime registration --
+// A lock family OUTSIDE AllLockTags, registered with the factory at
+// run time — how an embedder brings its own shard lock to the sharded
+// serving layer without recompiling the registry.
+class RuntimeTestLock {
+ public:
+  void lock() {
+    while (held_.exchange(true, std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { held_.store(false, std::memory_order_release); }
+  bool try_lock() { return !held_.exchange(true, std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> held_{false};
+};
+
+}  // namespace
+
+template <>
+struct lock_traits<RuntimeTestLock> {
+  static constexpr const char* name = "runtime-test-tas";
+  static constexpr std::size_t lock_words = 1;
+  static constexpr std::size_t held_words = 0;
+  static constexpr std::size_t wait_words = 0;
+  static constexpr std::size_t thread_words = 0;
+  static constexpr bool nontrivial_init = false;
+  static constexpr bool is_fifo = false;
+  static constexpr bool has_trylock = true;
+  static constexpr Spinning spinning = Spinning::kGlobal;
+};
+
+namespace {
+
+TEST(LockFactoryRuntime, RegistrationRoundTrip) {
+  ASSERT_TRUE(LockFactory::register_lock_type<RuntimeTestLock>());
+  // Resolves everywhere a compile-time roster name does.
+  const auto& factory = LockFactory::instance();
+  const LockVTable* vt = factory.find("runtime-test-tas");
+  ASSERT_NE(vt, nullptr);
+  EXPECT_EQ(vt, find_lock("runtime-test-tas"));
+  ASSERT_NE(factory.info("runtime-test-tas"), nullptr);
+  EXPECT_EQ(factory.info("runtime-test-tas")->size_bytes,
+            sizeof(RuntimeTestLock));
+
+  // ...including the erased construction paths, with real mutual
+  // exclusion through the registered thunks.
+  AnyLock lk = factory.make("runtime-test-tas");
+  EXPECT_EQ(lk.name(), "runtime-test-tas");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::uint64_t counter = 0;
+  SpinBarrier start(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard<AnyLock> g(lk);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+
+  // Listed by runtime_entries(), invisible to the compile-time roster
+  // views (names()/entries() stay the static registry, so the roster
+  // sweeps above remain exact).
+  const auto runtime = LockFactory::runtime_entries();
+  EXPECT_NE(std::find(runtime.begin(), runtime.end(), vt), runtime.end());
+  for (const auto name : factory.names()) {
+    EXPECT_NE(name, "runtime-test-tas");
+  }
+
+  // Re-registering the same name is refused.
+  EXPECT_FALSE(LockFactory::register_lock_type<RuntimeTestLock>());
+}
+
+TEST(LockFactoryRuntime, InvalidRegistrationsAreRejected) {
+  // Colliding with a roster name — directly or through the "-spin"
+  // alias — is refused, so registration can never shadow an existing
+  // spelling.
+  static LockVTable collides = lock_vtable<RuntimeTestLock>;
+  collides.info.name = "mcs";
+  EXPECT_FALSE(LockFactory::register_lock(collides));
+  static LockVTable alias_collides = lock_vtable<RuntimeTestLock>;
+  alias_collides.info.name = "mcs-spin";
+  EXPECT_FALSE(LockFactory::register_lock(alias_collides));
+
+  static LockVTable unnamed = lock_vtable<RuntimeTestLock>;
+  unnamed.info.name = "";
+  EXPECT_FALSE(LockFactory::register_lock(unnamed));
+
+  // An entry AnyLock's inline buffer could not host is refused (the
+  // typed path rejects this at compile time; the raw path must too).
+  static LockVTable oversized = lock_vtable<RuntimeTestLock>;
+  oversized.info.name = "runtime-oversized";
+  oversized.info.size_bytes = AnyLock::kStorageBytes + 1;
+  EXPECT_FALSE(LockFactory::register_lock(oversized));
+
+  static LockVTable thunkless = lock_vtable<RuntimeTestLock>;
+  thunkless.info.name = "runtime-thunkless";
+  thunkless.lock = nullptr;
+  EXPECT_FALSE(LockFactory::register_lock(thunkless));
+
+  // None of the rejects leaked into the lookup paths.
+  EXPECT_EQ(find_lock("runtime-oversized"), nullptr);
+  EXPECT_EQ(find_lock("runtime-thunkless"), nullptr);
+}
+
 // ----------------------------------------------- shim/factory sets --
 // The interposition shim keeps no name table: its supported set must
 // be exactly the hostable subset of the factory roster.
@@ -155,7 +268,7 @@ TEST(LockFactory, ShimSupportsExactlyTheHostableSubset) {
 }
 
 // --------------------------------------------------------- AnyLock --
-TEST(AnyLock, NoHeapAllocationForAnyRosterLock) {
+TEST(AnyLock, InlineBufferFitsEveryRosterLock) {
   // Compile-time guarantee (the static_asserts in LockErasure<> are
   // the real enforcement); restated at run time over the live roster
   // so a reader can see the buffer accounting.
@@ -163,9 +276,32 @@ TEST(AnyLock, NoHeapAllocationForAnyRosterLock) {
     EXPECT_LE(vt->info.size_bytes, AnyLock::kStorageBytes) << vt->info.name;
     EXPECT_LE(vt->info.align_bytes, AnyLock::kStorageAlign) << vt->info.name;
   }
-  static_assert(AnyLock::kStorageBytes >= sizeof(AndersonDefault));
-  static_assert(AnyLock::kStorageAlign >= alignof(AndersonDefault));
   static_assert(sizeof(AnyLock) >= AnyLock::kStorageBytes);
+  // The boxed-storage demotion (locks/boxed.hpp): Anderson's waiting
+  // array and the sharded-ingress rwlock no longer size the buffer —
+  // every AnyLock is cacheline-scale, not kilobytes.
+  static_assert(sizeof(BoxedLock<AndersonDefault>) == sizeof(void*));
+  static_assert(AnyLock::kStorageBytes < sizeof(AndersonDefault));
+  static_assert(AnyLock::kStorageBytes < sizeof(RwLock));
+  static_assert(AnyLock::kStorageBytes <= 256);
+}
+
+// Boxing changes the storage strategy, not the algorithm: same
+// factory name, same bounds, still mutual exclusion.
+TEST(AnyLock, BoxedLocksKeepTheirIdentity) {
+  AnyLock lk("anderson");
+  EXPECT_EQ(lk.name(), "anderson");
+  EXPECT_EQ(lk.info().max_threads, AndersonDefault::capacity());
+  EXPECT_TRUE(lk.info().nontrivial_init);        // heap-allocating ctor
+  EXPECT_FALSE(lk.info().pthread_overlay_safe);  // malloc-in-shim hazard
+  lk.lock();
+  lk.unlock();
+  AnyLock rw("rwlock");
+  EXPECT_TRUE(rw.info().rwlock_capable);  // shared surface passes through
+  rw.lock_shared();
+  EXPECT_TRUE(rw.try_lock_shared());
+  rw.unlock_shared();
+  rw.unlock_shared();
 }
 
 TEST(AnyLock, DefaultIsTheHeadlineAlgorithm) {

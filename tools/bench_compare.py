@@ -299,6 +299,36 @@ def self_test():
                    {"hemlock": {1: 30.0, 4: None}, "mcs": {1: 28.0, 4: 3.0}})
         check("null candidate points are skipped", _gate(base, nulls), 0)
 
+        # ---- minikv serving keys (series names contain '@') ----------
+        # bench_minikv_traffic emits backend@scenario series ("lock"
+        # is a composite label, not a factory name). The comparator
+        # must treat these as opaque keys: gate per (bench, key,
+        # threads) exactly like plain lock names.
+        kv_base = os.path.join(tmp, "kv_base")
+        os.makedirs(kv_base)
+        kv_healthy = {
+            "central@read-heavy": {1: 4.0, 8: 1.2},
+            "sharded@read-heavy": {1: 4.5, 8: 14.0},
+            "sharded-locked@write-burst": {8: 6.0},
+        }
+        _write_doc(kv_base, "minikv_traffic", kv_healthy,
+                   unit="mops_per_sec")
+        kv_same = os.path.join(tmp, "kv_same")
+        os.makedirs(kv_same)
+        _write_doc(kv_same, "minikv_traffic", kv_healthy,
+                   unit="mops_per_sec")
+        check("minikv backend@scenario keys pass unchanged",
+              _gate(kv_base, kv_same), 0)
+        kv_collapse = os.path.join(tmp, "kv_collapse")
+        os.makedirs(kv_collapse)
+        _write_doc(kv_collapse, "minikv_traffic",
+                   {"central@read-heavy": {1: 4.0, 8: 1.2},
+                    "sharded@read-heavy": {1: 4.5, 8: 1.3},  # epoch path lost
+                    "sharded-locked@write-burst": {8: 6.0}},
+                   unit="mops_per_sec")
+        check("sharded read-path collapse fails on its '@' key",
+              _gate(kv_base, kv_collapse), 1)
+
         # ---- windowed trend check (multi-baseline) -------------------
         # Slow drift: main artifacts decayed 30 -> 24 -> 20 (each step
         # under the 30% threshold, so a latest-only gate never fires);
