@@ -132,10 +132,26 @@ class AnyLock {
   AnyLock& operator=(const AnyLock&) = delete;
 
   /// Acquire (one indirect call, then the algorithm's own fast path).
+  ///
+  /// Contract (uniform across the roster):
+  ///  * Non-recursive — re-acquiring while holding deadlocks (FIFO
+  ///    algorithms self-deadlock behind their own queue entry).
+  ///  * Acquire semantics: everything the previous holder wrote
+  ///    before its unlock() happens-before this call's return.
+  ///  * Blocking behavior is the algorithm's waiting tier. Pure
+  ///    busy-wait selections (info().oversub_safe == false) convoy at
+  ///    scheduler speed when runnable threads exceed cores — prefer
+  ///    the "-adaptive" variant when oversubscription is possible.
   void lock() { vt_->lock(storage_); }
-  /// Release.
+  /// Release. Precondition: the calling thread holds the exclusive
+  /// lock (POSIX would say EPERM; here it is undefined — queue locks
+  /// would hand a grant nobody owns). Release semantics: writes made
+  /// while holding are visible to the next acquirer.
   void unlock() { vt_->unlock(storage_); }
-  /// Non-blocking attempt; always false when !info().has_trylock.
+  /// Non-blocking attempt; always false when !info().has_trylock
+  /// (CLH and Anderson have no native try path — an attempt that
+  /// never succeeds, not an error). On true, same ordering and
+  /// ownership obligations as lock().
   bool try_lock() { return vt_->try_lock(storage_); }
 
   /// Shared (reader) acquire. Concurrent readers are admitted only
@@ -143,10 +159,17 @@ class AnyLock {
   /// plain lock(), so code written against the shared surface runs
   /// any roster algorithm (and an rwlock-aware caller can check the
   /// descriptor to know which semantics it got).
+  /// Caveats: recursive shared acquisition can deadlock under the
+  /// writer-preferring rwlock family (a waiting writer gates the
+  /// re-entry), and holding shared while parked/preempted stalls
+  /// writers — epoch-protected reads (src/reclaim/) are the
+  /// read-mostly alternative that bounds memory instead of progress.
   void lock_shared() { vt_->lock_shared(storage_); }
-  /// Shared release (must pair with lock_shared/try_lock_shared).
+  /// Shared release. Precondition: pairs one-to-one with a successful
+  /// lock_shared()/try_lock_shared() by this thread. Release
+  /// semantics toward the writer that drains the reader out.
   void unlock_shared() { vt_->unlock_shared(storage_); }
-  /// Non-blocking shared attempt.
+  /// Non-blocking shared attempt; same pairing obligation on true.
   bool try_lock_shared() { return vt_->try_lock_shared(storage_); }
 
   /// The hosted algorithm's descriptor.

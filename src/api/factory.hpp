@@ -76,7 +76,12 @@ class LockFactory {
   /// name is empty or already taken (including via the "-spin"
   /// alias), when a lifecycle/operation thunk is missing, when the
   /// lock would not fit AnyLock's inline buffer (size or alignment),
-  /// or when all kMaxRuntimeLocks slots are used. Thread-safe.
+  /// or when all kMaxRuntimeLocks slots are used. Thread-safe:
+  /// publication is release/acquire — a concurrent find() observes
+  /// either the complete entry or no entry, never a torn one. Still,
+  /// register at startup, before consumer threads resolve names: a
+  /// lookup that races ahead of registration misses legitimately, and
+  /// callers rarely distinguish "not yet" from "never".
   static bool register_lock(const LockVTable& vt) noexcept;
 
   /// Register lock type L through its static vtable — the typed

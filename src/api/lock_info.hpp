@@ -30,6 +30,17 @@ constexpr std::string_view spinning_name(Spinning s) noexcept {
 /// Value-form of lock_traits<L>, plus the runtime footprint facts a
 /// type-erased holder needs (size/alignment) and two safety bounds
 /// that gate where an algorithm may be deployed.
+///
+/// Semantics every roster member shares regardless of descriptor:
+/// lock/unlock pair with acquire/release ordering (a release's
+/// critical-section writes happen-before the next acquire's return),
+/// acquisition is non-recursive, and unlock must come from the
+/// holding thread. The descriptor fields capture where members
+/// *differ*: admission order (is_fifo), native try paths
+/// (has_trylock), contender bounds (max_threads), shim hostability,
+/// and scheduling behavior under oversubscription (oversub_safe —
+/// the field to check before deploying on hosts where runnable
+/// threads may exceed cores).
 struct LockInfo {
   std::string_view name;     ///< lock_traits<L>::name — the registry key
   std::size_t lock_words;    ///< Table 1: lock body size, 8-byte words
@@ -44,6 +55,10 @@ struct LockInfo {
   std::size_t align_bytes;   ///< alignof(L)
   /// Upper bound on concurrent contenders (0 = unbounded). Anderson's
   /// waiting array makes this finite; everything else is unbounded.
+  /// Hard precondition, not a hint: a bounded algorithm's (max_threads
+  /// + 1)-th simultaneous contender overruns the waiting structure
+  /// (undefined behavior), so deployers sizing a thread pool off a
+  /// roster name must check this field first.
   std::size_t max_threads;
   /// Safe to host inside an interposed pthread_mutex_t. False for
   /// hemlock-ah (Appendix B: speculative unlock store vs POSIX mutex

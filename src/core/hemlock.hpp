@@ -55,6 +55,10 @@ class HemlockBase {
     // critical section is visible when we get pred == null.
     ThreadRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred != nullptr) {
+      // Queued but not yet watching the mailbox: the window where the
+      // owner's unlock CAS has already failed against our SWAP and
+      // its publish may land before our first poll.
+      HEMLOCK_VERIFY_YIELD("hemlock:queued");
       // Lines 11-12: the acquire observation of our lock word pairs
       // with the owner's release store in unlock, carrying the
       // critical section's writes.
@@ -93,6 +97,9 @@ class HemlockBase {
     if (!tail_.compare_exchange_strong(expected, nullptr,
                                        std::memory_order_release,
                                        std::memory_order_relaxed)) {
+      // Excision failed — a successor exists — but the Grant store
+      // has not happened: the successor may already be polling.
+      HEMLOCK_VERIFY_YIELD("hemlock:handover");
       // Waiters exist. Line 20: address-based ownership transfer —
       // release carries the critical section to the successor (and,
       // for the parking policy, wakes it).

@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "core/verify_hooks.hpp"
 #include "runtime/futex.hpp"
 #include "runtime/governor.hpp"
 #include "runtime/pause.hpp"
@@ -70,7 +71,11 @@ struct PoliteWaiting {
                                GrantWord expect) noexcept {
     while (g.load(std::memory_order_acquire) != expect) {
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("grant:poll");
     }
+    // The observe-then-ack gap is the window the CTR policies close
+    // atomically; for the naive policy it is a schedule point.
+    HEMLOCK_VERIFY_YIELD("grant:ack");
     // Acknowledge receipt: restore the mailbox to empty so the
     // predecessor may reuse it (the single store the paper counts as
     // Hemlock's only extra critical-path burden vs MCS/CLH, §2).
@@ -80,6 +85,7 @@ struct PoliteWaiting {
   static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
     while (g.load(std::memory_order_acquire) != kGrantEmpty) {
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("grant:drain");
     }
   }
 };
@@ -103,6 +109,7 @@ struct CtrCasWaiting {
         return;
       }
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("grant:ctr-poll");
     }
   }
 
@@ -111,6 +118,7 @@ struct CtrCasWaiting {
     // we expect to write this word in our own subsequent unlocks.
     while (g.fetch_add(0, std::memory_order_acquire) != kGrantEmpty) {
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("grant:drain");
     }
   }
 };
@@ -130,13 +138,16 @@ struct CtrFaaWaiting {
                                GrantWord expect) noexcept {
     while (g.fetch_add(0, std::memory_order_acquire) != expect) {
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("grant:ctr-poll");
     }
+    HEMLOCK_VERIFY_YIELD("grant:ack");
     g.store(kGrantEmpty, std::memory_order_release);
   }
 
   static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
     while (g.fetch_add(0, std::memory_order_acquire) != kGrantEmpty) {
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("grant:drain");
     }
   }
 };
@@ -158,7 +169,15 @@ struct CtrFaaWaiting {
 /// compare after its wake has already been spent.
 struct FutexWaiting {
   static constexpr const char* name = "futex";
+#if defined(HEMLOCK_VERIFY)
+  // Verify builds shrink the spin budget so the interleaving
+  // enumerator's bounded schedule depth reaches the park path instead
+  // of being spent on equivalent spin iterations (each iteration is a
+  // schedule point). Normal builds are untouched.
+  static constexpr std::uint32_t kSpinsBeforePark = 4;
+#else
   static constexpr std::uint32_t kSpinsBeforePark = 512;
+#endif
 
   static_assert(std::endian::native == std::endian::little,
                 "futex word overlay assumes little-endian layout");
@@ -187,6 +206,7 @@ struct FutexWaiting {
           return;
         }
         cpu_relax();
+        HEMLOCK_VERIFY_YIELD("grant:futex-poll");
       }
       const GrantWord seen = g.load(std::memory_order_acquire);
       if (seen != expect) {
@@ -202,6 +222,7 @@ struct FutexWaiting {
       for (std::uint32_t i = 0; i < kSpinsBeforePark; ++i) {
         if (g.load(std::memory_order_acquire) == kGrantEmpty) return;
         cpu_relax();
+        HEMLOCK_VERIFY_YIELD("grant:drain");
       }
       const GrantWord seen = g.load(std::memory_order_acquire);
       if (seen == kGrantEmpty) return;
@@ -237,6 +258,7 @@ inline void profiled_wait_and_consume(std::atomic<GrantWord>& g,
   LockProfiler::on_wait_begin(pred);
   while (g.load(std::memory_order_acquire) != expect) {
     cpu_relax();
+    HEMLOCK_VERIFY_YIELD("grant:profiled-poll");
   }
   LockProfiler::on_wait_end(pred);
   GrantWord e = expect;
@@ -266,7 +288,9 @@ struct AdaptiveWaiting {
     SpinWait w;
     while (g.load(std::memory_order_acquire) != expect) {
       w.wait();
+      HEMLOCK_VERIFY_YIELD("grant:poll");
     }
+    HEMLOCK_VERIFY_YIELD("grant:ack");
     g.store(kGrantEmpty, std::memory_order_release);
   }
 
@@ -274,6 +298,7 @@ struct AdaptiveWaiting {
     SpinWait w;
     while (g.load(std::memory_order_acquire) != kGrantEmpty) {
       w.wait();
+      HEMLOCK_VERIFY_YIELD("grant:drain");
     }
   }
 };
@@ -301,12 +326,21 @@ struct AdaptiveWaiting {
 
 namespace queue_wait {
 
+#if defined(HEMLOCK_VERIFY)
+/// Verify builds compress the spin budgets: every loop iteration is a
+/// schedule point to the interleaving enumerator, so a 1024-spin
+/// doorstep would spend the whole bounded depth on equivalent polls
+/// before any tier escalation became reachable.
+inline constexpr std::uint32_t kDoorstepSpins = 4;
+inline constexpr std::uint32_t kChunkSpins = 2;
+#else
 /// Spins of the free doorstep phase every tier performs before
 /// escalating: fast hand-offs (the common case on non-oversubscribed
 /// hosts) never reach a yield or a syscall.
 inline constexpr std::uint32_t kDoorstepSpins = 1024;
 /// Spin chunk between tier re-evaluations once escalated.
 inline constexpr std::uint32_t kChunkSpins = 256;
+#endif
 /// Yield rounds the fixed park tier performs before sleeping (cheap
 /// second chances around a preempted publisher).
 inline constexpr std::uint32_t kYieldsBeforePark = 4;
@@ -447,6 +481,7 @@ inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
     const T v = w.load(std::memory_order_acquire);
     if (done(v)) return v;
     cpu_relax();
+    HEMLOCK_VERIFY_YIELD("queue:doorstep");
   }
   auto& gov = ContentionGovernor::instance();
   gov.begin_wait();
@@ -460,6 +495,7 @@ inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
             return v;
           }
           cpu_relax();
+          HEMLOCK_VERIFY_YIELD("queue:spin");
         }
         break;
       case WaitTier::kYield: {
@@ -469,6 +505,7 @@ inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
           return v;
         }
         cpu_yield();
+        HEMLOCK_VERIFY_YIELD("queue:yield");
         break;
       }
       case WaitTier::kPark:
@@ -503,6 +540,9 @@ inline T wait_escalating(std::atomic<T>& w, const Done& done,
 template <typename T>
 inline void publish_and_wake(std::atomic<T>& w, T value) noexcept {
   w.store(value, std::memory_order_release);
+  // The value is visible but the wake has not happened: a parked
+  // waiter resumed here must cope with seeing the store early.
+  HEMLOCK_VERIFY_YIELD("queue:published");
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (ContentionGovernor::instance().parked(&w) != 0) {
     futex_wake_all(futex_word(w));
@@ -528,6 +568,9 @@ inline void wait_escalating_slotted(std::atomic<T>& w, T expected,
 template <typename T>
 inline void publish_and_wake_slotted(std::atomic<T>& w, T value) noexcept {
   w.store(value, std::memory_order_release);
+  // Serving word published, slot generation not yet bumped — the
+  // window the slotted Dekker handshake exists to close.
+  HEMLOCK_VERIFY_YIELD("queue:published");
   auto& slot = ticket_slot(&w, value);
   slot.fetch_add(1, std::memory_order_seq_cst);
   if (ContentionGovernor::instance().parked(&slot) != 0) {
@@ -551,6 +594,7 @@ struct QueueSpinWaiting {
   static void wait_until(std::atomic<T>& w, T expected) noexcept {
     while (w.load(std::memory_order_acquire) != expected) {
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("queue:spin");
     }
   }
 
@@ -559,6 +603,7 @@ struct QueueSpinWaiting {
     T v;
     while ((v = w.load(std::memory_order_acquire)) == unwanted) {
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("queue:spin");
     }
     return v;
   }
@@ -722,6 +767,7 @@ struct GovernedGrantWaiting {
         return;
       }
       cpu_relax();
+      HEMLOCK_VERIFY_YIELD("grant:ctr-poll");
     }
     (void)queue_wait::wait_escalating(
         g, [expect](GrantWord v) { return v == expect; }, tier_of_round,

@@ -47,7 +47,12 @@ class AndersonLockT {
     const std::uint64_t ticket =
         next_.value.fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t idx = static_cast<std::uint32_t>(ticket % MaxThreads);
+    // Slot claimed, not yet watching it.
+    HEMLOCK_VERIFY_YIELD("anderson:slot");
     Waiting::wait_until(slots_[idx].value, std::uint32_t{1});
+    // Admitted but permission not yet consumed — the slot must not be
+    // observable as enabled by its next-lap claimant here.
+    HEMLOCK_VERIFY_YIELD("anderson:admitted");
     // Consume the permission so the slot is clean for its next lap.
     slots_[idx].value.store(0, std::memory_order_relaxed);
     owner_idx_ = idx;  // protected by the lock itself
@@ -57,6 +62,7 @@ class AndersonLockT {
   /// fold their census-gated wake into publish()).
   void unlock() {
     const std::uint32_t nxt = (owner_idx_ + 1) % MaxThreads;
+    HEMLOCK_VERIFY_YIELD("anderson:handoff");
     Waiting::publish(slots_[nxt].value, std::uint32_t{1});
   }
 

@@ -70,6 +70,9 @@ class ClhLockT {
     // Doorstep: acq_rel publishes our node's locked=1 to the
     // successor that will wait on it.
     ClhNode* pred = tail_.exchange(n, std::memory_order_acq_rel);
+    // Enqueued (tail swung to our node) but not yet waiting on the
+    // predecessor's flag.
+    HEMLOCK_VERIFY_YIELD("clh:queued");
     Waiting::wait_until(pred->locked, std::uint32_t{0});
     // Acquired. The predecessor's element now belongs to us (node
     // migration); keep it for a future acquisition.
@@ -83,6 +86,7 @@ class ClhLockT {
   /// by the successor (or becomes the lock's dummy if none).
   void unlock() {
     ClhNode* n = head_;
+    HEMLOCK_VERIFY_YIELD("clh:handoff");
     Waiting::publish(n->locked, std::uint32_t{0});
   }
 

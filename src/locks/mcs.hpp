@@ -59,10 +59,14 @@ class McsLockT {
     // publication symmetrically.
     McsNode* pred = tail_.exchange(n, std::memory_order_acq_rel);
     if (pred != nullptr) {
+      // In the queue (tail swung) but not yet reachable from the
+      // predecessor — the arrival gap unlock's link wait covers.
+      HEMLOCK_VERIFY_YIELD("mcs:queued");
       // Make ourselves reachable from the predecessor (waking it if
       // it parked in its unlock-side link wait), then wait for the
       // owner's hand-off on our own (local) flag.
       Waiting::publish(pred->next, n);
+      HEMLOCK_VERIFY_YIELD("mcs:linked");
       Waiting::wait_until(n->locked, std::uint32_t{0});
     }
     // head_ is protected by the lock itself (paper §1: such accesses
@@ -94,6 +98,8 @@ class McsLockT {
     McsNode* n = head_;
     McsNode* succ = n->next.load(std::memory_order_acquire);
     if (succ == nullptr) {
+      // No successor observed; one may swing the tail before our CAS.
+      HEMLOCK_VERIFY_YIELD("mcs:no-succ");
       McsNode* expected = n;
       if (tail_.compare_exchange_strong(expected, nullptr,
                                         std::memory_order_release,
@@ -106,6 +112,7 @@ class McsLockT {
       // the parking tiers sleep through exactly that gap).
       succ = Waiting::wait_while(n->next, static_cast<McsNode*>(nullptr));
     }
+    HEMLOCK_VERIFY_YIELD("mcs:handoff");
     Waiting::publish(succ->locked, std::uint32_t{0});
     NodePool<McsNode>::release(n);
   }

@@ -138,6 +138,7 @@ class RwLockT {
     wflag_.store(1, std::memory_order_seq_cst);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     for (std::uint32_t i = 0; i < Shards; ++i) {
+      HEMLOCK_VERIFY_YIELD("rwlock:try-scan");
       if (ingress_.at(i).load(std::memory_order_acquire) != 0) {
         reopen_gate();
         writers_.unlock();
@@ -160,7 +161,12 @@ class RwLockT {
     std::atomic<std::uint32_t>& c = ingress_.mine();
     for (;;) {
       c.fetch_add(1, std::memory_order_seq_cst);
+      // THE Dekker window: announced on the shard, wflag_ not yet
+      // checked — a writer closing the gate right here must find our
+      // increment in its drain scan.
+      HEMLOCK_VERIFY_YIELD("rwlock:announced");
       if (wflag_.load(std::memory_order_seq_cst) == 0) return;
+      HEMLOCK_VERIFY_YIELD("rwlock:backout");
       egress(c);  // back out: the writer's drain must not wait for us
       Waiting::wait_until(wflag_, std::uint32_t{0});
     }
@@ -170,6 +176,7 @@ class RwLockT {
   bool try_lock_shared() noexcept {
     std::atomic<std::uint32_t>& c = ingress_.mine();
     c.fetch_add(1, std::memory_order_seq_cst);
+    HEMLOCK_VERIFY_YIELD("rwlock:announced");
     if (wflag_.load(std::memory_order_seq_cst) == 0) return true;
     egress(c);
     return false;
@@ -191,17 +198,24 @@ class RwLockT {
  private:
   void close_gate_and_drain() noexcept {
     wflag_.store(1, std::memory_order_seq_cst);
+    // Gate closed, drain not yet started: late readers must now be
+    // backing out, admitted readers must still be counted.
+    HEMLOCK_VERIFY_YIELD("rwlock:gate-closed");
     // Fence so the drain scan below cannot read a shard value older
     // than the increment of any reader that was admitted (read
     // wflag_ == 0) before the gate closed — the Dekker pairing with
     // lock_shared's seq_cst announce/check.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     for (std::uint32_t i = 0; i < Shards; ++i) {
+      // Between shard waits: a shard already passed must not be
+      // re-enterable while the gate stays closed.
+      HEMLOCK_VERIFY_YIELD("rwlock:drain-next");
       Waiting::wait_until(ingress_.at(i), std::uint32_t{0});
     }
   }
 
   void reopen_gate() noexcept {
+    HEMLOCK_VERIFY_YIELD("rwlock:reopen");
     // The tier's publish wakes readers parked on the gate word.
     Waiting::publish(wflag_, std::uint32_t{0});
   }
@@ -211,6 +225,7 @@ class RwLockT {
   /// census-gated wake is the same Dekker handshake as
   /// queue_wait::publish_and_wake, with the RMW playing the store.
   static void egress(std::atomic<std::uint32_t>& c) noexcept {
+    HEMLOCK_VERIFY_YIELD("rwlock:egress");
     const std::uint32_t prior = c.fetch_sub(1, std::memory_order_seq_cst);
     if constexpr (Waiting::may_park) {
       if (prior == 1) {

@@ -37,6 +37,9 @@ class TicketLockT {
   /// on their ticket's own ring slot, see wait_ticket).
   void lock() noexcept {
     const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    // Ticket drawn, not yet polling now-serving: the release that
+    // serves us may land entirely inside this window.
+    HEMLOCK_VERIFY_YIELD("ticket:drawn");
     if constexpr (requires { Waiting::wait_ticket(now_serving_, my); }) {
       Waiting::wait_ticket(now_serving_, my);
     } else {
@@ -68,6 +71,7 @@ class TicketLockT {
   void unlock() noexcept {
     const std::uint64_t next =
         now_serving_.load(std::memory_order_relaxed) + 1;
+    HEMLOCK_VERIFY_YIELD("ticket:serve");
     if constexpr (requires { Waiting::publish_ticket(now_serving_, next); }) {
       Waiting::publish_ticket(now_serving_, next);
     } else {

@@ -20,6 +20,7 @@
 #include <unistd.h>
 #endif
 
+#include "core/verify_hooks.hpp"
 #include "runtime/pause.hpp"
 
 namespace hemlock {
@@ -28,6 +29,18 @@ namespace hemlock {
 /// re-check their predicate in a loop.
 inline void futex_wait(std::atomic<std::uint32_t>* addr,
                        std::uint32_t expected) noexcept {
+#if defined(HEMLOCK_VERIFY)
+  // Under the interleaving verifier every logical thread shares one
+  // running OS thread at a time; a kernel sleep would stall the whole
+  // harness with no publisher left to wake it. A verify-scenario wait
+  // is therefore a scheduler yield that returns spuriously — legal by
+  // this function's own contract — and the caller's predicate loop
+  // (which has its own yield markers) does the actual waiting.
+  if (verify::in_scenario()) {
+    verify::yield_point("futex:wait");
+    return;
+  }
+#endif
 #if defined(__linux__)
   syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
           FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
@@ -54,6 +67,15 @@ inline void futex_wait(std::atomic<std::uint32_t>* addr,
 inline int futex_wait_for(std::atomic<std::uint32_t>* addr,
                           std::uint32_t expected,
                           std::int64_t nanos) noexcept {
+#if defined(HEMLOCK_VERIFY)
+  // See futex_wait: verify scenarios yield to the harness scheduler
+  // instead of sleeping, and report a spurious (0) return — never
+  // ETIMEDOUT, so timed paths re-check their own deadlines.
+  if (verify::in_scenario()) {
+    verify::yield_point("futex:wait");
+    return 0;
+  }
+#endif
 #if defined(__linux__)
   struct timespec ts;
   ts.tv_sec = static_cast<time_t>(nanos / 1000000000);

@@ -1,0 +1,128 @@
+// harness.hpp — the schedule-enumerating engine.
+//
+// Logical threads are real OS threads (the lock code's thread_local
+// ThreadRec machinery — runtime/thread_rec.cpp — must keep meaning
+// "one record per concurrent actor", which rules out fibers), but
+// exactly one of them is ever runnable: a token travels between the
+// scheduler and the workers through per-thread binary semaphores, and
+// changes hands only at HEMLOCK_VERIFY_YIELD() markers. Context
+// switches therefore happen at yield points and nowhere else, which
+// makes an execution fully determined by the sequence of scheduling
+// choices — a *schedule* — and makes schedules enumerable.
+//
+// Exhaustive mode is a DFS over schedule prefixes, the CHESS/
+// progress64 shape: a prefix is the vector of choice indices taken at
+// decision points (a decision point is any hand-off where more than
+// one thread is runnable; forced moves are free). The first `depth`
+// decisions are enumerated; beyond the prefix the scheduler falls
+// back to a fair round-robin tail, so every enumerated run terminates
+// whenever the lock under test is livelock-free under fair
+// scheduling. After each run the prefix advances like an odometer
+// (pop exhausted trailing digits, increment the last survivor); the
+// enumeration is complete when the prefix empties.
+//
+// Random mode draws the first `depth` decisions from a seeded
+// xoshiro256** stream instead — deeper bug-hunting runs, still fully
+// replayable: the recorded choices of a failing run are printed as a
+// --replay vector, which exhaustive-replays that one schedule.
+#pragma once
+
+#if !defined(HEMLOCK_VERIFY)
+#error "src/verify/ is only built with -DHEMLOCK_VERIFY=ON"
+#endif
+
+#include <cstdint>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/prng.hpp"
+#include "verify/verify.hpp"
+
+namespace hemlock::verify {
+
+/// Engine knobs, straight from verify_runner's flags.
+struct Options {
+  enum class Mode { kExhaustive, kRandom };
+  Mode mode = Mode::kExhaustive;
+  /// Enumerated decision-point bound. 2^depth schedules for 2-thread
+  /// scenarios; the default keeps a full table run in CI seconds.
+  std::uint32_t depth = 10;
+  /// Random-mode schedule count (--schedules).
+  std::uint64_t schedules = 500;
+  std::uint64_t seed = 1;
+  /// Non-empty: run exactly this one schedule prefix and stop.
+  std::vector<std::uint32_t> replay;
+  /// Run the random batch twice and require identical traces.
+  bool check_determinism = false;
+  /// Per-schedule step cap — the deadlock/livelock tripwire. Fair
+  /// tails terminate every correct scenario far below this.
+  std::uint64_t max_steps = 200000;
+  bool verbose = false;
+};
+
+/// One enumeration of one scenario. Construct, run(), read the exit
+/// code. A process hosts at most one Engine at a time (fail() reaches
+/// it through a global to print the replay context).
+class Engine {
+ public:
+  Engine(const Scenario& sc, const Options& opt);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Drive the full enumeration (or replay / random batch). Returns
+  /// the process exit code: 0 on success — which for an expect_fail
+  /// scenario means "no run survived to completion unfailed" only via
+  /// fail()'s own exit; reaching the end of an expect_fail
+  /// enumeration returns 1.
+  int run();
+
+  // -- harness internals (public for the hook trampoline) --
+  void on_yield(std::uint32_t id, const char* tag);
+
+ private:
+  void start_workers();
+  void stop_workers();
+  void worker_main(std::uint32_t id);
+  void run_one_schedule();
+  std::uint32_t pick(std::uint32_t decision_index);
+  bool advance_prefix();
+  std::uint64_t trace_hash() const;
+  [[noreturn]] void fail_now(const char* expr, const char* file, int line,
+                             bool honor_expect_fail);
+
+  friend void fail(const char* expr, const char* file, int line);
+  friend const std::vector<Step>& current_trace();
+
+  const Scenario& sc_;
+  Options opt_;
+
+  std::vector<std::thread> workers_;
+  // unique_ptr: std::binary_semaphore is neither movable nor
+  // default-constructible in a resizable container.
+  std::vector<std::unique_ptr<std::binary_semaphore>> go_;
+  std::binary_semaphore sched_{0};
+  std::vector<bool> finished_;
+  bool stop_ = false;
+
+  // Current-schedule state.
+  std::vector<Step> trace_;
+  std::vector<std::uint32_t> prefix_;   ///< choices at decision points
+  std::vector<std::uint32_t> branch_;   ///< runnable count at each one
+  std::uint32_t decisions_ = 0;         ///< decision points consumed
+  std::uint32_t last_run_ = 0;          ///< round-robin tail cursor
+  bool tail_used_ = false;              ///< schedule ran past the prefix
+
+  Xoshiro256 rng_{1};                   ///< random-mode choice stream
+
+  // Enumeration bookkeeping.
+  std::uint64_t schedules_run_ = 0;
+  std::uint64_t total_steps_ = 0;
+  std::uint64_t max_sched_steps_ = 0;
+  std::uint64_t random_seq_ = 0;        ///< random-mode schedule index
+};
+
+}  // namespace hemlock::verify

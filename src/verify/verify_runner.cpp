@@ -1,0 +1,123 @@
+// verify_runner.cpp — CLI for the interleaving verifier.
+//
+//   verify_runner --algo=hemlock                 exhaustive, default depth
+//   verify_runner --algo=mcs --depth=12          deeper exhaustive run
+//   verify_runner --algo=clh --mode=random --seed=7 --schedules=5000
+//   verify_runner --algo=hemlock --mode=random --check-determinism
+//   verify_runner --algo=broken                  exits 0 iff the planted
+//                                                race is caught
+//   verify_runner --algo=hemlock --replay=0,1,1,0   re-run one failing
+//                                                schedule from a report
+//   verify_runner --list
+//
+// Exit codes: 0 pass (for expect_fail scenarios: the violation was
+// caught), 1 verification failure, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "verify/harness.hpp"
+#include "verify/verify.hpp"
+
+namespace {
+
+using hemlock::verify::kNumScenarios;
+using hemlock::verify::kScenarios;
+using hemlock::verify::Options;
+
+void list_scenarios() {
+  std::printf("verify scenarios (%zu):\n", kNumScenarios);
+  for (std::size_t i = 0; i < kNumScenarios; ++i) {
+    std::printf("  %-18s %u threads%s  %s\n", kScenarios[i].name,
+                kScenarios[i].threads,
+                kScenarios[i].expect_fail ? " [expect-fail]" : "",
+                kScenarios[i].summary);
+  }
+}
+
+/// "--flag=value" matcher; returns the value part or null.
+const char* flag_value(const char* arg, const char* flag) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+bool parse_replay(const char* s, std::vector<std::uint32_t>& out) {
+  out.clear();
+  while (*s != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s) return false;
+    out.push_back(static_cast<std::uint32_t>(v));
+    s = end;
+    if (*s == ',') ++s;
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* algo = nullptr;
+  Options opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if ((v = flag_value(a, "--algo")) != nullptr) {
+      algo = v;
+    } else if ((v = flag_value(a, "--depth")) != nullptr) {
+      opt.depth = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if ((v = flag_value(a, "--schedules")) != nullptr) {
+      opt.schedules = std::strtoull(v, nullptr, 10);
+    } else if ((v = flag_value(a, "--seed")) != nullptr) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = flag_value(a, "--max-steps")) != nullptr) {
+      opt.max_steps = std::strtoull(v, nullptr, 10);
+    } else if ((v = flag_value(a, "--mode")) != nullptr) {
+      if (std::strcmp(v, "exhaustive") == 0) {
+        opt.mode = Options::Mode::kExhaustive;
+      } else if (std::strcmp(v, "random") == 0) {
+        opt.mode = Options::Mode::kRandom;
+      } else {
+        std::fprintf(stderr, "unknown --mode=%s\n", v);
+        return 2;
+      }
+    } else if ((v = flag_value(a, "--replay")) != nullptr) {
+      if (!parse_replay(v, opt.replay)) {
+        std::fprintf(stderr, "bad --replay vector: %s\n", v);
+        return 2;
+      }
+    } else if (std::strcmp(a, "--check-determinism") == 0) {
+      opt.mode = Options::Mode::kRandom;
+      opt.check_determinism = true;
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      opt.verbose = true;
+    } else if (std::strcmp(a, "--list") == 0) {
+      list_scenarios();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --list)\n", a);
+      return 2;
+    }
+  }
+
+  if (algo == nullptr) {
+    std::fprintf(stderr, "usage: verify_runner --algo=<name> [--depth=<k>] "
+                         "[--mode=exhaustive|random] [--schedules=<n>] "
+                         "[--seed=<s>] [--replay=<a,b,...>] "
+                         "[--check-determinism] | --list\n");
+    return 2;
+  }
+
+  for (std::size_t i = 0; i < kNumScenarios; ++i) {
+    if (std::strcmp(kScenarios[i].name, algo) == 0) {
+      hemlock::verify::Engine engine(kScenarios[i], opt);
+      return engine.run();
+    }
+  }
+  std::fprintf(stderr, "no scenario named '%s'\n", algo);
+  list_scenarios();
+  return 2;
+}
