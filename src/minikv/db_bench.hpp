@@ -87,8 +87,7 @@ ReadRandomResult run_readrandom(DB<L>& db, const ReadRandomConfig& cfg) {
       std::uint64_t r = 0, h = 0;
       shared->barrier.arrive_and_wait();
       while (!shared->stop.value.load(std::memory_order_relaxed)) {
-        const std::uint64_t k =
-            prng.below(static_cast<std::uint32_t>(cfg.num_keys));
+        const std::uint64_t k = prng.below64(cfg.num_keys);
         if (db.get(bench_key(k), &value).is_ok()) ++h;
         ++r;
       }

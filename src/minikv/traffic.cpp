@@ -125,9 +125,7 @@ TrafficResult run_traffic(KvBackend& kv, const TrafficScenario& scenario,
             cfg.num_keys, scenario.zipf_theta, cfg.seed ^ (t + 1));
       }
       auto next_key = [&]() -> std::uint64_t {
-        return zipf != nullptr
-                   ? zipf->next()
-                   : prng.below(static_cast<std::uint32_t>(cfg.num_keys));
+        return zipf != nullptr ? zipf->next() : prng.below64(cfg.num_keys);
       };
       std::string got;
       std::vector<std::pair<std::string, std::string>> range;

@@ -82,10 +82,15 @@ bool EpochDomain::in_epoch() const noexcept {
 }
 
 void EpochDomain::retire(void* p, void (*deleter)(void*)) {
-  // Stamp AFTER the caller unlinked p: monotone epochs make a late
-  // stamp conservative (frees later), never early.
+  // The caller's unlink/publication stores must be globally visible
+  // before the stamp is read: a stale load yields a SMALLER stamp,
+  // which frees EARLIER — a reader pinned at that stale epoch + 1 can
+  // still hold the pre-unlink pointer when drain() frees p. The
+  // seq_cst fence + load mirror enter()'s announce/recheck pairing and
+  // force the store->load ordering plain acquire does not give on TSO.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   auto* node = new Retired{p, deleter,
-                           epoch_.load(std::memory_order_acquire), nullptr};
+                           epoch_.load(std::memory_order_seq_cst), nullptr};
   lock_limbo();
   node->next = limbo_head_;
   limbo_head_ = node;

@@ -79,6 +79,22 @@ class Xoshiro256 {
     return static_cast<std::uint32_t>(m >> 32);
   }
 
+  /// Unbiased integer in [0, bound) for 64-bit bounds (key spaces can
+  /// exceed UINT32_MAX); same Lemire construction widened to 128-bit.
+  std::uint64_t below64(std::uint64_t bound) noexcept {
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

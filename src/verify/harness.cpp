@@ -27,6 +27,14 @@ const char* mode_name(Options::Mode m) {
 }  // namespace
 
 Engine::Engine(const Scenario& sc, const Options& opt) : sc_(sc), opt_(opt) {
+  if (sc_.threads == 0 || sc_.threads > kMaxScenarioThreads) {
+    std::fprintf(stderr,
+                 "verify: scenario %s declares %u threads; the harness "
+                 "supports 1..%u (kMaxScenarioThreads)\n",
+                 sc_.name, sc_.threads, kMaxScenarioThreads);
+    std::fflush(nullptr);
+    std::_Exit(1);
+  }
   finished_.assign(sc_.threads, false);
 }
 
@@ -97,7 +105,7 @@ void Engine::run_one_schedule() {
   const std::uint64_t steps_before = total_steps_;
 
   for (;;) {
-    std::uint32_t runnable[8];
+    std::uint32_t runnable[kMaxScenarioThreads];
     std::uint32_t n = 0;
     for (std::uint32_t t = 0; t < sc_.threads; ++t) {
       if (!finished_[t]) runnable[n++] = t;

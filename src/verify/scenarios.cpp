@@ -47,14 +47,14 @@ constexpr int kIters = 2;  ///< lock/unlock rounds per logical thread
 /// empty doorstep.
 void check_fifo(const char* queued_tag) {
   const auto& tr = current_trace();
-  std::uint32_t q[8];
+  std::uint32_t q[kMaxScenarioThreads];
   std::uint32_t qn = 0;
   for (const Step& s : tr) {
     if (std::strcmp(s.tag, queued_tag) == 0) {
       for (std::uint32_t i = 0; i < qn; ++i) {
         VERIFY_ASSERT(q[i] != s.thread);  // no double-queue without acquire
       }
-      VERIFY_ASSERT(qn < 8);
+      VERIFY_ASSERT(qn < kMaxScenarioThreads);
       q[qn++] = s.thread;
     } else if (std::strcmp(s.tag, "cs-enter") == 0) {
       bool queued = false;

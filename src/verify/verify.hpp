@@ -39,6 +39,11 @@ struct Step {
   const char* tag;
 };
 
+/// Hard cap on Scenario::threads: the harness collects runnable ids
+/// into fixed-size stacks of this many slots. Engine's constructor
+/// rejects larger scenarios loudly instead of overflowing them.
+inline constexpr std::uint32_t kMaxScenarioThreads = 8;
+
 /// A verify scenario, ver_funcs-table style.
 struct Scenario {
   const char* name;     ///< --algo=<name>
