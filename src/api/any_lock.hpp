@@ -48,6 +48,7 @@
 #include "api/lock_info.hpp"
 #include "core/lock_registry.hpp"
 #include "locks/lockable.hpp"
+#include "runtime/annotations.hpp"
 
 namespace hemlock {
 
@@ -103,7 +104,7 @@ inline constexpr std::string_view kDefaultLockName = "hemlock";
 /// A mutual-exclusion lock whose algorithm is chosen at run time by
 /// name. Satisfies BasicLockable and TryLockable; pinned to its
 /// address like every lock (no copy, no move).
-class AnyLock {
+class HEMLOCK_CAPABILITY("mutex") AnyLock {
  public:
   /// Inline buffer geometry, fixed at compile time from the roster.
   static constexpr std::size_t kStorageBytes =
@@ -142,17 +143,17 @@ class AnyLock {
   ///    busy-wait selections (info().oversub_safe == false) convoy at
   ///    scheduler speed when runnable threads exceed cores — prefer
   ///    the "-adaptive" variant when oversubscription is possible.
-  void lock() { vt_->lock(storage_); }
+  void lock() HEMLOCK_ACQUIRE() { vt_->lock(storage_); }
   /// Release. Precondition: the calling thread holds the exclusive
   /// lock (POSIX would say EPERM; here it is undefined — queue locks
   /// would hand a grant nobody owns). Release semantics: writes made
   /// while holding are visible to the next acquirer.
-  void unlock() { vt_->unlock(storage_); }
+  void unlock() HEMLOCK_RELEASE() { vt_->unlock(storage_); }
   /// Non-blocking attempt; always false when !info().has_trylock
   /// (CLH and Anderson have no native try path — an attempt that
   /// never succeeds, not an error). On true, same ordering and
   /// ownership obligations as lock().
-  bool try_lock() { return vt_->try_lock(storage_); }
+  bool try_lock() HEMLOCK_TRY_ACQUIRE(true) { return vt_->try_lock(storage_); }
 
   /// Shared (reader) acquire. Concurrent readers are admitted only
   /// when info().rwlock_capable; exclusive algorithms serve this as a
@@ -164,13 +165,15 @@ class AnyLock {
   /// re-entry), and holding shared while parked/preempted stalls
   /// writers — epoch-protected reads (src/reclaim/) are the
   /// read-mostly alternative that bounds memory instead of progress.
-  void lock_shared() { vt_->lock_shared(storage_); }
+  void lock_shared() HEMLOCK_ACQUIRE_SHARED() { vt_->lock_shared(storage_); }
   /// Shared release. Precondition: pairs one-to-one with a successful
   /// lock_shared()/try_lock_shared() by this thread. Release
   /// semantics toward the writer that drains the reader out.
-  void unlock_shared() { vt_->unlock_shared(storage_); }
+  void unlock_shared() HEMLOCK_RELEASE_SHARED() { vt_->unlock_shared(storage_); }
   /// Non-blocking shared attempt; same pairing obligation on true.
-  bool try_lock_shared() { return vt_->try_lock_shared(storage_); }
+  bool try_lock_shared() HEMLOCK_TRY_ACQUIRE_SHARED(true) {
+    return vt_->try_lock_shared(storage_);
+  }
 
   /// The hosted algorithm's descriptor.
   const LockInfo& info() const noexcept { return vt_->info; }
@@ -214,30 +217,38 @@ struct LockErasure {
 
   static void construct(void* p) { ::new (p) L(); }
   static void destroy(void* p) { std::destroy_at(static_cast<L*>(p)); }
-  static void do_lock(void* p) { static_cast<L*>(p)->lock(); }
-  static void do_unlock(void* p) { static_cast<L*>(p)->unlock(); }
-  static bool do_try_lock(void* p) {
+  // The thunks acquire/release through an erased pointer whose hold
+  // outlives the call — capability identity is invisible to the
+  // analysis, so the bodies are exempt (the AnyLock surface above
+  // carries the contract instead).
+  static void do_lock(void* p) HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
+    static_cast<L*>(p)->lock();
+  }
+  static void do_unlock(void* p) HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
+    static_cast<L*>(p)->unlock();
+  }
+  static bool do_try_lock(void* p) HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
     if constexpr (TryLockable<L>) {
       return static_cast<L*>(p)->try_lock();
     } else {
       return false;  // conservative: an attempt that never succeeds
     }
   }
-  static void do_lock_shared(void* p) {
+  static void do_lock_shared(void* p) HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
     if constexpr (SharedLockable<L>) {
       static_cast<L*>(p)->lock_shared();
     } else {
       static_cast<L*>(p)->lock();  // exclusive fallback (one "reader")
     }
   }
-  static void do_unlock_shared(void* p) {
+  static void do_unlock_shared(void* p) HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
     if constexpr (SharedLockable<L>) {
       static_cast<L*>(p)->unlock_shared();
     } else {
       static_cast<L*>(p)->unlock();
     }
   }
-  static bool do_try_lock_shared(void* p) {
+  static bool do_try_lock_shared(void* p) HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
     if constexpr (SharedLockable<L>) {
       return static_cast<L*>(p)->try_lock_shared();
     } else {

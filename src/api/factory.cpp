@@ -26,6 +26,8 @@ std::atomic<std::size_t> g_runtime_count{0};
 std::atomic<bool> g_runtime_reg_lock{false};
 
 const LockVTable* find_runtime_lock(std::string_view name) noexcept {
+  // mo: acquire — pairs with the registrar's count release store, so
+  // entries below the count are fully published.
   const std::size_t n = g_runtime_count.load(std::memory_order_acquire);
   for (std::size_t i = 0; i < n; ++i) {
     if (g_runtime[i]->info.name == name) return g_runtime[i];
@@ -124,6 +126,8 @@ bool LockFactory::register_lock(const LockVTable& vt) noexcept {
       vt.info.align_bytes > AnyLock::kStorageAlign) {
     return false;
   }
+  // mo: acquire TAS — pairs with the release below; the prior
+  // registrar's table edits are visible.
   while (g_runtime_reg_lock.exchange(true, std::memory_order_acquire)) {
   }
   bool registered = false;
@@ -131,19 +135,24 @@ bool LockFactory::register_lock(const LockVTable& vt) noexcept {
   // including the "-spin" alias, so a registration can never shadow
   // or be shadowed by an existing spelling.
   if (find_lock(vt.info.name) == nullptr) {
+    // mo: relaxed — the registration lock is held; count is stable.
     const std::size_t n = g_runtime_count.load(std::memory_order_relaxed);
     if (n < kMaxRuntimeLocks) {
       g_runtime[n] = &vt;
+      // mo: release — publishes the slot before the count that lets
+      // lock-free lookups read it.
       g_runtime_count.store(n + 1, std::memory_order_release);
       registered = true;
     }
   }
+  // mo: release — publishes this registrar's table edits.
   g_runtime_reg_lock.store(false, std::memory_order_release);
   return registered;
 }
 
 std::vector<const LockVTable*> LockFactory::runtime_entries() {
   std::vector<const LockVTable*> out;
+  // mo: acquire — as find_runtime_lock's count load.
   const std::size_t n = g_runtime_count.load(std::memory_order_acquire);
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) out.push_back(g_runtime[i]);

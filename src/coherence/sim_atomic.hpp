@@ -55,19 +55,22 @@ class SimAtomic {
   /// Plain load (charged as a read).
   T load() const {
     model_->on_load(current_core(), line_);
+    // mo: acquire — mirrors the strongest ordering the modelled
+    // algorithms ask of a plain load; the sim measures traffic, not
+    // orderings, so one conservative choice per op keeps it faithful.
     return value_.load(std::memory_order_acquire);
   }
 
   /// Plain store (charged as a write).
   void store(T v) {
     model_->on_store(current_core(), line_);
-    value_.store(v, std::memory_order_release);
+    value_.store(v, std::memory_order_release);  // mo: see load()
   }
 
   /// Atomic exchange (charged as an RMW).
   T exchange(T v) {
     model_->on_rmw(current_core(), line_);
-    return value_.exchange(v, std::memory_order_acq_rel);
+    return value_.exchange(v, std::memory_order_acq_rel);  // mo: see load()
   }
 
   /// Atomic compare-and-swap; returns the *previous* value like the
@@ -76,6 +79,7 @@ class SimAtomic {
   T compare_and_swap(T expected, T desired) {
     model_->on_rmw(current_core(), line_);
     T e = expected;
+    // mo: acq_rel/acquire — conservative, as load().
     value_.compare_exchange_strong(e, desired, std::memory_order_acq_rel,
                                    std::memory_order_acquire);
     return e;
@@ -85,7 +89,7 @@ class SimAtomic {
   /// read-with-intent-to-write).
   T fetch_add(T delta) {
     model_->on_rmw(current_core(), line_);
-    return value_.fetch_add(delta, std::memory_order_acq_rel);
+    return value_.fetch_add(delta, std::memory_order_acq_rel);  // mo: see load()
   }
 
   /// The model line backing this variable (tests).

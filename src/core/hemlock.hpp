@@ -25,6 +25,7 @@
 
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/thread_rec.hpp"
 
 namespace hemlock {
@@ -33,7 +34,7 @@ namespace hemlock {
 /// harness places instances on separate cache lines; the class itself
 /// stays one word so Table 1's space accounting holds for embedders.
 template <typename Waiting = CtrCasWaiting>
-class HemlockBase {
+class HEMLOCK_CAPABILITY("mutex") HemlockBase {
  public:
   HemlockBase() = default;
   HemlockBase(const HemlockBase&) = delete;
@@ -43,16 +44,17 @@ class HemlockBase {
   /// address to appear in the predecessor's Grant mailbox, then
   /// acknowledge by clearing it (the only circumstance in which one
   /// thread stores into another's Grant field, §2).
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
     ThreadRec& me = self();
     // Listing 1 line 6 invariant: our mailbox must be empty between
     // locking operations (holds for pure Hemlock/CTR/AH usage; see
     // hemlock_ohv.hpp for the variant that relaxes it).
+    // mo: relaxed — assert-only peek at our own mailbox, no ordering.
     assert(me.grant.value.load(std::memory_order_relaxed) == kGrantEmpty);
-    // Doorstep (line 8): acq_rel — release publishes our record to
-    // the successor that will obtain it from this SWAP; acquire pairs
-    // with the release CAS of an uncontended unlock so the previous
-    // critical section is visible when we get pred == null.
+    // mo: doorstep (line 8) is acq_rel — release publishes our record
+    // to the successor that will obtain it from this SWAP; acquire
+    // pairs with the release CAS of an uncontended unlock so the
+    // previous critical section is visible when we get pred == null.
     ThreadRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred != nullptr) {
       // Queued but not yet watching the mailbox: the window where the
@@ -65,14 +67,17 @@ class HemlockBase {
       profiled_wait_and_consume<Waiting>(pred->grant.value, lock_word(),
                                          *pred);
     }
-    assert(tail_.load(std::memory_order_relaxed) != nullptr);  // line 13
+    // mo: relaxed — assert-only snapshot (line 13), no ordering.
+    assert(tail_.load(std::memory_order_relaxed) != nullptr);
     LockProfiler::on_acquire(me);
   }
 
   /// Non-blocking attempt: CAS instead of SWAP (paper §2: "MCS and
   /// Hemlock allow trivial implementations of the TryLock operations").
-  bool try_lock() noexcept {
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
     ThreadRec* expected = nullptr;
+    // mo: acq_rel on success — same pairing as lock()'s doorstep SWAP;
+    // relaxed on failure (no acquisition, nothing to order).
     if (tail_.compare_exchange_strong(expected, &self(),
                                       std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
@@ -88,12 +93,14 @@ class HemlockBase {
   /// mailbox can be reused (lines 20-21). A thread that unlocks a
   /// lock it does not hold stalls here forever, which the paper
   /// considers a debuggability feature (§2).
-  void unlock() noexcept {
+  void unlock() noexcept HEMLOCK_RELEASE() {
     ThreadRec& me = self();
+    // mo: relaxed — assert-only peek at our own mailbox, no ordering.
     assert(me.grant.value.load(std::memory_order_relaxed) == kGrantEmpty);
     ThreadRec* expected = &me;
-    // Line 16: release so the next uncontended acquirer (who reads
-    // null from the SWAP) sees our critical section.
+    // mo: line 16 CAS is release so the next uncontended acquirer
+    // (who reads null from the SWAP) sees our critical section;
+    // relaxed on failure — the Grant publish below carries ordering.
     if (!tail_.compare_exchange_strong(expected, nullptr,
                                        std::memory_order_release,
                                        std::memory_order_relaxed)) {
@@ -115,6 +122,8 @@ class HemlockBase {
   /// True if no thread holds or waits for the lock (racy snapshot;
   /// for tests and assertions only).
   bool appears_unlocked() const noexcept {
+    // mo: acquire so test assertions reading through this snapshot see
+    // the releasing thread's writes.
     return tail_.load(std::memory_order_acquire) == nullptr;
   }
 

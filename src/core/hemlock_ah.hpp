@@ -28,6 +28,7 @@
 
 #include "core/hemlock.hpp"
 #include "core/waiting.hpp"
+#include "runtime/annotations.hpp"
 #include "locks/lock_traits.hpp"
 #include "runtime/thread_rec.hpp"
 
@@ -37,16 +38,19 @@ namespace hemlock {
 /// provides the best overall performance of the Hemlock family and is
 /// our preferred form when lifecycle concerns permit."
 template <typename Waiting = CtrCasWaiting>
-class HemlockAhBase {
+class HEMLOCK_CAPABILITY("mutex") HemlockAhBase {
  public:
   HemlockAhBase() = default;
   HemlockAhBase(const HemlockAhBase&) = delete;
   HemlockAhBase& operator=(const HemlockAhBase&) = delete;
 
   /// Acquire — identical to the base algorithm (Listing 4 lines 5-9).
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
     ThreadRec& me = self();
+    // mo: relaxed — assert-only peek at our own grant word.
     assert(me.grant.value.load(std::memory_order_relaxed) == kGrantEmpty);
+    // mo: acq_rel doorstep SWAP — release publishes our ThreadRec,
+    // acquire orders us after the predecessor's enqueue.
     ThreadRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred != nullptr) {
       profiled_wait_and_consume<Waiting>(pred->grant.value, lock_word(),
@@ -56,8 +60,10 @@ class HemlockAhBase {
   }
 
   /// Non-blocking attempt (CAS on Tail).
-  bool try_lock() noexcept {
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
     ThreadRec* expected = nullptr;
+    // mo: acq_rel — acquire pairs with the releasing unlock CAS;
+    // relaxed on failure, nothing was read.
     if (tail_.compare_exchange_strong(expected, &self(),
                                       std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
@@ -68,14 +74,18 @@ class HemlockAhBase {
   }
 
   /// Release (Listing 4 lines 10-17): speculative handover first.
-  void unlock() noexcept {
+  void unlock() noexcept HEMLOCK_RELEASE() {
     ThreadRec& me = self();
+    // mo: relaxed — assert-only peek at our own grant word.
     assert(me.grant.value.load(std::memory_order_relaxed) == kGrantEmpty);
     // Line 12: optimistic transfer — if a successor is already
     // queued it can enter the critical section immediately, before
     // we even examine the Tail.
     Waiting::publish(me.grant.value, lock_word());
     ThreadRec* expected = &me;
+    // mo: release hand-off — the critical section happens-before the
+    // next acquirer's doorstep SWAP; relaxed on failure (the grant
+    // publish above already carried release).
     if (tail_.compare_exchange_strong(expected, nullptr,
                                       std::memory_order_release,
                                       std::memory_order_relaxed)) {
@@ -101,6 +111,8 @@ class HemlockAhBase {
 
   /// Racy emptiness snapshot for tests.
   bool appears_unlocked() const noexcept {
+    // mo: acquire — racy test-only snapshot; orders the observed
+    // emptiness after the releasing unlock that produced it.
     return tail_.load(std::memory_order_acquire) == nullptr;
   }
 

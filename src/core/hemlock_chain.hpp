@@ -30,6 +30,7 @@
 
 #include "core/hemlock.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/futex.hpp"
 #include "runtime/pause.hpp"
@@ -62,7 +63,7 @@ inline ChainRec& chain_self() {
 /// Hemlock with per-thread successor chains and futex parking.
 /// Strictly local waiting (each waiter has a private flag), at the
 /// cost of the unlock-side detach-and-scan.
-class HemlockChain {
+class HEMLOCK_CAPABILITY("mutex") HemlockChain {
  public:
   HemlockChain() = default;
   HemlockChain(const HemlockChain&) = delete;
@@ -70,33 +71,42 @@ class HemlockChain {
 
   /// Acquire: enqueue on the Tail; if contended, push an on-stack
   /// element onto the predecessor's chain and wait on our own flag.
-  void lock() {
+  void lock() HEMLOCK_ACQUIRE() {
     detail::ChainRec& me = detail::chain_self();
+    // mo: acq_rel doorstep SWAP — release publishes our ChainRec,
+    // acquire orders us after the predecessor's enqueue.
     detail::ChainRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred == nullptr) return;
 
     detail::ChainElem elem;
     elem.lock_addr = this;
     // Treiber push onto the predecessor's chain.
+    // mo: relaxed initial read — the CAS below revalidates it.
     detail::ChainElem* h = pred->head.value.load(std::memory_order_relaxed);
     do {
       elem.next = h;
+    // mo: release push — publishes elem.next/lock_addr to the
+    // predecessor's acquiring detach SWAP; relaxed failure reloads.
     } while (!pred->head.value.compare_exchange_weak(
         h, &elem, std::memory_order_release, std::memory_order_relaxed));
 
     // Spin-then-park on our private flag.
+    // mo: acquire polls — pair with the owner's release flag store;
+    // the previous critical section happens-before our entry.
     for (std::uint32_t spins = 0; spins < kSpinsBeforePark; ++spins) {
-      if (elem.flag.load(std::memory_order_acquire) != 0) return;
+      if (elem.flag.load(std::memory_order_acquire) != 0) return;  // mo: acquire poll
       cpu_relax();
     }
-    while (elem.flag.load(std::memory_order_acquire) == 0) {
+    while (elem.flag.load(std::memory_order_acquire) == 0) {  // mo: as above
       futex_wait(&elem.flag, 0);
     }
   }
 
   /// Non-blocking attempt (CAS on Tail).
-  bool try_lock() {
+  bool try_lock() HEMLOCK_TRY_ACQUIRE(true) {
     detail::ChainRec* expected = nullptr;
+    // mo: acq_rel — acquire pairs with the releasing unlock CAS;
+    // relaxed on failure, nothing was read.
     return tail_.compare_exchange_strong(expected, &detail::chain_self(),
                                          std::memory_order_acq_rel,
                                          std::memory_order_relaxed);
@@ -104,9 +114,12 @@ class HemlockChain {
 
   /// Release: uncontended CAS, else detach-and-scan for the unique
   /// element referencing this lock, re-attaching bystanders.
-  void unlock() {
+  void unlock() HEMLOCK_RELEASE() {
     detail::ChainRec& me = detail::chain_self();
     detail::ChainRec* expected = &me;
+    // mo: release hand-off — the critical section happens-before the
+    // next acquirer's doorstep SWAP; relaxed on failure (the flag
+    // store below carries release instead).
     if (tail_.compare_exchange_strong(expected, nullptr,
                                       std::memory_order_release,
                                       std::memory_order_relaxed)) {
@@ -115,6 +128,9 @@ class HemlockChain {
     // A successor exists but may not have pushed its element yet;
     // repeat the detach-and-scan until it appears.
     for (;;) {
+      // mo: acq_rel detach SWAP — acquire pairs with waiters' release
+      // pushes (their elem fields are visible); release keeps the
+      // splice-back below ordered for the next detach.
       detail::ChainElem* list =
           me.head.value.exchange(nullptr, std::memory_order_acq_rel);
       detail::ChainElem* match = nullptr;
@@ -134,9 +150,12 @@ class HemlockChain {
       if (keep_head != nullptr) {
         // Splice the bystanders back (they are other locks' waiters;
         // their unlocks — also by this thread — will find them).
+        // mo: relaxed initial read — the CAS below revalidates it.
         detail::ChainElem* h = me.head.value.load(std::memory_order_relaxed);
         do {
           keep_tail->next = h;
+        // mo: release splice — republishes the bystander links;
+        // relaxed failure reloads.
         } while (!me.head.value.compare_exchange_weak(
             h, keep_head, std::memory_order_release,
             std::memory_order_relaxed));
@@ -145,6 +164,8 @@ class HemlockChain {
         // Transfer ownership. After the flag store the element (on
         // the successor's stack) may vanish at any moment; the wake
         // below tolerates that (see file comment).
+        // mo: release hand-off — critical section happens-before the
+        // successor's acquire flag poll.
         match->flag.store(1, std::memory_order_release);
         futex_wake(&match->flag, 1);
         return;
@@ -155,6 +176,8 @@ class HemlockChain {
 
   /// Racy emptiness snapshot for tests.
   bool appears_unlocked() const noexcept {
+    // mo: acquire — racy test-only snapshot; orders the observed
+    // emptiness after the releasing unlock that produced it.
     return tail_.load(std::memory_order_acquire) == nullptr;
   }
 

@@ -24,6 +24,7 @@
 
 #include "core/hemlock.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 
 namespace hemlock {
 
@@ -56,7 +57,7 @@ inline CvRec& cv_self() {
 /// Blocking Hemlock: spins never, parks in the OS via condvars, yet
 /// preserves strict FIFO admission and the uncontended
 /// single-atomic-op fast path.
-class HemlockCv {
+class HEMLOCK_CAPABILITY("mutex") HemlockCv {
  public:
   HemlockCv() = default;
   HemlockCv(const HemlockCv&) = delete;
@@ -66,8 +67,10 @@ class HemlockCv {
   /// (property (a) above). Contended: block on the predecessor's
   /// condvar until this lock's address fills its mailbox, then
   /// consume ("take" from the bounded buffer) and notify.
-  void lock() {
+  void lock() HEMLOCK_ACQUIRE() {
     detail::CvRec& me = detail::cv_self();
+    // mo: acq_rel doorstep SWAP — release publishes our CvRec,
+    // acquire orders us after the predecessor's enqueue.
     detail::CvRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred != nullptr) {
       std::unique_lock<std::mutex> lk(pred->mu);
@@ -85,8 +88,10 @@ class HemlockCv {
   }
 
   /// Non-blocking attempt (CAS on Tail; still no cv operations).
-  bool try_lock() {
+  bool try_lock() HEMLOCK_TRY_ACQUIRE(true) {
     detail::CvRec* expected = nullptr;
+    // mo: acq_rel — acquire pairs with the releasing unlock CAS;
+    // relaxed on failure, nothing was read.
     return tail_.compare_exchange_strong(expected, &detail::cv_self(),
                                          std::memory_order_acq_rel,
                                          std::memory_order_relaxed);
@@ -95,9 +100,12 @@ class HemlockCv {
   /// Release. Uncontended: one CAS. Contended: "put" the lock address
   /// into our bounded-buffer mailbox — waiting first, if necessary,
   /// for a previous handover to drain — and notify the successor.
-  void unlock() {
+  void unlock() HEMLOCK_RELEASE() {
     detail::CvRec& me = detail::cv_self();
     detail::CvRec* expected = &me;
+    // mo: release hand-off — the critical section happens-before the
+    // next acquirer's doorstep SWAP; relaxed on failure (the mutex-
+    // protected mailbox hand-off synchronizes the contended path).
     if (!tail_.compare_exchange_strong(expected, nullptr,
                                        std::memory_order_release,
                                        std::memory_order_relaxed)) {
@@ -110,6 +118,8 @@ class HemlockCv {
 
   /// Racy emptiness snapshot for tests.
   bool appears_unlocked() const noexcept {
+    // mo: acquire — racy test-only snapshot; orders the observed
+    // emptiness after the releasing unlock that produced it.
     return tail_.load(std::memory_order_acquire) == nullptr;
   }
 

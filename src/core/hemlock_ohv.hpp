@@ -32,21 +32,24 @@
 #include "core/hemlock.hpp"
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/thread_rec.hpp"
 
 namespace hemlock {
 
 /// Optimized Hand-Over Variant 1 (Listing 5): successor-presence flag
 /// in the Grant word's low bit.
-class HemlockOhv1 {
+class HEMLOCK_CAPABILITY("mutex") HemlockOhv1 {
  public:
   HemlockOhv1() = default;
   HemlockOhv1(const HemlockOhv1&) = delete;
   HemlockOhv1& operator=(const HemlockOhv1&) = delete;
 
   /// Acquire (Listing 5 lines 5-10).
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
     ThreadRec& me = self();
+    // mo: acq_rel doorstep SWAP — release publishes our ThreadRec,
+    // acquire orders us after the predecessor's enqueue.
     ThreadRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred != nullptr) {
       // Line 9: advertise our existence if the predecessor's mailbox
@@ -56,6 +59,9 @@ class HemlockOhv1 {
       // CAS observes our lock word already present, the hand-over has
       // begun and the consume loop below completes it.
       GrantWord empty = kGrantEmpty;
+      // mo: acq_rel — success must be ordered against the mailbox
+      // owner's publish/drain pair; relaxed on failure (advisory flag,
+      // the consume loop below synchronizes).
       pred->grant.value.compare_exchange_strong(empty, flag_word(),
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_relaxed);
@@ -67,8 +73,10 @@ class HemlockOhv1 {
   }
 
   /// Non-blocking attempt (CAS on Tail).
-  bool try_lock() noexcept {
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
     ThreadRec* expected = nullptr;
+    // mo: acq_rel — acquire pairs with the releasing unlock CAS;
+    // relaxed on failure, nothing was read.
     if (tail_.compare_exchange_strong(expected, &self(),
                                       std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
@@ -79,19 +87,24 @@ class HemlockOhv1 {
   }
 
   /// Release (Listing 5 lines 11-19).
-  void unlock() noexcept {
+  void unlock() noexcept HEMLOCK_RELEASE() {
     ThreadRec& me = self();
     // Line 12: if our mailbox holds L|1, a successor for this lock
     // certainly exists — pass ownership without touching the Tail.
     // The value is stable under us: only our unique L-successor
     // writes L|1 (Lemma 9), its consume loop only fires on L, and
     // other locks' waiters only CAS an *empty* mailbox.
+    // mo: relaxed — advisory peek at our own mailbox; pass_lock's
+    // release store is what publishes the critical section.
     if (me.grant.value.load(std::memory_order_relaxed) == flag_word()) {
       pass_lock(me);
       LockProfiler::on_release(me);
       return;
     }
     ThreadRec* expected = &me;
+    // mo: release hand-off — the critical section happens-before the
+    // next acquirer's doorstep SWAP; relaxed on failure (pass_lock's
+    // release publish covers the contended path).
     auto prior = tail_.compare_exchange_strong(expected, nullptr,
                                                std::memory_order_release,
                                                std::memory_order_relaxed);
@@ -104,6 +117,8 @@ class HemlockOhv1 {
 
   /// Racy emptiness snapshot for tests.
   bool appears_unlocked() const noexcept {
+    // mo: acquire — racy test-only snapshot; orders the observed
+    // emptiness after the releasing unlock that produced it.
     return tail_.load(std::memory_order_acquire) == nullptr;
   }
 
@@ -114,7 +129,11 @@ class HemlockOhv1 {
   /// a waiter on a *different* lock we hold may immediately re-flag
   /// the mailbox with L'|1, and that is a legitimate resting state.
   void pass_lock(ThreadRec& me) noexcept {
+    // mo: release hand-off — critical section happens-before the
+    // successor's acquiring consume of the mailbox.
     me.grant.value.store(lock_word(), std::memory_order_release);
+    // mo: acquire FAA(0) drain — pairs with the successor's releasing
+    // consume CAS so its (empty or re-flagged) write is visible.
     while (me.grant.value.fetch_add(0, std::memory_order_acquire) ==
            lock_word()) {
       cpu_relax();
@@ -136,7 +155,7 @@ static_assert(alignof(HemlockOhv1) >= 2, "low tag bit must be free");
 /// Optimized Hand-Over Variant 2 (Listing 6): polite Tail inspection
 /// before the CAS.
 template <typename Waiting = CtrCasWaiting>
-class HemlockOhv2Base {
+class HEMLOCK_CAPABILITY("mutex") HemlockOhv2Base {
  public:
   HemlockOhv2Base() = default;
   HemlockOhv2Base(const HemlockOhv2Base&) = delete;
@@ -144,9 +163,12 @@ class HemlockOhv2Base {
 
   /// Acquire — the base Listing-2 path (Listing 6 lines 5-11, with
   /// the paper's "constant-time arrival doorway step" comment).
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
     ThreadRec& me = self();
+    // mo: relaxed — assert-only peek at our own grant word.
     assert(me.grant.value.load(std::memory_order_relaxed) == kGrantEmpty);
+    // mo: acq_rel doorstep SWAP — release publishes our ThreadRec,
+    // acquire orders us after the predecessor's enqueue.
     ThreadRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred != nullptr) {
       profiled_wait_and_consume<Waiting>(pred->grant.value, lock_word(),
@@ -156,8 +178,10 @@ class HemlockOhv2Base {
   }
 
   /// Non-blocking attempt (CAS on Tail).
-  bool try_lock() noexcept {
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
     ThreadRec* expected = nullptr;
+    // mo: acq_rel — acquire pairs with the releasing unlock CAS;
+    // relaxed on failure, nothing was read.
     if (tail_.compare_exchange_strong(expected, &self(),
                                       std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
@@ -170,19 +194,25 @@ class HemlockOhv2Base {
   /// Release (Listing 6 lines 12-21): successors exist iff
   /// Tail != Self; the polite load avoids a futile CAS (and its
   /// write-invalidation of the Tail line) on the contended path.
-  void unlock() noexcept {
+  void unlock() noexcept HEMLOCK_RELEASE() {
     ThreadRec& me = self();
+    // mo: relaxed — assert-only peek at our own grant word.
     assert(me.grant.value.load(std::memory_order_relaxed) == kGrantEmpty);
     // Line 14. Reading our own prior SWAP is guaranteed by cache
     // coherence, so a non-Self observation proves a successor
     // enqueued (Tail cannot revert to null or to an older value
     // without our own unlock CAS).
+    // mo: relaxed polite read — a decision hint only; pass_lock's
+    // release publish (or the CAS below) carries the ordering.
     if (tail_.load(std::memory_order_relaxed) != &me) {
       pass_lock(me);
       LockProfiler::on_release(me);
       return;
     }
     ThreadRec* expected = &me;
+    // mo: release hand-off — the critical section happens-before the
+    // next acquirer's doorstep SWAP; relaxed on failure (pass_lock's
+    // release publish covers the contended path).
     if (!tail_.compare_exchange_strong(expected, nullptr,
                                        std::memory_order_release,
                                        std::memory_order_relaxed)) {
@@ -194,6 +224,8 @@ class HemlockOhv2Base {
 
   /// Racy emptiness snapshot for tests.
   bool appears_unlocked() const noexcept {
+    // mo: acquire — racy test-only snapshot; orders the observed
+    // emptiness after the releasing unlock that produced it.
     return tail_.load(std::memory_order_acquire) == nullptr;
   }
 

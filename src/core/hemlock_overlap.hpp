@@ -28,6 +28,7 @@
 #include "core/hemlock.hpp"  // detail::hemlock_traits_base
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/thread_rec.hpp"
 
 namespace hemlock {
@@ -36,23 +37,27 @@ namespace hemlock {
 /// context-free. The paper measured little benefit and shipped
 /// without it (§2); it is provided for the ablation benches.
 template <typename Waiting = CtrCasWaiting>
-class HemlockOverlapBase {
+class HEMLOCK_CAPABILITY("mutex") HemlockOverlapBase {
  public:
   HemlockOverlapBase() = default;
   HemlockOverlapBase(const HemlockOverlapBase&) = delete;
   HemlockOverlapBase& operator=(const HemlockOverlapBase&) = delete;
 
   /// Acquire (Listing 3 lines 5-11).
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
     ThreadRec& me = self();
     // Line 6: residual check. "If thread T1 were to enqueue ... [a]
     // residual Grant value that happens to match that of the lock,
     // then when a successor T2 enqueues after T1, it will incorrectly
     // see that address in T1's grant field and then incorrectly enter
     // the critical section."  Wait for the tardy successor to drain.
+    // mo: acquire residual poll — pairs with the tardy successor's
+    // releasing consume so its clear is visible before we enqueue.
     while (me.grant.value.load(std::memory_order_acquire) == lock_word()) {
       cpu_relax();
     }
+    // mo: acq_rel doorstep SWAP — release publishes our ThreadRec,
+    // acquire orders us after the predecessor's enqueue.
     ThreadRec* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred != nullptr) {
       profiled_wait_and_consume<Waiting>(pred->grant.value, lock_word(),
@@ -64,12 +69,15 @@ class HemlockOverlapBase {
   /// Non-blocking attempt. Must also respect the residual check:
   /// succeeding while our mailbox still holds this lock's address
   /// would arm the stale-grant pathology for our future successor.
-  bool try_lock() noexcept {
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
     ThreadRec& me = self();
+    // mo: acquire residual check — as the lock() prologue poll.
     if (me.grant.value.load(std::memory_order_acquire) == lock_word()) {
       return false;  // tardy successor still draining; treat as busy
     }
     ThreadRec* expected = nullptr;
+    // mo: acq_rel — acquire pairs with the releasing unlock CAS;
+    // relaxed on failure, nothing was read.
     if (tail_.compare_exchange_strong(expected, &me,
                                       std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
@@ -82,9 +90,12 @@ class HemlockOverlapBase {
   /// Release (Listing 3 lines 12-17): wait for the mailbox to be
   /// empty (drain any *previous* handover), publish, and return
   /// without waiting for the acknowledgement.
-  void unlock() noexcept {
+  void unlock() noexcept HEMLOCK_RELEASE() {
     ThreadRec& me = self();
     ThreadRec* expected = &me;
+    // mo: release hand-off — the critical section happens-before the
+    // next acquirer's doorstep SWAP; relaxed on failure (the grant
+    // publish below carries release for the contended path).
     if (!tail_.compare_exchange_strong(expected, nullptr,
                                        std::memory_order_release,
                                        std::memory_order_relaxed)) {
@@ -99,6 +110,8 @@ class HemlockOverlapBase {
 
   /// Racy emptiness snapshot for tests.
   bool appears_unlocked() const noexcept {
+    // mo: acquire — racy test-only snapshot; orders the observed
+    // emptiness after the releasing unlock that produced it.
     return tail_.load(std::memory_order_acquire) == nullptr;
   }
 

@@ -30,23 +30,26 @@
 
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/cacheline.hpp"
 
 namespace hemlock {
 
 /// Hemlock with per-acquisition on-stack Grant slots. One word of
 /// lock body; acquisition only via HemlockSite::Guard.
-class HemlockSite {
+class HEMLOCK_CAPABILITY("mutex") HemlockSite {
  public:
   HemlockSite() = default;
   HemlockSite(const HemlockSite&) = delete;
   HemlockSite& operator=(const HemlockSite&) = delete;
 
   /// On-stack queue element: the Grant slot lives inside the guard.
-  class [[nodiscard]] Guard {
+  class HEMLOCK_SCOPED_CAPABILITY [[nodiscard]] Guard {
    public:
     /// Acquire `lock` (blocking).
-    explicit Guard(HemlockSite& lock) : lock_(lock) {
+    explicit Guard(HemlockSite& lock) HEMLOCK_ACQUIRE(lock) : lock_(lock) {
+      // mo: acq_rel doorstep SWAP — release publishes our slot,
+      // acquire orders us after the predecessor's enqueue.
       Slot* pred = lock_.tail_.exchange(&slot_, std::memory_order_acq_rel);
       if (pred != nullptr) {
         // CTR consume on the predecessor's *slot* — guaranteed to be
@@ -58,11 +61,16 @@ class HemlockSite {
 
     /// Release. Drains the successor's acknowledgement before the
     /// frame (and the slot within it) is reclaimed.
-    ~Guard() {
+    ~Guard() HEMLOCK_RELEASE() {
       Slot* expected = &slot_;
+      // mo: release hand-off — the critical section happens-before
+      // the next acquirer's doorstep SWAP; relaxed on failure (the
+      // slot publish below carries release instead).
       if (!lock_.tail_.compare_exchange_strong(expected, nullptr,
                                                std::memory_order_release,
                                                std::memory_order_relaxed)) {
+        // mo: release hand-off — critical section happens-before the
+        // successor's acquiring consume of this slot.
         slot_.grant.value.store(lock_.lock_word(),
                                 std::memory_order_release);
         CtrCasWaiting::wait_until_empty(slot_.grant.value);
@@ -84,6 +92,8 @@ class HemlockSite {
 
   /// Racy emptiness snapshot for tests.
   bool appears_unlocked() const noexcept {
+    // mo: acquire — racy test-only snapshot; orders the observed
+    // emptiness after the releasing unlock that produced it.
     return tail_.load(std::memory_order_acquire) == nullptr;
   }
 

@@ -64,11 +64,15 @@ struct PoliteWaiting {
   static constexpr const char* name = "load";
 
   static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    // mo: release hand-off — the critical section happens-before the
+    // successor's acquire observation of this Grant value.
     g.store(value, std::memory_order_release);
   }
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
+    // mo: acquire poll pairs with publish's release, carrying the
+    // predecessor's critical section.
     while (g.load(std::memory_order_acquire) != expect) {
       cpu_relax();
       HEMLOCK_VERIFY_YIELD("grant:poll");
@@ -79,10 +83,14 @@ struct PoliteWaiting {
     // Acknowledge receipt: restore the mailbox to empty so the
     // predecessor may reuse it (the single store the paper counts as
     // Hemlock's only extra critical-path burden vs MCS/CLH, §2).
+    // mo: release ack — the predecessor's drain acquires this so our
+    // read of the mailbox is complete before it reuses the word.
     g.store(kGrantEmpty, std::memory_order_release);
   }
 
   static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
+    // mo: acquire drain — pairs with the successor's release ack so
+    // the mailbox is ours to reuse after observing kGrantEmpty.
     while (g.load(std::memory_order_acquire) != kGrantEmpty) {
       cpu_relax();
       HEMLOCK_VERIFY_YIELD("grant:drain");
@@ -97,6 +105,8 @@ struct CtrCasWaiting {
   static constexpr const char* name = "ctr-cas";
 
   static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    // mo: release hand-off — the critical section happens-before the
+    // successor's acquire observation of this Grant value.
     g.store(value, std::memory_order_release);
   }
 
@@ -104,6 +114,10 @@ struct CtrCasWaiting {
                                GrantWord expect) noexcept {
     for (;;) {
       GrantWord e = expect;
+      // mo: acq_rel consume — acquire pairs with publish's release
+      // (carrying the critical section), release makes the ack
+      // visible to the predecessor's drain; relaxed on failure (the
+      // CTR poll is just a read-with-intent-to-write).
       if (g.compare_exchange_weak(e, kGrantEmpty, std::memory_order_acq_rel,
                                   std::memory_order_relaxed)) {
         return;
@@ -116,6 +130,7 @@ struct CtrCasWaiting {
   static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
     // FAA(0) as read-with-intent-to-write (paper Listing 2 line 15):
     // we expect to write this word in our own subsequent unlocks.
+    // mo: acquire pairs with the successor's release ack.
     while (g.fetch_add(0, std::memory_order_acquire) != kGrantEmpty) {
       cpu_relax();
       HEMLOCK_VERIFY_YIELD("grant:drain");
@@ -131,20 +146,25 @@ struct CtrFaaWaiting {
   static constexpr const char* name = "ctr-faa";
 
   static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    // mo: release hand-off — the critical section happens-before the
+    // successor's acquire observation of this Grant value.
     g.store(value, std::memory_order_release);
   }
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
+    // mo: acquire FAA(0) poll pairs with publish's release.
     while (g.fetch_add(0, std::memory_order_acquire) != expect) {
       cpu_relax();
       HEMLOCK_VERIFY_YIELD("grant:ctr-poll");
     }
     HEMLOCK_VERIFY_YIELD("grant:ack");
+    // mo: release ack toward the predecessor's acquire drain.
     g.store(kGrantEmpty, std::memory_order_release);
   }
 
   static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
+    // mo: acquire FAA(0) drain — pairs with the release ack.
     while (g.fetch_add(0, std::memory_order_acquire) != kGrantEmpty) {
       cpu_relax();
       HEMLOCK_VERIFY_YIELD("grant:drain");
@@ -189,6 +209,8 @@ struct FutexWaiting {
   }
 
   static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    // mo: release hand-off; the unconditional wake (no census here)
+    // needs no extra fence — sleepers re-check after waking.
     g.store(value, std::memory_order_release);
     futex_wake_all(futex_word(g));
   }
@@ -198,6 +220,8 @@ struct FutexWaiting {
     for (;;) {
       for (std::uint32_t i = 0; i < kSpinsBeforePark; ++i) {
         GrantWord e = expect;
+        // mo: acq_rel consume / relaxed failed poll — same CTR
+        // pairing as CtrCasWaiting.
         if (g.compare_exchange_weak(e, kGrantEmpty,
                                     std::memory_order_acq_rel,
                                     std::memory_order_relaxed)) {
@@ -208,6 +232,8 @@ struct FutexWaiting {
         cpu_relax();
         HEMLOCK_VERIFY_YIELD("grant:futex-poll");
       }
+      // mo: acquire snapshot — the kernel's futex compare against its
+      // low word closes the publish-vs-sleep race.
       const GrantWord seen = g.load(std::memory_order_acquire);
       if (seen != expect) {
         // Bounded: Grant words are 8 bytes wide (kWideWordParkNanos).
@@ -220,10 +246,12 @@ struct FutexWaiting {
   static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
     for (;;) {
       for (std::uint32_t i = 0; i < kSpinsBeforePark; ++i) {
+        // mo: acquire drain — pairs with the successor's release ack.
         if (g.load(std::memory_order_acquire) == kGrantEmpty) return;
         cpu_relax();
         HEMLOCK_VERIFY_YIELD("grant:drain");
       }
+      // mo: acquire snapshot for the kernel's futex compare.
       const GrantWord seen = g.load(std::memory_order_acquire);
       if (seen == kGrantEmpty) return;
       futex_wait_for(futex_word(g), static_cast<std::uint32_t>(seen),
@@ -256,12 +284,17 @@ inline void profiled_wait_and_consume(std::atomic<GrantWord>& g,
     return;
   }
   LockProfiler::on_wait_begin(pred);
+  // mo: acquire peek pairs with publish's release — the consume CAS
+  // below re-synchronizes, so the gauge bookkeeping between them
+  // needs no stronger order.
   while (g.load(std::memory_order_acquire) != expect) {
     cpu_relax();
     HEMLOCK_VERIFY_YIELD("grant:profiled-poll");
   }
   LockProfiler::on_wait_end(pred);
   GrantWord e = expect;
+  // mo: acq_rel consume / relaxed failure — same CTR pairing as
+  // CtrCasWaiting (the failure arm is unreachable, see below).
   const bool consumed = g.compare_exchange_strong(
       e, kGrantEmpty, std::memory_order_acq_rel, std::memory_order_relaxed);
   (void)consumed;  // cannot fail: we are the unique consumer of `expect`
@@ -280,22 +313,28 @@ struct AdaptiveWaiting {
   static constexpr const char* name = "adaptive";
 
   static void publish(std::atomic<GrantWord>& g, GrantWord value) noexcept {
+    // mo: release hand-off — the critical section happens-before the
+    // successor's acquire observation of this Grant value.
     g.store(value, std::memory_order_release);
   }
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
     SpinWait w;
+    // mo: acquire poll / release ack — identical pairing to
+    // PoliteWaiting; only the loop body (yield escalation) differs.
     while (g.load(std::memory_order_acquire) != expect) {
       w.wait();
       HEMLOCK_VERIFY_YIELD("grant:poll");
     }
     HEMLOCK_VERIFY_YIELD("grant:ack");
+    // mo: release ack toward the predecessor's acquire drain.
     g.store(kGrantEmpty, std::memory_order_release);
   }
 
   static void wait_until_empty(std::atomic<GrantWord>& g) noexcept {
     SpinWait w;
+    // mo: acquire drain — pairs with the release ack.
     while (g.load(std::memory_order_acquire) != kGrantEmpty) {
       w.wait();
       HEMLOCK_VERIFY_YIELD("grant:drain");
@@ -426,11 +465,18 @@ template <typename T, typename Pred>
 inline void park_round_slotted(std::atomic<T>& w, T expected,
                                const Pred& done) noexcept {
   auto& slot = ticket_slot(&w, expected);
+  // mo: acquire generation snapshot — taken before the predicate
+  // check so a publish between them bumps past `gen` and the kernel
+  // refuses the sleep.
   const std::uint32_t gen = slot.load(std::memory_order_acquire);
   if (done(w.load(std::memory_order_acquire))) return;
   auto& gov = ContentionGovernor::instance();
   gov.begin_park(&slot);
+  // mo: seq_cst fence — Dekker handshake with the publisher's seq_cst
+  // generation bump + census read: either it sees our park
+  // registration and wakes, or we re-read its published value here.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // mo: relaxed re-check — the fence above already orders it.
   if (!done(w.load(std::memory_order_relaxed))) {
     futex_wait_for(&slot, gen, kWideWordParkNanos);
   }
@@ -444,11 +490,15 @@ inline void park_round_slotted(std::atomic<T>& w, T expected,
 /// window; spurious returns are absorbed by the caller's loop.
 template <typename T, typename Pred>
 inline void park_round(std::atomic<T>& w, const Pred& done) noexcept {
+  // mo: acquire snapshot — pairs with the publisher's release store.
   const T seen = w.load(std::memory_order_acquire);
   if (done(seen)) return;
   auto& gov = ContentionGovernor::instance();
   gov.begin_park(&w);
+  // mo: seq_cst fence — Dekker handshake with publish_and_wake's
+  // store-fence-census sequence; see that function's comment.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // mo: relaxed re-check — ordered by the fence above.
   const T again = w.load(std::memory_order_relaxed);
   if (again == seen) {
     if constexpr (sizeof(T) == 8) {
@@ -477,8 +527,11 @@ inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
                               const TierFn& tier_of_round,
                               const ParkFn& park_once,
                               std::uint32_t doorstep_spins) noexcept {
+  // mo: every poll below is acquire, pairing with the hand-off
+  // store's release so the returned observation carries the
+  // publisher's critical section.
   for (std::uint32_t i = 0; i < doorstep_spins; ++i) {
-    const T v = w.load(std::memory_order_acquire);
+    const T v = w.load(std::memory_order_acquire);  // mo: acquire poll
     if (done(v)) return v;
     cpu_relax();
     HEMLOCK_VERIFY_YIELD("queue:doorstep");
@@ -489,6 +542,7 @@ inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
     switch (tier_of_round(round)) {
       case WaitTier::kSpin:
         for (std::uint32_t i = 0; i < kChunkSpins; ++i) {
+          // mo: acquire poll (see loop-head comment).
           const T v = w.load(std::memory_order_acquire);
           if (done(v)) {
             gov.end_wait();
@@ -499,6 +553,7 @@ inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
         }
         break;
       case WaitTier::kYield: {
+        // mo: acquire poll (see loop-head comment).
         const T v = w.load(std::memory_order_acquire);
         if (done(v)) {
           gov.end_wait();
@@ -512,6 +567,7 @@ inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
         park_once();
         break;
     }
+    // mo: acquire poll (see loop-head comment).
     const T v = w.load(std::memory_order_acquire);
     if (done(v)) {
       gov.end_wait();
@@ -539,10 +595,14 @@ inline T wait_escalating(std::atomic<T>& w, const Done& done,
 /// no longer tax this lock's hand-offs).
 template <typename T>
 inline void publish_and_wake(std::atomic<T>& w, T value) noexcept {
+  // mo: release hand-off store — waiters' acquire polls pair here.
   w.store(value, std::memory_order_release);
   // The value is visible but the wake has not happened: a parked
   // waiter resumed here must cope with seeing the store early.
   HEMLOCK_VERIFY_YIELD("queue:published");
+  // mo: seq_cst fence — Dekker with park_round's fence: either we see
+  // the parked census and wake, or the parker re-reads our store and
+  // never sleeps.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (ContentionGovernor::instance().parked(&w) != 0) {
     futex_wake_all(futex_word(w));
@@ -567,11 +627,14 @@ inline void wait_escalating_slotted(std::atomic<T>& w, T expected,
 /// of *other* tickets sleep on their own slots and are not disturbed.
 template <typename T>
 inline void publish_and_wake_slotted(std::atomic<T>& w, T value) noexcept {
+  // mo: release hand-off store — waiters' acquire polls pair here.
   w.store(value, std::memory_order_release);
   // Serving word published, slot generation not yet bumped — the
   // window the slotted Dekker handshake exists to close.
   HEMLOCK_VERIFY_YIELD("queue:published");
   auto& slot = ticket_slot(&w, value);
+  // mo: seq_cst generation bump — the RMW doubles as the Dekker fence
+  // against park_round_slotted's fence + census registration.
   slot.fetch_add(1, std::memory_order_seq_cst);
   if (ContentionGovernor::instance().parked(&slot) != 0) {
     futex_wake_all(&slot);
@@ -592,6 +655,7 @@ struct QueueSpinWaiting {
 
   template <typename T>
   static void wait_until(std::atomic<T>& w, T expected) noexcept {
+    // mo: acquire poll pairs with publish's release hand-off.
     while (w.load(std::memory_order_acquire) != expected) {
       cpu_relax();
       HEMLOCK_VERIFY_YIELD("queue:spin");
@@ -601,6 +665,7 @@ struct QueueSpinWaiting {
   template <typename T>
   static T wait_while(std::atomic<T>& w, T unwanted) noexcept {
     T v;
+    // mo: acquire poll pairs with publish's release hand-off.
     while ((v = w.load(std::memory_order_acquire)) == unwanted) {
       cpu_relax();
       HEMLOCK_VERIFY_YIELD("queue:spin");
@@ -610,6 +675,8 @@ struct QueueSpinWaiting {
 
   template <typename T>
   static void publish(std::atomic<T>& w, T value) noexcept {
+    // mo: release hand-off — waiters' acquire polls pair here; no
+    // sleepers under this tier, so no wake or fence.
     w.store(value, std::memory_order_release);
   }
 };
@@ -638,6 +705,8 @@ struct QueueYieldWaiting {
 
   template <typename T>
   static void publish(std::atomic<T>& w, T value) noexcept {
+    // mo: release hand-off — waiters' acquire polls pair here; no
+    // sleepers under this tier, so no wake or fence.
     w.store(value, std::memory_order_release);
   }
 };
@@ -761,6 +830,8 @@ struct GovernedGrantWaiting {
                                GrantWord expect) noexcept {
     for (std::uint32_t i = 0; i < queue_wait::kDoorstepSpins; ++i) {
       GrantWord e = expect;
+      // mo: acq_rel consume / relaxed failed poll — same CTR pairing
+      // as CtrCasWaiting.
       if (g.compare_exchange_weak(e, kGrantEmpty, std::memory_order_acq_rel,
                                   std::memory_order_relaxed)) {
         wake_after_external_clear(g);
@@ -773,6 +844,8 @@ struct GovernedGrantWaiting {
         g, [expect](GrantWord v) { return v == expect; }, tier_of_round,
         /*doorstep_spins=*/0);  // the CAS loop above was the doorstep
     GrantWord e = expect;
+    // mo: acq_rel consume / relaxed failure — the escalating wait
+    // returned only after observing `expect`, and only we may clear it.
     const bool consumed = g.compare_exchange_strong(
         e, kGrantEmpty, std::memory_order_acq_rel, std::memory_order_relaxed);
     (void)consumed;  // cannot fail: we are the unique consumer of `expect`
@@ -788,6 +861,8 @@ struct GovernedGrantWaiting {
   /// clear — gated on the parked census (the same Dekker handshake as
   /// publish_and_wake) so hand-offs with no sleeper pay no syscall.
   static void wake_after_external_clear(std::atomic<GrantWord>& g) noexcept {
+    // mo: seq_cst fence — Dekker between our Grant clear and the
+    // census read, against the drain side's park registration + fence.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (ContentionGovernor::instance().parked(&g) != 0) {
       futex_wake_all(queue_wait::futex_word(g));

@@ -113,6 +113,8 @@ MutexBenchResult run_mutexbench(const MutexBenchConfig& cfg,
       [[maybe_unused]] volatile std::uint32_t sink = 0;
 
       shared->barrier.arrive_and_wait();
+      // mo: relaxed — advisory stop flag; per-thread results are
+      // published by the joining barrier, not this load.
       while (!shared->stop.value.load(std::memory_order_relaxed)) {
         shared->lock.value.lock();
         for (std::uint32_t i = 0; i < cfg.cs_shared_prng_steps; ++i) {
@@ -135,6 +137,7 @@ MutexBenchResult run_mutexbench(const MutexBenchConfig& cfg,
   shared->barrier.arrive_and_wait();  // release the cohort
   Timer timer;
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  // mo: relaxed — advisory stop flag; the barrier synchronizes.
   shared->stop.value.store(true, std::memory_order_relaxed);
   shared->barrier.arrive_and_wait();  // all workers done counting
   const std::int64_t elapsed = timer.elapsed_ns();
@@ -199,6 +202,7 @@ MultiWaitResult run_multiwait_bench(const MultiWaitConfig& cfg,
     (void)self();
     std::uint64_t steps = 0;
     shared->barrier.arrive_and_wait();
+    // mo: relaxed — advisory stop flag; the barrier synchronizes.
     while (!shared->stop.value.load(std::memory_order_relaxed)) {
       for (std::uint32_t i = 0; i < cfg.num_locks; ++i) {
         shared->locks[i].value.lock();
@@ -218,6 +222,7 @@ MultiWaitResult run_multiwait_bench(const MultiWaitConfig& cfg,
       (void)self();
       Xoshiro256 prng(cfg.seed + t);
       shared->barrier.arrive_and_wait();
+      // mo: relaxed — advisory stop flag; the barrier synchronizes.
       while (!shared->stop.value.load(std::memory_order_relaxed)) {
         auto& lk = shared->locks[prng.below(cfg.num_locks)].value;
         lk.lock();
@@ -230,6 +235,7 @@ MultiWaitResult run_multiwait_bench(const MultiWaitConfig& cfg,
   shared->barrier.arrive_and_wait();
   Timer timer;
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  // mo: relaxed — advisory stop flag; the barrier synchronizes.
   shared->stop.value.store(true, std::memory_order_relaxed);
   shared->barrier.arrive_and_wait();
   const std::int64_t elapsed = timer.elapsed_ns();

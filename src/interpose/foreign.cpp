@@ -21,17 +21,23 @@ struct MutateGuard {
   MutateGuard() {
     for (;;) {
       std::uint32_t expected = 0;
+      // mo: acquire TAS — pairs with ~MutateGuard's release; the prior
+      // mutator's slot edits are visible. Relaxed on failure.
       if (g_mutate_lock.compare_exchange_weak(expected, 1,
                                               std::memory_order_acquire,
                                               std::memory_order_relaxed)) {
         return;
       }
+      // mo: relaxed TTAS poll — the acquiring CAS re-synchronizes.
       while (g_mutate_lock.load(std::memory_order_relaxed) != 0) {
         cpu_relax();
       }
     }
   }
-  ~MutateGuard() { g_mutate_lock.store(0, std::memory_order_release); }
+  ~MutateGuard() {
+    // mo: release — publishes this mutator's slot edits.
+    g_mutate_lock.store(0, std::memory_order_release);
+  }
 };
 
 }  // namespace
@@ -39,11 +45,15 @@ struct MutateGuard {
 bool ForeignRegistry::insert(const void* obj) noexcept {
   MutateGuard g;
   for (auto& slot : g_slots) {
+    // mo: relaxed scan — the mutate lock is held; slots are stable.
     if (slot.load(std::memory_order_relaxed) == nullptr) {
+      // mo: release — publishes the routed address to lock-free
+      // contains() scans.
       slot.store(obj, std::memory_order_release);
       // Count is bumped after the slot is visible: a contains() that
       // reads the new count also sees the slot (release/acquire), and
       // the object's own init-before-use ordering covers the rest.
+      // mo: release — see the comment above.
       g_count.fetch_add(1, std::memory_order_release);
       return true;
     }
@@ -58,7 +68,10 @@ bool ForeignRegistry::insert(const void* obj) noexcept {
 void ForeignRegistry::erase(const void* obj) noexcept {
   MutateGuard g;
   for (auto& slot : g_slots) {
+    // mo: relaxed scan — the mutate lock is held; slots are stable.
     if (slot.load(std::memory_order_relaxed) == obj) {
+      // mo: release pair — unpublish the slot, then the count, so a
+      // fast-path contains() that still sees count>0 rescans safely.
       slot.store(nullptr, std::memory_order_release);
       g_count.fetch_sub(1, std::memory_order_release);
       return;
@@ -67,14 +80,18 @@ void ForeignRegistry::erase(const void* obj) noexcept {
 }
 
 bool ForeignRegistry::contains(const void* obj) noexcept {
+  // mo: acquire fast path — pairs with insert's count release; a
+  // nonzero count guarantees the slot stores below are visible.
   if (g_count.load(std::memory_order_acquire) == 0) return false;
   for (const auto& slot : g_slots) {
+    // mo: acquire — pairs with insert's slot release store.
     if (slot.load(std::memory_order_acquire) == obj) return true;
   }
   return false;
 }
 
 std::size_t ForeignRegistry::size() noexcept {
+  // mo: acquire — diagnostic read, ordered after the latest insert.
   return g_count.load(std::memory_order_acquire);
 }
 
@@ -140,6 +157,7 @@ const RealPthread& real_pthread() noexcept {
 
 void warn_pshared_once(const char* what) noexcept {
   static std::atomic<bool> warned{false};
+  // mo: relaxed — print-once latch; no data is published.
   if (!warned.exchange(true, std::memory_order_relaxed)) {
     std::fprintf(
         stderr,

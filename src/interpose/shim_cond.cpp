@@ -36,10 +36,14 @@ namespace {
 ShimCond* adopt(pthread_cond_t* c) {
   auto* sc = reinterpret_cast<ShimCond*>(c);
   std::uint32_t expected = 0;
+  // mo: acquire peek + acq_rel claim — the winning CAS publishes the
+  // adopted state; losers acquire the winner's claim (either via the
+  // peek or the CAS failure load) before using the condvar.
   if (sc->magic.load(std::memory_order_acquire) != ShimCond::kReady &&
       sc->magic.compare_exchange_strong(expected, ShimCond::kReady,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+    // mo: relaxed — monotonic stats counter, no ordering needed.
     cond_stats().adopted.fetch_add(1, std::memory_order_relaxed);
   }
   return sc;
@@ -74,15 +78,20 @@ std::int64_t nanos_until(clockid_t clock, const struct timespec* abstime) {
 /// open window forces the unconditional wake and leaves the credits
 /// alone; a wasted wake on an empty chain is one no-op syscall.
 void hand_over_chain(ShimCond* sc) {
+  // mo: seq_cst window check and credit claim — totally ordered
+  // against broadcast's window open / requeue / credit post sequence,
+  // so a credit can never be claimed inside a window it cannot see.
   if (sc->windows.load(std::memory_order_seq_cst) == 0) {
     std::int32_t credits = sc->chained.load(std::memory_order_seq_cst);
     while (credits > 0 &&
+           // mo: seq_cst claim — same total order as above.
            !sc->chained.compare_exchange_weak(credits, credits - 1,
                                               std::memory_order_seq_cst)) {
     }
     if (credits <= 0) return;
   }
   futex_wake(&sc->chain, 1);
+  // mo: relaxed — monotonic stats counter, no ordering needed.
   cond_stats().chain_wakes.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -94,21 +103,29 @@ int wait_common(pthread_cond_t* c, pthread_mutex_t* m, clockid_t clock,
     return EINVAL;  // checked before any state change: the mutex stays held
   }
   ShimCond* sc = adopt(c);
+  // mo: relaxed — monotonic stats counter, no ordering needed.
   cond_stats().waits.fetch_add(1, std::memory_order_relaxed);
 
   // POSIX requires every concurrent waiter to use the same mutex;
   // glibc makes the mismatch undefined, we make it EINVAL.
+  // mo: relaxed mutex association — a best-effort diagnostic, not a
+  // synchronization edge (the seq_cst census guards the real check);
+  // callers holding m serialize the store.
   pthread_mutex_t* prev = sc->mutex.load(std::memory_order_relaxed);
   if (prev != m) {
+    // mo: seq_cst census read — ordered against waiters' seq_cst
+    // registration so a zero here proves no concurrent waiter.
     if (prev != nullptr && sc->waiters.load(std::memory_order_seq_cst) != 0) {
       return EINVAL;
     }
-    sc->mutex.store(m, std::memory_order_relaxed);
+    sc->mutex.store(m, std::memory_order_relaxed);  // mo: see above
   }
 
   // Register before snapshotting: signal's skip-the-syscall gate loads
   // the census after its seq bump, so a registered waiter either gets
   // the wake syscall or observes the bumped sequence at sleep time.
+  // mo: seq_cst register-then-snapshot — Dekker with signal's seq_cst
+  // bump-then-census-read; both orders in the single total order.
   sc->waiters.fetch_add(1, std::memory_order_seq_cst);
   const std::uint32_t snap = sc->seq.load(std::memory_order_seq_cst);
 
@@ -138,10 +155,13 @@ int wait_common(pthread_cond_t* c, pthread_mutex_t* m, clockid_t clock,
   // re-acquisition: a broadcaster may destroy the condvar as soon as
   // the drain below sees zero waiters, even while holding the mutex.
   hand_over_chain(sc);
+  // mo: release deregistration — our final touch of the condvar
+  // storage happens-before destroy's acquire drain observing zero.
   sc->waiters.fetch_sub(1, std::memory_order_release);
 
   ShimMutex::shim_lock(m);
   if (timed_out) {
+    // mo: relaxed — monotonic stats counter, no ordering needed.
     cond_stats().timeouts.fetch_add(1, std::memory_order_relaxed);
     return ETIMEDOUT;
   }
@@ -169,6 +189,8 @@ int ShimCond::shim_init(pthread_cond_t* c, const pthread_condattr_t* attr) {
   ShimCond* sc = adopt(c);
   clockid_t ck = CLOCK_REALTIME;
   if (attr != nullptr && pthread_condattr_getclock(attr, &ck) == 0) {
+    // mo: relaxed — written during init, before the condvar is shared;
+    // the caller publishes the condvar object itself.
     sc->clock.store(static_cast<std::int32_t>(ck),
                     std::memory_order_relaxed);
   }
@@ -183,6 +205,8 @@ int ShimCond::shim_destroy(pthread_cond_t* c) {
     return rc;
   }
   auto* sc = reinterpret_cast<ShimCond*>(c);
+  // mo: acquire — pairs with adopt's claim so an adopted condvar's
+  // state is visible before we drain it.
   if (sc->magic.load(std::memory_order_acquire) == kReady) {
     // Drain: threads still inside wait (POSIX allows destroy as soon
     // as they have all been *signaled*) may not have deregistered yet.
@@ -191,7 +215,12 @@ int ShimCond::shim_destroy(pthread_cond_t* c) {
     // its final touch of this storage. Waiters deregister before
     // re-acquiring the mutex, so this loop terminates even when the
     // destroyer still holds the associated mutex.
+    // mo: acquire drain — pairs with waiters' release deregistration,
+    // so zero means every waiter's last touch of this storage is
+    // visible before the memset below.
     while (sc->waiters.load(std::memory_order_acquire) != 0) {
+      // mo: seq_cst bump — same total order as the waiters' snapshot,
+      // so a waiter between unlock and sleep refuses the stale sleep.
       sc->seq.fetch_add(1, std::memory_order_seq_cst);
       futex_wake_all(&sc->seq);
       futex_wake_all(&sc->chain);
@@ -212,6 +241,7 @@ namespace {
 bool foreign_wait_mutex_ok(pthread_mutex_t* m) {
   if (m != nullptr && ForeignRegistry::contains(m)) return true;
   static std::atomic<bool> warned{false};
+  // mo: relaxed — once-only warning gate; no data is published.
   if (!warned.exchange(true, std::memory_order_relaxed)) {
     std::fprintf(stderr,
                  "[hemlock-interpose] PROCESS_SHARED condvar waited on a "
@@ -243,6 +273,7 @@ int ShimCond::shim_timedwait(pthread_cond_t* c, pthread_mutex_t* m,
   // (condattr; CLOCK_REALTIME when defaulted or statically
   // initialized) — previously hard-coded to CLOCK_REALTIME, which
   // turned CLOCK_MONOTONIC deadlines into immediate timeouts.
+  // mo: relaxed — clock is fixed at init time, before sharing.
   const auto clock = static_cast<clockid_t>(
       adopt(c)->clock.load(std::memory_order_relaxed));
   return wait_common(c, m, clock, abstime);
@@ -268,7 +299,10 @@ int ShimCond::shim_signal(pthread_cond_t* c) {
   if (c == nullptr) return EINVAL;
   if (ForeignRegistry::contains(c)) return real_pthread().cond_signal(c);
   ShimCond* sc = adopt(c);
+  // mo: relaxed — monotonic stats counter, no ordering needed.
   cond_stats().signals.fetch_add(1, std::memory_order_relaxed);
+  // mo: seq_cst bump-then-census-read — Dekker with wait_common's
+  // register-then-snapshot (see the census gate comment below).
   sc->seq.fetch_add(1, std::memory_order_seq_cst);
   // Census gate: a waiter registers (seq_cst) before snapshotting, so
   // reading zero here proves any not-yet-registered waiter will
@@ -276,6 +310,7 @@ int ShimCond::shim_signal(pthread_cond_t* c) {
   // syscall can be skipped. Signal wakes the seq word only: chained
   // sleepers were already awarded their broadcast and have dedicated
   // hand-over credits.
+  // mo: seq_cst census read — the other half of the Dekker pair.
   if (sc->waiters.load(std::memory_order_seq_cst) != 0) {
     futex_wake(&sc->seq, 1);
   }
@@ -286,7 +321,9 @@ int ShimCond::shim_broadcast(pthread_cond_t* c) {
   if (c == nullptr) return EINVAL;
   if (ForeignRegistry::contains(c)) return real_pthread().cond_broadcast(c);
   ShimCond* sc = adopt(c);
+  // mo: relaxed — monotonic stats counter, no ordering needed.
   cond_stats().broadcasts.fetch_add(1, std::memory_order_relaxed);
+  // mo: seq_cst bump-then-census-read — same Dekker gate as signal.
   const std::uint32_t newseq =
       sc->seq.fetch_add(1, std::memory_order_seq_cst) + 1;
   const std::uint32_t est = sc->waiters.load(std::memory_order_seq_cst);
@@ -302,6 +339,8 @@ int ShimCond::shim_broadcast(pthread_cond_t* c) {
   // pre-broadcast waiter) always covers the herd; only *post*-
   // broadcast sleepers (FIFO: they queue behind it) can be left on
   // seq, for their own future signal.
+  // mo: seq_cst window open — totally ordered against
+  // hand_over_chain's window check and credit claim.
   sc->windows.fetch_add(1, std::memory_order_seq_cst);
   const long moved = futex_cmp_requeue(&sc->seq, newseq, /*wake=*/1,
                                        /*requeue_cap=*/est - 1, &sc->chain);
@@ -312,11 +351,15 @@ int ShimCond::shim_broadcast(pthread_cond_t* c) {
     futex_wake_all(&sc->seq);
   } else if (moved > 1) {
     const long requeued = moved - 1;
+    // mo: seq_cst credit post — must order before the window close
+    // below in the same total order hand_over_chain reads.
     sc->chained.fetch_add(static_cast<std::int32_t>(requeued),
                           std::memory_order_seq_cst);
+    // mo: relaxed — monotonic stats counter, no ordering needed.
     cond_stats().requeued.fetch_add(static_cast<std::uint64_t>(requeued),
                                     std::memory_order_relaxed);
   }
+  // mo: seq_cst window close — after the credit post above.
   sc->windows.fetch_sub(1, std::memory_order_seq_cst);
   return 0;
 }

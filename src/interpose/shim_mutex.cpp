@@ -23,18 +23,24 @@ namespace {
 /// statically initialized mutexes arrive here with magic == 0).
 ShimMutex* adopt(pthread_mutex_t* m) {
   auto* sm = reinterpret_cast<ShimMutex*>(m);
+  // mo: acquire peek — pairs with the kReady release below so an
+  // adopted object's vt/storage are visible.
   std::uint32_t cur = sm->magic.load(std::memory_order_acquire);
   if (cur == ShimMutex::kReady) return sm;
   std::uint32_t expected = 0;
+  // mo: acq_rel claim — exactly one adopter wins; acquire on failure
+  // orders the kReady poll below after the winner's stores.
   if (sm->magic.compare_exchange_strong(expected, ShimMutex::kIniting,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
     sm->vt = &selected_lock();
     sm->vt->construct(sm->storage);
+    // mo: release — publishes vt/storage to acquiring peeks.
     sm->magic.store(ShimMutex::kReady, std::memory_order_release);
     return sm;
   }
   // Another thread is adopting; wait for it.
+  // mo: acquire poll — pairs with the winner's kReady release.
   while (sm->magic.load(std::memory_order_acquire) != ShimMutex::kReady) {
     cpu_relax();
   }
@@ -186,6 +192,7 @@ int ShimMutex::shim_destroy(pthread_mutex_t* m) {
     return rc;
   }
   auto* sm = reinterpret_cast<ShimMutex*>(m);
+  // mo: acquire — pairs with adopt's kReady release before destroy.
   if (sm->magic.load(std::memory_order_acquire) == kReady) {
     sm->vt->destroy(sm->storage);
   }

@@ -133,18 +133,25 @@ namespace {
 /// adoption, verbatim: PTHREAD_RWLOCK_INITIALIZER is all-zero).
 ShimRwLock* adopt(pthread_rwlock_t* rw) {
   auto* srw = reinterpret_cast<ShimRwLock*>(rw);
+  // mo: acquire peek — pairs with the kReady release below so an
+  // adopted object's vt/storage are visible.
   std::uint32_t cur = srw->magic.load(std::memory_order_acquire);
   if (cur == ShimRwLock::kReady) return srw;
   std::uint32_t expected = 0;
+  // mo: acq_rel claim — exactly one adopter wins; acquire on failure
+  // orders the kReady poll below after the winner's stores.
   if (srw->magic.compare_exchange_strong(expected, ShimRwLock::kIniting,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
     srw->vt = &selected_rwlock();
     srw->vt->construct(srw->storage);
+    // mo: relaxed — the kReady release below publishes it.
     srw->wheld.store(0, std::memory_order_relaxed);
+    // mo: release — publishes vt/storage/wheld to acquiring peeks.
     srw->magic.store(ShimRwLock::kReady, std::memory_order_release);
     return srw;
   }
+  // mo: acquire poll — pairs with the winner's kReady release.
   while (srw->magic.load(std::memory_order_acquire) != ShimRwLock::kReady) {
     cpu_relax();
   }
@@ -214,6 +221,7 @@ int ShimRwLock::shim_destroy(pthread_rwlock_t* rw) {
     return rc;
   }
   auto* srw = reinterpret_cast<ShimRwLock*>(rw);
+  // mo: acquire — pairs with adopt's kReady release before destroy.
   if (srw->magic.load(std::memory_order_acquire) == kReady) {
     srw->vt->destroy(srw->storage);
   }
@@ -271,6 +279,8 @@ int ShimRwLock::shim_wrlock(pthread_rwlock_t* rw) {
   if (ForeignRegistry::contains(rw)) return real_pthread().rwlock_wrlock(rw);
   ShimRwLock* srw = adopt(rw);
   srw->vt->lock(srw->storage);
+  // mo: relaxed — wheld is only read by lock holders (see shim_unlock's
+  // mode-dispatch comment); the lock itself orders it.
   srw->wheld.store(1, std::memory_order_relaxed);
   return 0;
 }
@@ -282,6 +292,7 @@ int ShimRwLock::shim_trywrlock(pthread_rwlock_t* rw) {
   }
   ShimRwLock* srw = adopt(rw);
   if (!srw->vt->try_lock(srw->storage)) return EBUSY;
+  // mo: relaxed — holder-only flag; the lock orders it (shim_unlock).
   srw->wheld.store(1, std::memory_order_relaxed);
   return 0;
 }
@@ -296,6 +307,7 @@ int ShimRwLock::shim_timedwrlock(pthread_rwlock_t* rw,
   const int rc = timed_poll(CLOCK_REALTIME, abstime, [srw] {
     return srw->vt->try_lock(srw->storage);
   });
+  // mo: relaxed — holder-only flag; the lock orders it (shim_unlock).
   if (rc == 0) srw->wheld.store(1, std::memory_order_relaxed);
   return rc;
 }
@@ -314,6 +326,7 @@ int ShimRwLock::shim_clockwrlock(pthread_rwlock_t* rw, clockid_t clock,
   const int rc = timed_poll(clock, abstime, [srw] {
     return srw->vt->try_lock(srw->storage);
   });
+  // mo: relaxed — holder-only flag; the lock orders it (shim_unlock).
   if (rc == 0) srw->wheld.store(1, std::memory_order_relaxed);
   return rc;
 }
@@ -326,6 +339,8 @@ int ShimRwLock::shim_unlock(pthread_rwlock_t* rw) {
   // release, and readers run only while no writer holds — so a reader
   // unlocking always reads it clear, and the writer (the sole holder)
   // always reads its own store.
+  // mo: relaxed — holder-only flag; the comment above is the
+  // ordering argument (the rwlock itself is the synchronizer).
   if (srw->wheld.load(std::memory_order_relaxed) != 0) {
     srw->wheld.store(0, std::memory_order_relaxed);
     srw->vt->unlock(srw->storage);

@@ -21,6 +21,7 @@
 
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/pause.hpp"
 
@@ -30,12 +31,14 @@ namespace hemlock {
 /// contenders (callers must guarantee the bound; exceeding it wraps
 /// the slot ring and corrupts the protocol).
 template <std::uint32_t MaxThreads = 64, typename Waiting = QueueSpinWaiting>
-class AndersonLockT {
+class HEMLOCK_CAPABILITY("mutex") AndersonLockT {
  public:
   AndersonLockT() {
+    // mo: relaxed — construction precedes any concurrent use; the
+    // caller publishes the lock object itself.
     slots_[0].value.store(1, std::memory_order_relaxed);  // slot 0 may run
     for (std::uint32_t i = 1; i < MaxThreads; ++i) {
-      slots_[i].value.store(0, std::memory_order_relaxed);
+      slots_[i].value.store(0, std::memory_order_relaxed);  // mo: as above
     }
   }
   AndersonLockT(const AndersonLockT&) = delete;
@@ -43,7 +46,9 @@ class AndersonLockT {
 
   /// Acquire: take a slot with fetch-and-add, wait (per the tier)
   /// locally on it.
-  void lock() {
+  void lock() HEMLOCK_ACQUIRE() {
+    // mo: relaxed draw — the slot index carries no payload; the wait
+    // on the slot below supplies acquire ordering.
     const std::uint64_t ticket =
         next_.value.fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t idx = static_cast<std::uint32_t>(ticket % MaxThreads);
@@ -53,14 +58,16 @@ class AndersonLockT {
     // Admitted but permission not yet consumed — the slot must not be
     // observable as enabled by its next-lap claimant here.
     HEMLOCK_VERIFY_YIELD("anderson:admitted");
-    // Consume the permission so the slot is clean for its next lap.
+    // mo: relaxed — consuming the permission so the slot is clean for
+    // its next lap; ordered before our eventual publish of the *next*
+    // slot by release there, and nobody reads this slot until then.
     slots_[idx].value.store(0, std::memory_order_relaxed);
     owner_idx_ = idx;  // protected by the lock itself
   }
 
   /// Release: enable the next slot in the ring (the parking tiers
   /// fold their census-gated wake into publish()).
-  void unlock() {
+  void unlock() HEMLOCK_RELEASE() {
     const std::uint32_t nxt = (owner_idx_ + 1) % MaxThreads;
     HEMLOCK_VERIFY_YIELD("anderson:handoff");
     Waiting::publish(slots_[nxt].value, std::uint32_t{1});

@@ -28,37 +28,55 @@
 
 #include "locks/lock_traits.hpp"
 #include "locks/lockable.hpp"
+#include "runtime/annotations.hpp"
 
 namespace hemlock {
 
 /// Heap-boxed adapter: same locking surface as L, pointer-sized body.
+/// The box is the capability; the inner L (itself annotated) is an
+/// implementation detail the analysis must not double-track, so every
+/// forwarding body opts out: tracking *inner_ too would report each
+/// acquisition as "still held at end of function".
 template <BasicLockable L>
-class BoxedLock {
+class HEMLOCK_CAPABILITY("mutex") BoxedLock {
  public:
   BoxedLock() : inner_(std::make_unique<L>()) {}
   BoxedLock(const BoxedLock&) = delete;
   BoxedLock& operator=(const BoxedLock&) = delete;
 
-  void lock() { inner_->lock(); }
-  void unlock() { inner_->unlock(); }
+  // NO_THREAD_SAFETY_ANALYSIS: forwarding to the annotated inner
+  // lock; the box's interface annotations carry the contract.
+  void lock() HEMLOCK_ACQUIRE() HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
+    inner_->lock();
+  }
+  // NO_THREAD_SAFETY_ANALYSIS: as lock().
+  void unlock() HEMLOCK_RELEASE() HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
+    inner_->unlock();
+  }
 
-  bool try_lock()
+  // NO_THREAD_SAFETY_ANALYSIS: as lock().
+  bool try_lock() HEMLOCK_TRY_ACQUIRE(true) HEMLOCK_NO_THREAD_SAFETY_ANALYSIS
     requires TryLockable<L>
   {
     return inner_->try_lock();
   }
 
-  void lock_shared()
+  // NO_THREAD_SAFETY_ANALYSIS: as lock().
+  void lock_shared() HEMLOCK_ACQUIRE_SHARED() HEMLOCK_NO_THREAD_SAFETY_ANALYSIS
     requires SharedLockable<L>
   {
     inner_->lock_shared();
   }
+  // NO_THREAD_SAFETY_ANALYSIS: as lock().
   void unlock_shared()
+      HEMLOCK_RELEASE_SHARED() HEMLOCK_NO_THREAD_SAFETY_ANALYSIS
     requires SharedLockable<L>
   {
     inner_->unlock_shared();
   }
+  // NO_THREAD_SAFETY_ANALYSIS: as lock().
   bool try_lock_shared()
+      HEMLOCK_TRY_ACQUIRE_SHARED(true) HEMLOCK_NO_THREAD_SAFETY_ANALYSIS
     requires SharedLockable<L>
   {
     return inner_->try_lock_shared();

@@ -25,6 +25,7 @@
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
 #include "locks/node_pool.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/pause.hpp"
 
@@ -42,11 +43,13 @@ static_assert(sizeof(ClhNode) == kCacheLineSize);
 /// element (Table 1 row "CLH": Lock = 2+E, Init = yes), parameterized
 /// over the waiting tier.
 template <typename Waiting = QueueSpinWaiting>
-class ClhLockT {
+class HEMLOCK_CAPABILITY("mutex") ClhLockT {
  public:
   /// Provision the required dummy element (unlocked state).
   ClhLockT() {
     ClhNode* dummy = NodePool<ClhNode>::acquire();
+    // mo: relaxed — construction precedes any concurrent use; the
+    // caller publishes the lock object itself.
     dummy->locked.store(0, std::memory_order_relaxed);
     tail_.store(dummy, std::memory_order_relaxed);
   }
@@ -54,6 +57,8 @@ class ClhLockT {
   /// Recover the current dummy element (paper: "When the lock is
   /// ultimately destroyed, the element must be recovered").
   ~ClhLockT() {
+    // mo: relaxed — destruction requires the lock unheld and
+    // unawaited, so no concurrent access remains to order against.
     ClhNode* dummy = tail_.load(std::memory_order_relaxed);
     if (dummy != nullptr) NodePool<ClhNode>::release(dummy);
   }
@@ -64,11 +69,13 @@ class ClhLockT {
   /// Acquire. Uncontended: SWAP + one (satisfied) load. Contended:
   /// wait (per the tier) on the predecessor's node — local waiting,
   /// the element is not shared with any other waiter.
-  void lock() {
+  void lock() HEMLOCK_ACQUIRE() {
     ClhNode* n = NodePool<ClhNode>::acquire();
+    // mo: relaxed init — the doorstep SWAP below releases locked=1 to
+    // the successor that will wait on it.
     n->locked.store(1, std::memory_order_relaxed);
-    // Doorstep: acq_rel publishes our node's locked=1 to the
-    // successor that will wait on it.
+    // mo: doorstep SWAP is acq_rel — release publishes our node's
+    // locked=1; acquire observes the predecessor's publication.
     ClhNode* pred = tail_.exchange(n, std::memory_order_acq_rel);
     // Enqueued (tail swung to our node) but not yet waiting on the
     // predecessor's flag.
@@ -84,7 +91,7 @@ class ClhLockT {
   /// and Tickets is wait-free") — plus, for the parking tiers, the
   /// census-gated wake folded into publish(). Our node is inherited
   /// by the successor (or becomes the lock's dummy if none).
-  void unlock() {
+  void unlock() HEMLOCK_RELEASE() {
     ClhNode* n = head_;
     HEMLOCK_VERIFY_YIELD("clh:handoff");
     Waiting::publish(n->locked, std::uint32_t{0});

@@ -12,6 +12,8 @@
 #include <concepts>
 #include <utility>
 
+#include "runtime/annotations.hpp"
+
 namespace hemlock {
 
 /// A mutual-exclusion lock: lock() blocks until the calling thread
@@ -45,11 +47,13 @@ concept SharedLockable = BasicLockable<L> && requires(L& l) {
 /// our lock concept in contexts where <mutex> is undesirable.
 /// Prefer this (or std::lock_guard) over bare lock()/unlock() pairs.
 template <BasicLockable L>
-class [[nodiscard]] LockGuard {
+class HEMLOCK_SCOPED_CAPABILITY [[nodiscard]] LockGuard {
  public:
-  /// Acquires `l`; releases it on scope exit.
-  explicit LockGuard(L& l) : lock_(l) { lock_.lock(); }
-  ~LockGuard() { lock_.unlock(); }
+  /// Acquires `l`; releases it on scope exit. (The body locks through
+  /// the parameter, not the member, so Clang's thread-safety analysis
+  /// can match the acquisition against the HEMLOCK_ACQUIRE contract.)
+  explicit LockGuard(L& l) HEMLOCK_ACQUIRE(l) : lock_(l) { l.lock(); }
+  ~LockGuard() HEMLOCK_RELEASE() { lock_.unlock(); }
 
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
@@ -61,11 +65,15 @@ class [[nodiscard]] LockGuard {
 /// RAII guard for the shared (reader) side of a SharedLockable —
 /// std::shared_lock's scope-only subset, without <shared_mutex>.
 template <SharedLockable L>
-class [[nodiscard]] SharedLockGuard {
+class HEMLOCK_SCOPED_CAPABILITY [[nodiscard]] SharedLockGuard {
  public:
   /// Acquires `l` in shared mode; releases it on scope exit.
-  explicit SharedLockGuard(L& l) : lock_(l) { lock_.lock_shared(); }
-  ~SharedLockGuard() { lock_.unlock_shared(); }
+  explicit SharedLockGuard(L& l) HEMLOCK_ACQUIRE_SHARED(l) : lock_(l) {
+    l.lock_shared();
+  }
+  // Generic release: the scoped hold is shared-mode, and
+  // release_generic matches whichever mode the guard tracked.
+  ~SharedLockGuard() HEMLOCK_RELEASE_GENERIC() { lock_.unlock_shared(); }
 
   SharedLockGuard(const SharedLockGuard&) = delete;
   SharedLockGuard& operator=(const SharedLockGuard&) = delete;

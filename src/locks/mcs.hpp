@@ -22,6 +22,7 @@
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
 #include "locks/node_pool.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/pause.hpp"
 
@@ -41,7 +42,7 @@ static_assert(sizeof(McsNode) == kCacheLineSize);
 /// Classic MCS lock, 2-word body (tail + head), parameterized over the
 /// waiting tier.
 template <typename Waiting = QueueSpinWaiting>
-class McsLockT {
+class HEMLOCK_CAPABILITY("mutex") McsLockT {
  public:
   McsLockT() = default;
   McsLockT(const McsLockT&) = delete;
@@ -49,14 +50,16 @@ class McsLockT {
 
   /// Acquire. Uncontended: one SWAP. Contended: enqueue then wait
   /// (per the tier) on the node's own flag.
-  void lock() {
+  void lock() HEMLOCK_ACQUIRE() {
     McsNode* n = NodePool<McsNode>::acquire();
+    // mo: relaxed init — the doorstep SWAP below releases these stores
+    // to the successor that reads the node through pred->next.
     n->next.store(nullptr, std::memory_order_relaxed);
     n->locked.store(1, std::memory_order_relaxed);
-    // Doorstep: swing the tail to our node; acq_rel so the node's
-    // initialization above is published to the successor that will
-    // read it via pred->next, and so we observe the predecessor's
-    // publication symmetrically.
+    // mo: doorstep SWAP is acq_rel — release publishes the node's
+    // initialization above to the successor that will read it via
+    // pred->next; acquire observes the predecessor's publication
+    // symmetrically.
     McsNode* pred = tail_.exchange(n, std::memory_order_acq_rel);
     if (pred != nullptr) {
       // In the queue (tail swung) but not yet reachable from the
@@ -77,11 +80,15 @@ class McsLockT {
   /// Non-blocking attempt (paper §2: "MCS ... allow[s] trivial
   /// implementations of the TryLock operations – using CAS instead
   /// of SWAP").
-  bool try_lock() {
+  bool try_lock() HEMLOCK_TRY_ACQUIRE(true) {
     McsNode* n = NodePool<McsNode>::acquire();
+    // mo: relaxed init — the success CAS below releases these stores
+    // (failure discards the node, nothing published).
     n->next.store(nullptr, std::memory_order_relaxed);
     n->locked.store(1, std::memory_order_relaxed);
     McsNode* expected = nullptr;
+    // mo: acq_rel on success — same pairing as lock()'s doorstep SWAP;
+    // relaxed on failure (no acquisition, nothing to order).
     if (tail_.compare_exchange_strong(expected, n, std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
       head_ = n;
@@ -94,13 +101,18 @@ class McsLockT {
   /// Release. Uncontended: one CAS. Contended: wait for the arriving
   /// successor's back-link, then hand off with a single store (the
   /// non-wait-free window both MCS and Hemlock share, §2).
-  void unlock() {
+  void unlock() HEMLOCK_RELEASE() {
     McsNode* n = head_;
+    // mo: acquire pairs with the successor's publish of pred->next so
+    // its node initialization is visible before we store to it.
     McsNode* succ = n->next.load(std::memory_order_acquire);
     if (succ == nullptr) {
       // No successor observed; one may swing the tail before our CAS.
       HEMLOCK_VERIFY_YIELD("mcs:no-succ");
       McsNode* expected = n;
+      // mo: release on success so the next uncontended acquirer (who
+      // reads null from the SWAP) sees our critical section; relaxed
+      // on failure — the hand-off publish below carries ordering.
       if (tail_.compare_exchange_strong(expected, nullptr,
                                         std::memory_order_release,
                                         std::memory_order_relaxed)) {

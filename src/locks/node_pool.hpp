@@ -59,7 +59,7 @@ class NodePool {
 
   /// Nodes minted process-wide (diagnostic; bounds footprint tests).
   static std::size_t minted() noexcept {
-    return minted_count().load(std::memory_order_relaxed);
+    return minted_count().load(std::memory_order_relaxed);  // mo: stats
   }
 
  private:
@@ -71,13 +71,16 @@ class NodePool {
   static Node* mint() {
     auto* b = new Block();
     // Thread onto the global arena list for end-of-process reclaim.
+    // mo: relaxed initial read — the CAS below revalidates it.
     Block* head = all_head().load(std::memory_order_relaxed);
     do {
       b->all_next = head;
+    // mo: release push — publishes b->all_next to the sweeper's
+    // acquire exchange; relaxed failure reloads head.
     } while (!all_head().compare_exchange_weak(head, b,
                                                std::memory_order_release,
                                                std::memory_order_relaxed));
-    minted_count().fetch_add(1, std::memory_order_relaxed);
+    minted_count().fetch_add(1, std::memory_order_relaxed);  // mo: stats
     return &b->node;
   }
 
@@ -101,6 +104,8 @@ class NodePool {
   // any queue by then (all locks destroyed / threads joined).
   struct Sweeper {
     ~Sweeper() {
+      // mo: acquire — pairs with each minter's release push so every
+      // all_next link is visible before we walk and delete.
       Block* b = NodePool::all_head().exchange(nullptr,
                                                std::memory_order_acquire);
       while (b != nullptr) {

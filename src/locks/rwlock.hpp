@@ -59,6 +59,7 @@
 #include "core/hemlock.hpp"
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/thread_rec.hpp"
 
@@ -115,7 +116,7 @@ inline constexpr std::uint32_t kRwDefaultShards = 8;
 /// TryLockable and SharedLockable.
 template <typename Waiting = QueueSpinWaiting,
           std::uint32_t Shards = kRwDefaultShards>
-class RwLockT {
+class HEMLOCK_CAPABILITY("mutex") RwLockT {
   using Grant = typename detail::rw_grant_policy<Waiting>::type;
 
  public:
@@ -125,7 +126,10 @@ class RwLockT {
 
   /// Writer acquire: FIFO among writers (Hemlock), then close the
   /// reader gate and drain admitted readers shard by shard.
-  void lock() noexcept {
+  // Body exempt: the exclusive hold is a composite (inner writers_
+  // Hemlock + gate word) the analysis would misread as a leaked inner
+  // capability; callers see only the outer RwLockT capability.
+  void lock() noexcept HEMLOCK_ACQUIRE() HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
     writers_.lock();
     close_gate_and_drain();
   }
@@ -133,12 +137,18 @@ class RwLockT {
   /// Writer non-blocking attempt: fails when another writer holds or
   /// queues, or when any reader is admitted (a transiently backing-out
   /// reader can also fail it — allowed for try operations).
-  bool try_lock() noexcept {
+  // Body exempt: same composite-capability shape as lock().
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true)
+      HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
     if (!writers_.try_lock()) return false;
+    // mo: seq_cst gate close + fence — the Dekker pairing with
+    // lock_shared's seq_cst announce/check (see close_gate_and_drain).
     wflag_.store(1, std::memory_order_seq_cst);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     for (std::uint32_t i = 0; i < Shards; ++i) {
       HEMLOCK_VERIFY_YIELD("rwlock:try-scan");
+      // mo: acquire so a zero scan carries the departing readers'
+      // critical sections into ours.
       if (ingress_.at(i).load(std::memory_order_acquire) != 0) {
         reopen_gate();
         writers_.unlock();
@@ -150,21 +160,28 @@ class RwLockT {
 
   /// Writer release: reopen the gate (waking gated readers), then pass
   /// the writer baton.
-  void unlock() noexcept {
+  // Body exempt: releases the composite hold via the inner writers_
+  // Hemlock the analysis never saw this function acquire.
+  void unlock() noexcept HEMLOCK_RELEASE() HEMLOCK_NO_THREAD_SAFETY_ANALYSIS {
     reopen_gate();
     writers_.unlock();
   }
 
   /// Reader acquire: announce on this thread's shard, admit if no
   /// writer holds or drains; else back out and wait for the gate.
-  void lock_shared() noexcept {
+  void lock_shared() noexcept HEMLOCK_ACQUIRE_SHARED() {
     std::atomic<std::uint32_t>& c = ingress_.mine();
     for (;;) {
+      // mo: seq_cst announce — Dekker handshake with the writer's
+      // seq_cst gate-close + drain scan; either the writer sees our
+      // increment or we see its wflag_ (both seq_cst keeps the pair
+      // in the single total order).
       c.fetch_add(1, std::memory_order_seq_cst);
       // THE Dekker window: announced on the shard, wflag_ not yet
       // checked — a writer closing the gate right here must find our
       // increment in its drain scan.
       HEMLOCK_VERIFY_YIELD("rwlock:announced");
+      // mo: seq_cst check — the other half of the handshake above.
       if (wflag_.load(std::memory_order_seq_cst) == 0) return;
       HEMLOCK_VERIFY_YIELD("rwlock:backout");
       egress(c);  // back out: the writer's drain must not wait for us
@@ -173,23 +190,29 @@ class RwLockT {
   }
 
   /// Reader non-blocking attempt.
-  bool try_lock_shared() noexcept {
+  bool try_lock_shared() noexcept HEMLOCK_TRY_ACQUIRE_SHARED(true) {
     std::atomic<std::uint32_t>& c = ingress_.mine();
+    // mo: seq_cst announce/check — same Dekker pair as lock_shared.
     c.fetch_add(1, std::memory_order_seq_cst);
     HEMLOCK_VERIFY_YIELD("rwlock:announced");
+    // mo: seq_cst gate check — ordered after the announce above.
     if (wflag_.load(std::memory_order_seq_cst) == 0) return true;
     egress(c);
     return false;
   }
 
   /// Reader release.
-  void unlock_shared() noexcept { egress(ingress_.mine()); }
+  void unlock_shared() noexcept HEMLOCK_RELEASE_SHARED() {
+    egress(ingress_.mine());
+  }
 
   /// True if no thread holds the lock in either mode (racy snapshot;
   /// tests only).
   bool appears_unlocked() noexcept {
     if (!writers_.appears_unlocked()) return false;
     for (std::uint32_t i = 0; i < Shards; ++i) {
+      // mo: acquire so test assertions reading through this snapshot
+      // see the last releasing reader's writes.
       if (ingress_.at(i).load(std::memory_order_acquire) != 0) return false;
     }
     return true;
@@ -197,14 +220,16 @@ class RwLockT {
 
  private:
   void close_gate_and_drain() noexcept {
+    // mo: seq_cst gate close — Dekker handshake with lock_shared's
+    // seq_cst announce/check.
     wflag_.store(1, std::memory_order_seq_cst);
     // Gate closed, drain not yet started: late readers must now be
     // backing out, admitted readers must still be counted.
     HEMLOCK_VERIFY_YIELD("rwlock:gate-closed");
-    // Fence so the drain scan below cannot read a shard value older
-    // than the increment of any reader that was admitted (read
-    // wflag_ == 0) before the gate closed — the Dekker pairing with
-    // lock_shared's seq_cst announce/check.
+    // mo: seq_cst fence so the drain scan below cannot read a shard
+    // value older than the increment of any reader that was admitted
+    // (read wflag_ == 0) before the gate closed — the Dekker pairing
+    // with lock_shared's seq_cst announce/check.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     for (std::uint32_t i = 0; i < Shards; ++i) {
       // Between shard waits: a shard already passed must not be
@@ -226,9 +251,14 @@ class RwLockT {
   /// queue_wait::publish_and_wake, with the RMW playing the store.
   static void egress(std::atomic<std::uint32_t>& c) noexcept {
     HEMLOCK_VERIFY_YIELD("rwlock:egress");
+    // mo: seq_cst decrement — releases our read-side section to the
+    // draining writer and orders against the census check below.
     const std::uint32_t prior = c.fetch_sub(1, std::memory_order_seq_cst);
     if constexpr (Waiting::may_park) {
       if (prior == 1) {
+        // mo: seq_cst fence — store-to-load Dekker against a parking
+        // writer (decrement above vs. its census registration), same
+        // handshake as queue_wait::publish_and_wake.
         std::atomic_thread_fence(std::memory_order_seq_cst);
         if (ContentionGovernor::instance().parked(&c) != 0) {
           futex_wake_all(queue_wait::futex_word(c));

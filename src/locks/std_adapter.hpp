@@ -1,0 +1,43 @@
+// std_adapter.hpp — a capability-annotated veneer over std::mutex.
+//
+// Clang's thread-safety analysis only tracks types that carry a
+// capability attribute. libstdc++'s std::mutex does not, so naming it
+// in GUARDED_BY/ACQUIRE expressions (e.g. instantiating DB<L> or
+// LockGuard<L> with L = std::mutex) trips -Wthread-safety-attributes.
+// StdMutex is the drop-in replacement for those call sites: the same
+// standard mutex underneath, but visible to the analysis. The bodies
+// need no escape hatch — the inner std::mutex is untracked, so the
+// analysis sees only the annotated interface.
+#pragma once
+
+#include <mutex>
+
+#include "locks/lock_traits.hpp"
+#include "locks/system.hpp"
+#include "runtime/annotations.hpp"
+
+namespace hemlock {
+
+/// std::mutex with a capability attribute, for annotated call sites.
+class HEMLOCK_CAPABILITY("mutex") StdMutex {
+ public:
+  StdMutex() = default;
+  StdMutex(const StdMutex&) = delete;
+  StdMutex& operator=(const StdMutex&) = delete;
+
+  /// Acquire.
+  void lock() HEMLOCK_ACQUIRE() { mu_.lock(); }
+  /// Non-blocking attempt.
+  bool try_lock() HEMLOCK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// Release.
+  void unlock() HEMLOCK_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Same identity as the raw std::mutex it wraps.
+template <>
+struct lock_traits<StdMutex> : lock_traits<std::mutex> {};
+
+}  // namespace hemlock

@@ -11,6 +11,7 @@
 #include <pthread.h>
 
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 
 namespace hemlock {
 
@@ -18,7 +19,7 @@ namespace hemlock {
 /// futex-based adaptive mutex on Linux — blocks instead of spinning,
 /// so it is *not* comparable to the spin locks under oversubscription
 /// and is reported separately in benches).
-class PthreadMutex {
+class HEMLOCK_CAPABILITY("mutex") PthreadMutex {
  public:
   PthreadMutex() { pthread_mutex_init(&mu_, nullptr); }
   ~PthreadMutex() { pthread_mutex_destroy(&mu_); }
@@ -26,11 +27,13 @@ class PthreadMutex {
   PthreadMutex& operator=(const PthreadMutex&) = delete;
 
   /// Acquire.
-  void lock() noexcept { pthread_mutex_lock(&mu_); }
+  void lock() noexcept HEMLOCK_ACQUIRE() { pthread_mutex_lock(&mu_); }
   /// Non-blocking attempt.
-  bool try_lock() noexcept { return pthread_mutex_trylock(&mu_) == 0; }
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
+    return pthread_mutex_trylock(&mu_) == 0;
+  }
   /// Release.
-  void unlock() noexcept { pthread_mutex_unlock(&mu_); }
+  void unlock() noexcept HEMLOCK_RELEASE() { pthread_mutex_unlock(&mu_); }
 
  private:
   pthread_mutex_t mu_;

@@ -11,28 +11,35 @@
 #include <cstdint>
 
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/pause.hpp"
 
 namespace hemlock {
 
 /// Crude test-and-set lock: every acquisition attempt is an atomic
 /// exchange, even while the lock is held (maximum coherence abuse).
-class TasLock {
+class HEMLOCK_CAPABILITY("mutex") TasLock {
  public:
   /// Acquire; spins with exchange until the flag was clear.
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
+    // mo: acquire on the winning exchange pairs with unlock's release
+    // store, carrying the previous critical section.
     while (flag_.exchange(1, std::memory_order_acquire) != 0) {
       cpu_relax();
     }
   }
 
   /// Non-blocking attempt; true on acquisition.
-  bool try_lock() noexcept {
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
+    // mo: acquire on success for the same release-pairing as lock().
     return flag_.exchange(1, std::memory_order_acquire) == 0;
   }
 
   /// Release (caller owns the lock).
-  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+  void unlock() noexcept HEMLOCK_RELEASE() {
+    // mo: release publishes this critical section to the next acquirer.
+    flag_.store(0, std::memory_order_release);
+  }
 
  private:
   std::atomic<std::uint32_t> flag_{0};
@@ -43,11 +50,14 @@ class TasLock {
 /// is observed free — Anderson's classic improvement [5], cited in
 /// §2.1 when the paper argues CTR inverts this wisdom for Hemlock's
 /// 1-to-1 Grant protocol.
-class TtasLock {
+class HEMLOCK_CAPABILITY("mutex") TtasLock {
  public:
   /// Acquire.
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
     for (;;) {
+      // mo: relaxed peek is ordering-free by design (only the winning
+      // exchange below synchronizes); acquire on it pairs with
+      // unlock's release.
       if (flag_.load(std::memory_order_relaxed) == 0 &&
           flag_.exchange(1, std::memory_order_acquire) == 0) {
         return;
@@ -57,13 +67,17 @@ class TtasLock {
   }
 
   /// Non-blocking attempt; true on acquisition.
-  bool try_lock() noexcept {
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
+    // mo: same pair as lock() — relaxed peek, acquire exchange.
     return flag_.load(std::memory_order_relaxed) == 0 &&
            flag_.exchange(1, std::memory_order_acquire) == 0;
   }
 
   /// Release (caller owns the lock).
-  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+  void unlock() noexcept HEMLOCK_RELEASE() {
+    // mo: release publishes this critical section to the next acquirer.
+    flag_.store(0, std::memory_order_release);
+  }
 
  private:
   std::atomic<std::uint32_t> flag_{0};
@@ -72,12 +86,14 @@ class TtasLock {
 /// TTAS with bounded exponential backoff between attempts: trades
 /// fairness and handover latency for reduced coherence storms at high
 /// thread counts.
-class TtasBackoffLock {
+class HEMLOCK_CAPABILITY("mutex") TtasBackoffLock {
  public:
   /// Acquire.
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
     std::uint32_t ceiling = kMinBackoff;
     for (;;) {
+      // mo: relaxed peek is ordering-free by design; acquire on the
+      // winning exchange pairs with unlock's release.
       if (flag_.load(std::memory_order_relaxed) == 0 &&
           flag_.exchange(1, std::memory_order_acquire) == 0) {
         return;
@@ -88,13 +104,17 @@ class TtasBackoffLock {
   }
 
   /// Non-blocking attempt; true on acquisition.
-  bool try_lock() noexcept {
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
+    // mo: same pair as lock() — relaxed peek, acquire exchange.
     return flag_.load(std::memory_order_relaxed) == 0 &&
            flag_.exchange(1, std::memory_order_acquire) == 0;
   }
 
   /// Release (caller owns the lock).
-  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+  void unlock() noexcept HEMLOCK_RELEASE() {
+    // mo: release publishes this critical section to the next acquirer.
+    flag_.store(0, std::memory_order_release);
+  }
 
  private:
   static constexpr std::uint32_t kMinBackoff = 4;

@@ -23,6 +23,7 @@
 
 #include "core/waiting.hpp"
 #include "locks/lock_traits.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/pause.hpp"
 
 namespace hemlock {
@@ -30,12 +31,14 @@ namespace hemlock {
 /// Classic two-word ticket lock (dispenser + now-serving),
 /// parameterized over the waiting tier.
 template <typename Waiting = QueueSpinWaiting>
-class TicketLockT {
+class HEMLOCK_CAPABILITY("mutex") TicketLockT {
  public:
   /// Acquire: draw a ticket, wait until it is served (global
   /// waiting — every waiter polls now_serving_; parking tiers sleep
   /// on their ticket's own ring slot, see wait_ticket).
-  void lock() noexcept {
+  void lock() noexcept HEMLOCK_ACQUIRE() {
+    // mo: relaxed draw — the ticket value itself carries no payload;
+    // the wait on now_serving_ below supplies acquire ordering.
     const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
     // Ticket drawn, not yet polling now-serving: the release that
     // serves us may land entirely inside this window.
@@ -53,13 +56,17 @@ class TicketLockT {
   /// MCS/Hemlock do; this CAS-on-dispenser form is a documented
   /// extension and preserves correctness (it never draws a ticket it
   /// cannot immediately use).
-  bool try_lock() noexcept {
-    // Acquire on now_serving_: the previous owner's unlock released
-    // *this* word, not next_, so a successful attempt must observe it
-    // with acquire to carry that critical section's writes (a relaxed
-    // load here is a genuine — TSan-visible — race with the next CS).
+  bool try_lock() noexcept HEMLOCK_TRY_ACQUIRE(true) {
+    // mo: acquire on now_serving_ — the previous owner's unlock
+    // released *this* word, not next_, so a successful attempt must
+    // observe it with acquire to carry that critical section's writes
+    // (a relaxed load here is a genuine — TSan-visible — race with
+    // the next CS).
     std::uint64_t served = now_serving_.load(std::memory_order_acquire);
     std::uint64_t expected = served;
+    // mo: acquire on success backstops the load above (the CAS may
+    // observe a newer dispenser value); relaxed on failure — no
+    // acquisition, nothing to order.
     return next_.compare_exchange_strong(expected, served + 1,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed);
@@ -68,7 +75,10 @@ class TicketLockT {
   /// Release: advance now-serving (a wait-free store; the paper notes
   /// Ticket/CLH unlock is wait-free, unlike MCS/Hemlock). The parking
   /// tiers wake only the served ticket's ring slot via publish_ticket.
-  void unlock() noexcept {
+  void unlock() noexcept HEMLOCK_RELEASE() {
+    // mo: relaxed — only the owner writes now_serving_, so our own
+    // prior store (or the init value) is all this load can see; the
+    // publish below carries release ordering to the next owner.
     const std::uint64_t next =
         now_serving_.load(std::memory_order_relaxed) + 1;
     HEMLOCK_VERIFY_YIELD("ticket:serve");

@@ -54,6 +54,8 @@ char* Arena::allocate_fallback(std::size_t bytes) {
 char* Arena::allocate_new_block(std::size_t block_bytes) {
   char* block = new char[block_bytes];
   blocks_.push_back(block);
+  // mo: relaxed — monotonic footprint counter; threshold checks
+  // tolerate staleness.
   memory_usage_.fetch_add(block_bytes + sizeof(char*),
                           std::memory_order_relaxed);
   return block;

@@ -33,6 +33,7 @@ class Arena {
   /// Total heap footprint (for flush-threshold decisions); safe to
   /// read from any thread.
   std::size_t memory_usage() const {
+    // mo: relaxed — approximate footprint read; see arena.cpp.
     return memory_usage_.load(std::memory_order_relaxed);
   }
 

@@ -67,10 +67,11 @@ class LruShard {
     std::shared_lock<std::shared_mutex> g(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
       return nullptr;
     }
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
+    // mo: relaxed — recency hint; losing a race costs one LRU chance.
     it->second.referenced.store(true, std::memory_order_relaxed);
     return it->second.value;
   }
@@ -99,10 +100,12 @@ class LruShard {
     while (usage_ > capacity_ && !lru_.empty()) {
       const BlockKey victim = lru_.back();
       auto vit = map_.find(victim);
+      // mo: relaxed — recency hint (exclusive lock held; readers
+      // race only with the harmless store in lookup).
       if (chances > 0 &&
           vit->second.referenced.load(std::memory_order_relaxed)) {
         --chances;
-        vit->second.referenced.store(false, std::memory_order_relaxed);
+        vit->second.referenced.store(false, std::memory_order_relaxed);  // mo: hint
         lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
         vit->second.lru_pos = lru_.begin();
         continue;
@@ -130,9 +133,10 @@ class LruShard {
     return usage_;
   }
   /// Hit/miss/eviction counters (monotone).
+  // mo: relaxed — monotonic stats counters.
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
+    return misses_.load(std::memory_order_relaxed);  // mo: stats
   }
   std::uint64_t evictions() const { return evictions_; }
 

@@ -38,6 +38,7 @@
 #include "minikv/slice.hpp"
 #include "minikv/status.hpp"
 #include "minikv/table.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/cacheline.hpp"
 
 namespace hemlock::minikv {
@@ -183,12 +184,18 @@ class DB {
   /// Block cache statistics (hit ratio sanity in tests/benches).
   std::uint64_t cache_hits() const { return cache_.hits(); }
   std::uint64_t cache_misses() const { return cache_.misses(); }
-  /// Number of merge compactions performed.
-  std::uint64_t compactions() const { return compactions_; }
+  /// Number of merge compactions performed. Takes the central mutex:
+  /// compactions_ is mu_-guarded, and a torn unlocked read of a
+  /// 64-bit counter is exactly the discipline slip the analysis exists
+  /// to catch.
+  std::uint64_t compactions() {
+    LockGuard<CentralLock> g(mu_.value);
+    return compactions_;
+  }
 
  private:
   /// REQUIRES: central mutex held.
-  void flush_memtable_locked() {
+  void flush_memtable_locked() HEMLOCK_REQUIRES(mu_.value) {
     if (mem_->entries() == 0) return;
     auto sorted = mem_->snapshot_sorted();
     auto table = std::make_shared<ImmutableTable>(
@@ -209,7 +216,7 @@ class DB {
   /// Full merge compaction: fold every table (newest wins per key)
   /// into a single replacement table. REQUIRES: central mutex held;
   /// `v` not yet published (readers keep their old snapshots).
-  void compact_locked(TableVersion* v) {
+  void compact_locked(TableVersion* v) HEMLOCK_REQUIRES(mu_.value) {
     std::vector<std::pair<std::string, std::string>> merged;
     std::unordered_set<std::string> seen;
     for (const auto& table : v->tables) {  // newest first: first wins
@@ -260,11 +267,11 @@ class DB {
 
   // All fields below are protected by mu_ (readers snapshot the two
   // shared_ptrs under mu_ and then operate on immutable state).
-  std::shared_ptr<MemTable> mem_;
-  std::shared_ptr<TableVersion> version_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t next_table_id_ = 1;
-  std::uint64_t compactions_ = 0;
+  std::shared_ptr<MemTable> mem_ HEMLOCK_GUARDED_BY(mu_.value);
+  std::shared_ptr<TableVersion> version_ HEMLOCK_GUARDED_BY(mu_.value);
+  std::uint64_t next_seq_ HEMLOCK_GUARDED_BY(mu_.value) = 1;
+  std::uint64_t next_table_id_ HEMLOCK_GUARDED_BY(mu_.value) = 1;
+  std::uint64_t compactions_ HEMLOCK_GUARDED_BY(mu_.value) = 0;
 };
 
 }  // namespace hemlock::minikv

@@ -86,6 +86,7 @@ ReadRandomResult run_readrandom(DB<L>& db, const ReadRandomConfig& cfg) {
       std::string value;
       std::uint64_t r = 0, h = 0;
       shared->barrier.arrive_and_wait();
+      // mo: relaxed — advisory stop flag; the barrier synchronizes.
       while (!shared->stop.value.load(std::memory_order_relaxed)) {
         const std::uint64_t k = prng.below64(cfg.num_keys);
         if (db.get(bench_key(k), &value).is_ok()) ++h;
@@ -100,6 +101,7 @@ ReadRandomResult run_readrandom(DB<L>& db, const ReadRandomConfig& cfg) {
   shared->barrier.arrive_and_wait();
   Timer timer;
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  // mo: relaxed — advisory stop flag; the barrier synchronizes.
   shared->stop.value.store(true, std::memory_order_relaxed);
   shared->barrier.arrive_and_wait();
   const std::int64_t elapsed = timer.elapsed_ns();

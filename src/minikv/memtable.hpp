@@ -133,14 +133,16 @@ class MemTable {
     p += vlen;
     std::memcpy(p, &seq, sizeof(seq));
     table_.insert(buf);
-    // Relaxed: the counter is a fast-path hint (and a diagnostic),
-    // not a publication point — the skiplist's own release stores
-    // publish the entry to lock-free readers.
+    // mo: relaxed — the counter is a fast-path hint (and a
+    // diagnostic), not a publication point; the skiplist's own release
+    // stores publish the entry to lock-free readers.
     entries_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Newest value for key, if present.
   bool get(const Slice& key, std::string* value) const {
+    // mo: relaxed — emptiness hint; a racing insert is published by
+    // the skiplist's release stores, not this counter.
     if (entries_.load(std::memory_order_relaxed) == 0) {
       return false;  // common post-flush fast path
     }
@@ -185,7 +187,7 @@ class MemTable {
 
   /// Entries inserted (including superseded versions).
   std::size_t entries() const {
-    return entries_.load(std::memory_order_relaxed);
+    return entries_.load(std::memory_order_relaxed);  // mo: stats
   }
   /// Approximate heap footprint (flush threshold input).
   std::size_t approximate_memory_usage() const {

@@ -55,6 +55,7 @@
 #include "minikv/status.hpp"
 #include "minikv/table.hpp"
 #include "reclaim/epoch.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/cacheline.hpp"
 
 namespace hemlock::minikv {
@@ -149,6 +150,8 @@ class ShardedDB {
   /// stays safely parked in the domain and is freed by later drains.
   ~ShardedDB() {
     for (auto& s : shards_) {
+      // mo: relaxed — destructor requires external quiescence; no
+      // concurrent publisher or reader exists to order against.
       delete s->mem.load(std::memory_order_relaxed);
       delete s->version.load(std::memory_order_relaxed);
     }
@@ -163,7 +166,7 @@ class ShardedDB {
     tagged.reserve(value.size() + 1);
     tagged.push_back(kValueTag);
     tagged.append(value.data(), value.size());
-    puts_.fetch_add(1, std::memory_order_relaxed);
+    puts_.fetch_add(1, std::memory_order_relaxed);  // mo: relaxed — stats
     return write(key, Slice(tagged));
   }
 
@@ -171,7 +174,7 @@ class ShardedDB {
   /// scans immediately, storage is reclaimed at compaction).
   Status del(const Slice& key) {
     const char tomb[1] = {kTombstoneTag};
-    deletes_.fetch_add(1, std::memory_order_relaxed);
+    deletes_.fetch_add(1, std::memory_order_relaxed);  // mo: relaxed — stats
     return write(key, Slice(tomb, 1));
   }
 
@@ -184,15 +187,15 @@ class ShardedDB {
     std::string tagged;
     bool found;
     if (options_.epoch_reads) {
-      epoch_gets_.fetch_add(1, std::memory_order_relaxed);
+      epoch_gets_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
       reclaim::EpochGuard g(*domain_);
       found = search_shard(s, key, &tagged);
     } else if constexpr (SharedLockable<ShardLock>) {
-      locked_gets_.fetch_add(1, std::memory_order_relaxed);
+      locked_gets_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
       SharedLockGuard<ShardLock> g(s.mu.value);
       found = search_shard(s, key, &tagged);
     } else {  // exclusive-only algorithm: readers serialize
-      locked_gets_.fetch_add(1, std::memory_order_relaxed);
+      locked_gets_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
       LockGuard<ShardLock> g(s.mu.value);
       found = search_shard(s, key, &tagged);
     }
@@ -212,7 +215,7 @@ class ShardedDB {
                    std::vector<std::pair<std::string, std::string>>* out) {
     out->clear();
     if (limit == 0) return 0;
-    scans_.fetch_add(1, std::memory_order_relaxed);
+    scans_.fetch_add(1, std::memory_order_relaxed);  // mo: relaxed — stats
     std::vector<std::pair<std::string, std::string>> all;
     for (auto& sp : shards_) {
       Shard& s = *sp;
@@ -257,6 +260,7 @@ class ShardedDB {
     std::size_t n = 0;
     for (auto& sp : shards_) {
       LockGuard<ShardLock> g(sp->mu.value);
+      // mo: relaxed — mu is held, so the published pointer is stable.
       n += sp->version.load(std::memory_order_relaxed)->tables.size();
     }
     return n;
@@ -269,6 +273,7 @@ class ShardedDB {
   /// Operation + reclamation counters.
   ShardedDbStats stats() const {
     ShardedDbStats st;
+    // mo: relaxed — monotonic stats counters; no ordering implied.
     st.epoch_gets = epoch_gets_.load(std::memory_order_relaxed);
     st.locked_gets = locked_gets_.load(std::memory_order_relaxed);
     st.scans = scans_.load(std::memory_order_relaxed);
@@ -295,7 +300,7 @@ class ShardedDB {
     /// contended refcount on the hot path.
     std::atomic<MemTable*> mem;
     std::atomic<TableVersion*> version;
-    std::uint64_t next_seq = 1;  ///< under mu
+    std::uint64_t next_seq HEMLOCK_GUARDED_BY(mu.value) = 1;  ///< under mu
 
     Shard() : mem(new MemTable()), version(new TableVersion()) {}
     template <typename... Args>
@@ -323,7 +328,9 @@ class ShardedDB {
     bool flushed = false;
     {
       LockGuard<ShardLock> g(s.mu.value);
-      MemTable* mem = s.mem.load(std::memory_order_relaxed);  // stable: mu held
+      // mo: relaxed — mu is held; only flush_shard_locked (also
+      // under mu) swings this pointer.
+      MemTable* mem = s.mem.load(std::memory_order_relaxed);
       mem->add(s.next_seq++, key, tagged);
       if (mem->approximate_memory_usage() >= options_.write_buffer_bytes) {
         flush_shard_locked(s);
@@ -341,6 +348,8 @@ class ShardedDB {
   /// loads pair with flush_shard_locked's release stores; mem is
   /// loaded FIRST (see the publication-order comment at the top).
   bool search_shard(Shard& s, const Slice& key, std::string* tagged) {
+    // mo: acquire — pairs with the release publish in
+    // flush_shard_locked; mem FIRST (publication-order invariant).
     MemTable* mem = s.mem.load(std::memory_order_acquire);
     TableVersion* version = s.version.load(std::memory_order_acquire);
     if (mem->get(key, tagged)) return true;
@@ -364,6 +373,8 @@ class ShardedDB {
   /// inside merge_scan (newest-wins saw them first).
   void collect_shard(Shard& s, const Slice& start, std::size_t limit,
                      std::vector<std::pair<std::string, std::string>>* all) {
+    // mo: acquire — pairs with flush_shard_locked's release publish;
+    // mem FIRST (publication-order invariant, file header).
     MemTable* mem = s.mem.load(std::memory_order_acquire);
     TableVersion* version = s.version.load(std::memory_order_acquire);
     auto fetch = [this](const ImmutableTable& t, std::size_t b) {
@@ -384,13 +395,16 @@ class ShardedDB {
   /// REQUIRES: s.mu held. Freeze the memtable into a table, publish
   /// the new version THEN the new memtable (release order readers
   /// rely on), retire the old structures to the epoch domain.
-  void flush_shard_locked(Shard& s) {
+  void flush_shard_locked(Shard& s) HEMLOCK_REQUIRES(s.mu.value) {
+    // mo: relaxed — mu is held; this function is the only writer.
     MemTable* old_mem = s.mem.load(std::memory_order_relaxed);
     if (old_mem->entries() == 0) return;
     auto sorted = old_mem->snapshot_sorted();
     auto table = std::make_shared<ImmutableTable>(
+        // mo: relaxed — unique-ID counter; uniqueness, not ordering.
         next_table_id_.fetch_add(1, std::memory_order_relaxed),
         std::move(sorted), options_.block_fanout);
+    // mo: relaxed — mu is held; the published pointer is stable.
     TableVersion* old_version = s.version.load(std::memory_order_relaxed);
     auto* next = new TableVersion();
     next->tables.reserve(old_version->tables.size() + 1);
@@ -399,13 +413,16 @@ class ShardedDB {
     if (next->tables.size() > options_.compaction_trigger) {
       compact_tables(next);
     }
+    // mo: release ×2 — publish version THEN empty memtable; readers
+    // acquire-load mem first, so seeing the new (empty) memtable
+    // implies seeing the version that holds the flushed table.
     s.version.store(next, std::memory_order_release);
     s.mem.store(new MemTable(), std::memory_order_release);
     // Retire AFTER unpublishing: in-epoch readers may still hold
     // these; the domain frees them two epochs from now.
     domain_->retire(old_version);
     domain_->retire(old_mem);
-    flushes_.fetch_add(1, std::memory_order_relaxed);
+    flushes_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
   }
 
   /// Full-merge compaction of an unpublished version: fold every
@@ -432,11 +449,12 @@ class ShardedDB {
                 return Slice(a.first).compare(Slice(b.first)) < 0;
               });
     auto compacted = std::make_shared<ImmutableTable>(
+        // mo: relaxed — unique-ID counter; uniqueness, not ordering.
         next_table_id_.fetch_add(1, std::memory_order_relaxed),
         std::move(merged), options_.block_fanout);
     v->tables.clear();
     v->tables.push_back(std::move(compacted));
-    compactions_.fetch_add(1, std::memory_order_relaxed);
+    compactions_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
   }
 
   std::shared_ptr<Block> read_block_cached(const ImmutableTable& table,

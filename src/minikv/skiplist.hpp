@@ -50,8 +50,8 @@ class SkipList {
     const int height = random_height();
     if (height > max_height()) {
       for (int i = max_height(); i < height; ++i) prev[i] = head_;
-      // Relaxed is fine: readers tolerate a stale (smaller) height;
-      // they will simply not use the new levels yet.
+      // mo: relaxed — readers tolerate a stale (smaller) height;
+      // they simply do not use the new levels yet.
       max_height_.store(height, std::memory_order_relaxed);
     }
 
@@ -109,15 +109,22 @@ class SkipList {
     const Key key;
 
     Node* next(int level) const {
+      // mo: acquire — pairs with set_next's release; the pointee's
+      // key/links are initialized before we can traverse it.
       return next_[level].load(std::memory_order_acquire);
     }
     void set_next(int level, Node* n) {
+      // mo: release publish — see next().
       next_[level].store(n, std::memory_order_release);
     }
     Node* next_relaxed(int level) const {
+      // mo: relaxed — writer-side reload where the insert lock (or
+      // single-writer phase) already owns the list.
       return next_[level].load(std::memory_order_relaxed);
     }
     void set_next_relaxed(int level, Node* n) {
+      // mo: relaxed — initializing a node not yet published; the
+      // set_next splice that publishes it carries release.
       next_[level].store(n, std::memory_order_relaxed);
     }
 
@@ -138,6 +145,7 @@ class SkipList {
   }
 
   int max_height() const {
+    // mo: relaxed — height hint; see insert's store.
     return max_height_.load(std::memory_order_relaxed);
   }
 

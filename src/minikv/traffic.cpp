@@ -131,6 +131,7 @@ TrafficResult run_traffic(KvBackend& kv, const TrafficScenario& scenario,
       std::vector<std::pair<std::string, std::string>> range;
       std::uint64_t batch_index = 0;
       shared->barrier.arrive_and_wait();
+      // mo: relaxed — advisory stop flag; the barrier synchronizes.
       while (!shared->stop.value.load(std::memory_order_relaxed)) {
         // Compose the batch up front (op kinds + keys) so the timed
         // region below measures the KV layer, not the PRNG.
@@ -165,6 +166,7 @@ TrafficResult run_traffic(KvBackend& kv, const TrafficScenario& scenario,
   shared->barrier.arrive_and_wait();
   Timer timer;
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  // mo: relaxed — advisory stop flag; the barrier synchronizes.
   shared->stop.value.store(true, std::memory_order_relaxed);
   shared->barrier.arrive_and_wait();
   const std::int64_t elapsed = timer.elapsed_ns();

@@ -15,6 +15,7 @@ std::atomic<std::uint32_t> g_domain_slots{0};
 }  // namespace
 
 EpochDomain::EpochDomain() {
+  // mo: relaxed initial read — the CAS below revalidates it.
   std::uint32_t bits = g_domain_slots.load(std::memory_order_relaxed);
   for (;;) {
     std::uint32_t free_bit = ThreadRec::kMaxEpochDomains;
@@ -29,6 +30,8 @@ EpochDomain::EpochDomain() {
           "hemlock: EpochDomain slots exhausted (ThreadRec::kMaxEpochDomains "
           "live domains already exist)");
     }
+    // mo: acq_rel — claims are ordered against other domains'
+    // claims/releases of the same bitmap; failure refreshes `bits`.
     if (g_domain_slots.compare_exchange_weak(bits, bits | (1u << free_bit),
                                              std::memory_order_acq_rel)) {
       slot_ = free_bit;
@@ -49,6 +52,8 @@ EpochDomain::~EpochDomain() {
     n = next;
   }
   limbo_head_ = nullptr;
+  // mo: acq_rel — orders this domain's teardown before any successor
+  // domain that re-claims the slot (and its epochs column).
   g_domain_slots.fetch_and(~(1u << slot_), std::memory_order_acq_rel);
 }
 
@@ -56,12 +61,16 @@ void EpochDomain::enter() noexcept {
   ThreadRec& me = self();
   if (me.epoch_depth[slot_]++ != 0) return;  // nested: already pinned
   auto& announce = me.epochs[slot_].value;
+  // mo: acquire — a first guess at the current epoch; the seq_cst
+  // announce/recheck loop below does the real synchronization.
   std::uint64_t e = epoch_.load(std::memory_order_acquire);
   for (;;) {
     // seq_cst store/load pair: an advancer either sees this
     // announcement (and refuses to move past e+1) or has already
     // moved the epoch, in which case the recheck re-pins the fresh
     // value — a stale pin would needlessly block future advances.
+    // mo: seq_cst announce/recheck — Dekker pair with try_advance's
+    // seq_cst epoch-CAS/announcement-scan (see comment above).
     announce.store(e, std::memory_order_seq_cst);
     const std::uint64_t now = epoch_.load(std::memory_order_seq_cst);
     if (now == e) return;
@@ -74,6 +83,7 @@ void EpochDomain::exit() noexcept {
   if (--me.epoch_depth[slot_] != 0) return;  // still nested
   // Release: every read the section performed happens-before the
   // quiescence an advancer observes.
+  // mo: release (see comment above).
   me.epochs[slot_].value.store(0, std::memory_order_release);
 }
 
@@ -88,8 +98,11 @@ void EpochDomain::retire(void* p, void (*deleter)(void*)) {
   // still hold the pre-unlink pointer when drain() frees p. The
   // seq_cst fence + load mirror enter()'s announce/recheck pairing and
   // force the store->load ordering plain acquire does not give on TSO.
+  // mo: seq_cst fence + load — Dekker-style store->load ordering
+  // described above; the stamp must not be read early.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   auto* node = new Retired{p, deleter,
+                           // mo: seq_cst stamp (fence pairing above)
                            epoch_.load(std::memory_order_seq_cst), nullptr};
   lock_limbo();
   node->next = limbo_head_;
@@ -99,9 +112,13 @@ void EpochDomain::retire(void* p, void (*deleter)(void*)) {
 }
 
 bool EpochDomain::try_advance() noexcept {
+  // mo: seq_cst — part of the Dekker pair with enter()'s
+  // announce/recheck: the scan below must be ordered after this read.
   const std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
   bool blocked = false;
   ThreadRegistry::for_each([&](ThreadRec& rec) {
+    // mo: seq_cst scan — sees every announcement that the epoch
+    // read above did not already supersede (enter()'s recheck).
     const std::uint64_t a =
         rec.epochs[slot_].value.load(std::memory_order_seq_cst);
     // A thread announcing e is current; announcing an older epoch
@@ -109,13 +126,15 @@ bool EpochDomain::try_advance() noexcept {
     if (a != 0 && a != e) blocked = true;
   });
   if (blocked) {
-    advance_blocked_.fetch_add(1, std::memory_order_relaxed);
+    advance_blocked_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
     return false;
   }
   std::uint64_t expected = e;
+  // mo: seq_cst advance — totally ordered with announcements so no
+  // reader can pin e-1 after the move is visible.
   if (epoch_.compare_exchange_strong(expected, e + 1,
                                      std::memory_order_seq_cst)) {
-    advances_.fetch_add(1, std::memory_order_relaxed);
+    advances_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
     return true;
   }
   return false;  // lost the race to a concurrent advancer
@@ -123,6 +142,8 @@ bool EpochDomain::try_advance() noexcept {
 
 std::size_t EpochDomain::drain(std::size_t max_frees) {
   try_advance();
+  // mo: acquire — orders our stamp comparisons after the advance
+  // (possibly another thread's) that made `safe` current.
   const std::uint64_t safe = epoch_.load(std::memory_order_acquire);
   Retired* to_free = nullptr;
   std::size_t taken = 0;
@@ -147,16 +168,18 @@ std::size_t EpochDomain::drain(std::size_t max_frees) {
     n->deleter(n->ptr);
     delete n;
   }
-  freed_.fetch_add(taken, std::memory_order_relaxed);
+  freed_.fetch_add(taken, std::memory_order_relaxed);  // mo: stats
   return taken;
 }
 
 DomainStats EpochDomain::stats() const {
   DomainStats s;
+  // mo: acquire — snapshot is ordered after the latest advance.
   s.epoch = epoch_.load(std::memory_order_acquire);
   lock_limbo();
   s.pending = pending_;
   unlock_limbo();
+  // mo: relaxed — monotonic stats counters; no ordering implied.
   s.freed = freed_.load(std::memory_order_relaxed);
   s.advances = advances_.load(std::memory_order_relaxed);
   s.advance_blocked = advance_blocked_.load(std::memory_order_relaxed);
@@ -169,13 +192,17 @@ EpochDomain& EpochDomain::global() {
 }
 
 void EpochDomain::lock_limbo() const noexcept {
+  // mo: acquire TAS — pairs with unlock_limbo's release store; the
+  // prior holder's list edits are visible.
   while (limbo_lock_.exchange(true, std::memory_order_acquire)) {
     SpinWait waiter;
+    // mo: relaxed TTAS poll — the acquiring exchange re-synchronizes.
     while (limbo_lock_.load(std::memory_order_relaxed)) waiter.wait();
   }
 }
 
 void EpochDomain::unlock_limbo() const noexcept {
+  // mo: release — publishes this holder's limbo-list edits.
   limbo_lock_.store(false, std::memory_order_release);
 }
 

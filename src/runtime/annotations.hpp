@@ -1,0 +1,111 @@
+// annotations.hpp — Clang Thread Safety Analysis macro surface.
+//
+// Lock discipline — who holds what, in which mode, released on which
+// path — is exactly the class of invariant the paper's proofs rest on
+// and exactly what slips past tests until the right interleaving
+// fires. Clang's -Wthread-safety turns a slice of it into build-time
+// rejection: lock types declare themselves capabilities, lock/unlock
+// surface their acquire/release contract, and data declares which
+// capability guards it. The analysis is purely static and
+// intra-procedural; it costs nothing at run time and nothing on
+// compilers that lack the attributes (every macro expands to nothing
+// on GCC, so the portable build is byte-identical).
+//
+// CI compiles the clang leg with -DHEMLOCK_THREAD_SAFETY=ON, which
+// adds -Werror=thread-safety — see docs/ANALYSIS.md for the
+// conventions, including when HEMLOCK_NO_THREAD_SAFETY_ANALYSIS is an
+// acceptable escape hatch (deliberately asymmetric hand-off protocols
+// the analysis cannot express, each use carrying a one-line
+// justification).
+//
+// Naming follows clang's own mutex.h example and libc++'s
+// _LIBCPP_THREAD_SAFETY_ANNOTATION: the macro name says what the
+// function DOES (HEMLOCK_ACQUIRE), the attribute underneath is the
+// modern capability spelling (acquire_capability).
+#pragma once
+
+#if defined(__clang__)
+#define HEMLOCK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+// GCC parses but does not implement the capability attributes;
+// expanding to nothing keeps -Werror builds clean and codegen
+// identical across compilers.
+#define HEMLOCK_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a capability ("mutex" / "role" string shows
+/// up in diagnostics). Every lock in the roster carries this.
+#define HEMLOCK_CAPABILITY(x) HEMLOCK_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (LockGuard / SharedLockGuard).
+#define HEMLOCK_SCOPED_CAPABILITY HEMLOCK_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given
+/// capability (writes need exclusive; reads admit shared).
+#define HEMLOCK_GUARDED_BY(x) HEMLOCK_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define HEMLOCK_PT_GUARDED_BY(x) HEMLOCK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (exclusive mode); callers must not
+/// already hold it.
+#define HEMLOCK_ACQUIRE(...) \
+  HEMLOCK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability in shared (reader) mode.
+#define HEMLOCK_ACQUIRE_SHARED(...) \
+  HEMLOCK_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the (exclusively held) capability.
+#define HEMLOCK_RELEASE(...) \
+  HEMLOCK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases the shared-mode hold.
+#define HEMLOCK_RELEASE_SHARED(...) \
+  HEMLOCK_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a hold of either mode — what a scoped guard's
+/// destructor wants when the guard may wrap shared acquisitions.
+#define HEMLOCK_RELEASE_GENERIC(...) \
+  HEMLOCK_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the capability; first argument is the return
+/// value meaning success (true for every lock here).
+#define HEMLOCK_TRY_ACQUIRE(...) \
+  HEMLOCK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Shared-mode attempt.
+#define HEMLOCK_TRY_ACQUIRE_SHARED(...) \
+  HEMLOCK_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively for the call's duration
+/// (the function neither acquires nor releases it).
+#define HEMLOCK_REQUIRES(...) \
+  HEMLOCK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define HEMLOCK_REQUIRES_SHARED(...) \
+  HEMLOCK_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy documentation —
+/// every lock in this library self-deadlocks on re-acquisition).
+#define HEMLOCK_EXCLUDES(...) \
+  HEMLOCK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (the analysis trusts
+/// it from this point on).
+#define HEMLOCK_ASSERT_CAPABILITY(x) \
+  HEMLOCK_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define HEMLOCK_RETURN_CAPABILITY(x) HEMLOCK_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's body is exempt from analysis while its
+/// interface annotations still bind callers. Every use in this
+/// codebase carries a one-line justification comment; legitimate
+/// reasons are enumerated in docs/ANALYSIS.md (asymmetric hand-off
+/// protocols, epoch-protected lock-free readers, dynamic capability
+/// identity in the interposition shim).
+#define HEMLOCK_NO_THREAD_SAFETY_ANALYSIS \
+  HEMLOCK_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -28,15 +28,22 @@ class SpinBarrier {
 
   /// Block until all parties have arrived at this phase.
   void arrive_and_wait() noexcept {
+    // mo: relaxed — our own sense from the previous phase; the
+    // acq_rel arrival below does the synchronization.
     const bool my_sense = !sense_.value.load(std::memory_order_relaxed);
+    // mo: acq_rel arrival — release publishes this party's pre-barrier
+    // work, acquire (on the last arriver) pulls in everyone else's.
     if (remaining_.value.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last arriver: re-arm the count, then flip the sense to
       // release the cohort. Release ordering publishes the re-armed
       // count before waiters can start the next phase.
+      // mo: relaxed re-arm, then release sense flip — the release
+      // publishes the re-armed count before waiters start phase N+1.
       remaining_.value.store(parties_, std::memory_order_relaxed);
       sense_.value.store(my_sense, std::memory_order_release);
     } else {
       SpinWait waiter;
+      // mo: acquire — pairs with the last arriver's release flip.
       while (sense_.value.load(std::memory_order_acquire) != my_sense) {
         waiter.wait();
       }

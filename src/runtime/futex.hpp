@@ -45,6 +45,8 @@ inline void futex_wait(std::atomic<std::uint32_t>* addr,
   syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr),
           FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
 #else
+  // mo: acquire — portable-fallback recheck pairs with the waker's
+  // release publish, as FUTEX_WAIT's kernel check would.
   if (addr->load(std::memory_order_acquire) == expected) cpu_relax();
 #endif
 }
@@ -85,6 +87,7 @@ inline int futex_wait_for(std::atomic<std::uint32_t>* addr,
   return rc == 0 ? 0 : errno;
 #else
   (void)nanos;
+  // mo: acquire — portable-fallback recheck, as in futex_wait above.
   if (addr->load(std::memory_order_acquire) == expected) cpu_relax();
   return 0;
 #endif
@@ -137,6 +140,7 @@ inline long futex_cmp_requeue(std::atomic<std::uint32_t>* from,
   (void)wake;
   (void)requeue_cap;
   (void)to;
+  // mo: acquire — portable-fallback recheck, as in futex_wait above.
   if (from->load(std::memory_order_acquire) != expected) return -1;
   return 0;
 #endif

@@ -79,21 +79,27 @@ class ContentionGovernor {
   /// else classify(nproc, live escalated waiters). Two relaxed loads —
   /// cheap enough to call every escalation round.
   WaitTier tier() noexcept {
+    // mo: relaxed — advisory census reads; the tier choice is a
+    // strategy hint, never synchronization (class comment).
     const std::uint8_t f = forced_.load(std::memory_order_relaxed);
     if (f != kAuto) return static_cast<WaitTier>(f);
+    // mo: relaxed — advisory census read, as above.
     return classify(cpus_, waiters_.load(std::memory_order_relaxed));
   }
 
   /// Waiter census: a thread entering/leaving an escalated waiting
   /// loop (past the doorstep spin phase). Feeds classify().
   void begin_wait() noexcept {
+    // mo: relaxed — advisory census; see tier().
     waiters_.fetch_add(1, std::memory_order_relaxed);
   }
   void end_wait() noexcept {
+    // mo: relaxed — advisory census; see tier().
     waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
   /// Live escalated waiters right now.
   std::uint32_t waiters() const noexcept {
+    // mo: relaxed — advisory census; see tier().
     return waiters_.load(std::memory_order_relaxed);
   }
 
@@ -122,33 +128,42 @@ class ContentionGovernor {
   /// (after a seq_cst fence) to skip the wake syscall when nobody can
   /// possibly be sleeping on it.
   void begin_park(const void* addr) noexcept {
+    // mo: relaxed — the parker's seq_cst fence before sleeping (and
+    // the publisher's before reading) order the census; see
+    // waiting.hpp's park_round/publish_and_wake Dekker pair.
     parked_[park_bucket(addr)].fetch_add(1, std::memory_order_relaxed);
   }
   void end_park(const void* addr) noexcept {
+    // mo: relaxed — census decrement; an extra wake is harmless.
     parked_[park_bucket(addr)].fetch_sub(1, std::memory_order_relaxed);
   }
   /// Threads parked (or committing to park) on addr's bucket right now.
   std::uint32_t parked(const void* addr) const noexcept {
+    // mo: relaxed — the caller's seq_cst fence (publish_and_wake)
+    // supplies the store->load ordering this gate needs.
     return parked_[park_bucket(addr)].load(std::memory_order_relaxed);
   }
   /// Process-wide parked total (diagnostics and census-balance tests).
   std::uint32_t parked_total() const noexcept {
     std::uint32_t sum = 0;
+    // mo: relaxed — diagnostic sum; no ordering implied.
     for (const auto& b : parked_) sum += b.load(std::memory_order_relaxed);
     return sum;
   }
 
   /// Pin tier() to `t` regardless of the census (tests, embedders).
   void force(WaitTier t) noexcept {
+    // mo: relaxed — advisory pin; waiters pick it up on their next
+    // escalation round.
     forced_.store(static_cast<std::uint8_t>(t), std::memory_order_relaxed);
   }
   /// Return tier() to automatic classification.
   void clear_force() noexcept {
-    forced_.store(kAuto, std::memory_order_relaxed);
+    forced_.store(kAuto, std::memory_order_relaxed);  // mo: as force()
   }
   /// True when a tier is pinned.
   bool forced() const noexcept {
-    return forced_.load(std::memory_order_relaxed) != kAuto;
+    return forced_.load(std::memory_order_relaxed) != kAuto;  // mo: advisory
   }
 
   /// The CPU budget classify() runs against (sampled once, at

@@ -30,6 +30,8 @@ inline void cpu_relax() noexcept {
 #elif defined(__aarch64__)
   asm volatile("yield" ::: "memory");
 #else
+  // mo: compiler-only fence — keeps the spin loop from being
+  // collapsed on architectures without a pause hint; no HW ordering.
   std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
 }

@@ -19,11 +19,16 @@ namespace {
 class RegistrySpinLock {
  public:
   void lock() noexcept {
+    // mo: acquire TAS — pairs with unlock's release store; the prior
+    // holder's registry edits are visible.
     while (flag_.exchange(1, std::memory_order_acquire) != 0) {
       cpu_relax();
     }
   }
-  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+  void unlock() noexcept {
+    // mo: release — publishes this holder's registry edits.
+    flag_.store(0, std::memory_order_release);
+  }
 
  private:
   std::atomic<std::uint32_t> flag_{0};
@@ -53,6 +58,8 @@ struct Holder {
     // and cleared our Grant; its acknowledgement store must land
     // before this memory is reclaimed.
     SpinWait waiter;
+    // mo: acquire drain — pairs with the successor's releasing
+    // consume; its acknowledgement must land before reclamation.
     while (rec.grant.value.load(std::memory_order_acquire) != kGrantEmpty) {
       waiter.wait();
     }
@@ -73,23 +80,30 @@ void ThreadRegistry::register_rec(ThreadRec* rec) {
   rec->registry_next = g_head;
   g_head = rec;
   ++g_live;
+  // mo: release — publishes id/registry_next before for_each can
+  // observe the record as live.
   rec->live.store(true, std::memory_order_release);
 }
 
 void ThreadRegistry::deregister_rec(ThreadRec* rec) {
   RegistryGuard g(g_registry_mu);
+  // mo: release — orders the record's last profiling writes before
+  // the tombstone that for_each checks.
   rec->live.store(false, std::memory_order_release);
   ThreadRec** link = &g_head;
   while (*link != nullptr && *link != rec) link = &(*link)->registry_next;
   if (*link == rec) *link = rec->registry_next;
   --g_live;
   // Preserve this thread's profiling contribution past its exit.
+  // mo: relaxed — own-thread profiling counters; monotonic stats.
   g_retired.nested_acquires +=
       rec->nested_acquires.load(std::memory_order_relaxed);
   g_retired.max_held = std::max(
+      // mo: relaxed — stats.
       g_retired.max_held, rec->max_held.load(std::memory_order_relaxed));
   g_retired.max_grant_waiters =
       std::max(g_retired.max_grant_waiters,
+               // mo: relaxed — stats.
                rec->max_grant_waiters.load(std::memory_order_relaxed));
 }
 
@@ -101,6 +115,8 @@ ThreadRegistry::RetiredProfile ThreadRegistry::retired_profile() {
 void ThreadRegistry::for_each(const std::function<void(ThreadRec&)>& fn) {
   RegistryGuard g(g_registry_mu);
   for (ThreadRec* r = g_head; r != nullptr; r = r->registry_next) {
+    // mo: acquire — pairs with register_rec's release so the
+    // record's fields are visible for live entries.
     if (r->live.load(std::memory_order_acquire)) fn(*r);
   }
 }
@@ -119,6 +135,7 @@ void ThreadRegistry::reset_profile() {
   RegistryGuard g(g_registry_mu);
   g_retired = RetiredProfile{};
   for (ThreadRec* r = g_head; r != nullptr; r = r->registry_next) {
+    // mo: relaxed — stats reset; racing samples are already racy.
     r->held_count.store(0, std::memory_order_relaxed);
     r->max_held.store(0, std::memory_order_relaxed);
     r->nested_acquires.store(0, std::memory_order_relaxed);

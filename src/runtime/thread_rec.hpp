@@ -135,11 +135,12 @@ class LockProfiler {
  public:
   /// Enable/disable counter updates globally.
   static void enable(bool on) noexcept {
+    // mo: relaxed — profiling switch; counters are advisory stats.
     enabled_.store(on, std::memory_order_relaxed);
   }
   /// Whether counters are being collected.
   static bool enabled() noexcept {
-    return enabled_.load(std::memory_order_relaxed);
+    return enabled_.load(std::memory_order_relaxed);  // mo: see enable()
   }
 
   // ---- hooks called by instrumented lock implementations --------------
@@ -147,6 +148,7 @@ class LockProfiler {
   /// A thread acquired a lock (post-CS-entry).
   static void on_acquire(ThreadRec& me) noexcept {
     if (!enabled()) return;
+    // mo: relaxed — profiling counters (§5.4); advisory stats only.
     std::uint32_t prior = me.held_count.fetch_add(1, std::memory_order_relaxed);
     if (prior >= 1) me.nested_acquires.fetch_add(1, std::memory_order_relaxed);
     bump_max(me.max_held, prior + 1);
@@ -155,12 +157,13 @@ class LockProfiler {
   /// A thread released a lock.
   static void on_release(ThreadRec& me) noexcept {
     if (!enabled()) return;
-    me.held_count.fetch_sub(1, std::memory_order_relaxed);
+    me.held_count.fetch_sub(1, std::memory_order_relaxed);  // mo: stats
   }
 
   /// A waiter began spinning on `pred`'s Grant word.
   static void on_wait_begin(ThreadRec& pred) noexcept {
     if (!enabled()) return;
+    // mo: relaxed — profiling counter; advisory stats only.
     std::uint32_t now = pred.grant_waiters.fetch_add(1, std::memory_order_relaxed) + 1;
     bump_max(pred.max_grant_waiters, now);
   }
@@ -168,16 +171,17 @@ class LockProfiler {
   /// A waiter stopped spinning on `pred`'s Grant word.
   static void on_wait_end(ThreadRec& pred) noexcept {
     if (!enabled()) return;
-    pred.grant_waiters.fetch_sub(1, std::memory_order_relaxed);
+    pred.grant_waiters.fetch_sub(1, std::memory_order_relaxed);  // mo: stats
   }
 
  private:
   static void bump_max(std::atomic<std::uint32_t>& slot,
                        std::uint32_t candidate) noexcept {
+    // mo: relaxed — racy max of a profiling counter.
     std::uint32_t cur = slot.load(std::memory_order_relaxed);
     while (candidate > cur &&
            !slot.compare_exchange_weak(cur, candidate,
-                                       std::memory_order_relaxed)) {
+                                       std::memory_order_relaxed)) {  // mo: ditto
     }
   }
   static std::atomic<bool> enabled_;

@@ -10,10 +10,11 @@ namespace hemlock {
 LockUsageProfile collect_lock_usage_profile() {
   LockUsageProfile p;
   ThreadRegistry::for_each([&](ThreadRec& rec) {
+    // mo: relaxed — monotonic stats counters; no ordering implied.
     p.nested_acquires += rec.nested_acquires.load(std::memory_order_relaxed);
-    p.max_locks_held = std::max(
+    p.max_locks_held = std::max(  // mo: relaxed stats, as above
         p.max_locks_held, rec.max_held.load(std::memory_order_relaxed));
-    p.max_grant_waiters =
+    p.max_grant_waiters =  // mo: relaxed stats, as above
         std::max(p.max_grant_waiters,
                  rec.max_grant_waiters.load(std::memory_order_relaxed));
   });

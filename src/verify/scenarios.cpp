@@ -104,6 +104,8 @@ struct MutexScenario {
     if constexpr (!std::is_void_v<ForceTier>) {
       ContentionGovernor::instance().force(ForceTier::value);
     }
+    // mo: relaxed — verification ghost state; ordering is supplied
+    // by the lock under test, these asserts only count admissions.
     owners.store(0, std::memory_order_relaxed);
     lk = new (storage) Lock();
   }
@@ -112,19 +114,27 @@ struct MutexScenario {
     for (int i = 0; i < kIters; ++i) {
       lk->lock();
       yield_point("cs-enter");
+      // mo: relaxed — verification ghost state; ordering is supplied
+      // by the lock under test, these asserts only count admissions.
       VERIFY_ASSERT(owners.fetch_add(1, std::memory_order_relaxed) == 0);
       yield_point("cs");
+      // mo: relaxed — verification ghost state; ordering is supplied
+      // by the lock under test, these asserts only count admissions.
       VERIFY_ASSERT(owners.fetch_sub(1, std::memory_order_relaxed) == 1);
       lk->unlock();
     }
     // Hemlock Listing 1 line 6: the Grant mailbox is empty between
     // locking operations. Trivially true for the node/ticket families
     // (they never touch it), load-bearing for the Hemlock ones.
+    // mo: relaxed — verification ghost state; ordering is supplied
+    // by the lock under test, these asserts only count admissions.
     VERIFY_ASSERT(self().grant.value.load(std::memory_order_relaxed) ==
                   kGrantEmpty);
   }
 
   static void fini() {
+    // mo: relaxed — verification ghost state; ordering is supplied
+    // by the lock under test, these asserts only count admissions.
     VERIFY_ASSERT(owners.load(std::memory_order_relaxed) == 0);
     if constexpr (requires { lk->appears_unlocked(); }) {
       VERIFY_ASSERT(lk->appears_unlocked());
@@ -147,6 +157,8 @@ struct TryScenario {
   static inline std::atomic<int> owners{0};
 
   static void init() {
+    // mo: relaxed — verification ghost state; ordering is supplied
+    // by the lock under test, these asserts only count admissions.
     owners.store(0, std::memory_order_relaxed);
     lk = new (storage) Lock();
   }
@@ -157,14 +169,20 @@ struct TryScenario {
         yield_point("try-retry");
       }
       yield_point("cs-enter");
+      // mo: relaxed — verification ghost state; ordering is supplied
+      // by the lock under test, these asserts only count admissions.
       VERIFY_ASSERT(owners.fetch_add(1, std::memory_order_relaxed) == 0);
       yield_point("cs");
+      // mo: relaxed — verification ghost state; ordering is supplied
+      // by the lock under test, these asserts only count admissions.
       VERIFY_ASSERT(owners.fetch_sub(1, std::memory_order_relaxed) == 1);
       lk->unlock();
     }
   }
 
   static void fini() {
+    // mo: relaxed — verification ghost state; ordering is supplied
+    // by the lock under test, these asserts only count admissions.
     VERIFY_ASSERT(owners.load(std::memory_order_relaxed) == 0);
     if constexpr (requires { lk->appears_unlocked(); }) {
       VERIFY_ASSERT(lk->appears_unlocked());
@@ -197,6 +215,8 @@ struct RwScenario {
   static inline int max_reader_overlap = 0;  // across schedules; post_all
 
   static void init() {
+    // mo: relaxed — verification ghost state; ordering is supplied
+    // by the lock under test, these asserts only count admissions.
     writers_in.store(0, std::memory_order_relaxed);
     readers_in.store(0, std::memory_order_relaxed);
     lk = new (storage) VerRwLock();
@@ -206,18 +226,28 @@ struct RwScenario {
     for (int i = 0; i < kIters; ++i) {
       if (id < Writers) {
         lk->lock();
+        // mo: relaxed — verification ghost state; ordering is supplied
+        // by the lock under test, these asserts only count admissions.
         VERIFY_ASSERT(writers_in.fetch_add(1, std::memory_order_relaxed) == 0);
         VERIFY_ASSERT(readers_in.load(std::memory_order_relaxed) == 0);
         yield_point("ws");
+        // mo: relaxed — verification ghost state; ordering is supplied
+        // by the lock under test, these asserts only count admissions.
         VERIFY_ASSERT(readers_in.load(std::memory_order_relaxed) == 0);
         VERIFY_ASSERT(writers_in.fetch_sub(1, std::memory_order_relaxed) == 1);
         lk->unlock();
       } else {
         lk->lock_shared();
+        // mo: relaxed — verification ghost state; ordering is supplied
+        // by the lock under test, these asserts only count admissions.
         const int in = readers_in.fetch_add(1, std::memory_order_relaxed) + 1;
         if (in > max_reader_overlap) max_reader_overlap = in;
+        // mo: relaxed — verification ghost state; ordering is supplied
+        // by the lock under test, these asserts only count admissions.
         VERIFY_ASSERT(writers_in.load(std::memory_order_relaxed) == 0);
         yield_point("rs");
+        // mo: relaxed — verification ghost state; ordering is supplied
+        // by the lock under test, these asserts only count admissions.
         VERIFY_ASSERT(writers_in.load(std::memory_order_relaxed) == 0);
         readers_in.fetch_sub(1, std::memory_order_relaxed);
         lk->unlock_shared();
@@ -226,6 +256,8 @@ struct RwScenario {
   }
 
   static void fini() {
+    // mo: relaxed — verification ghost state; ordering is supplied
+    // by the lock under test, these asserts only count admissions.
     VERIFY_ASSERT(writers_in.load(std::memory_order_relaxed) == 0);
     VERIFY_ASSERT(readers_in.load(std::memory_order_relaxed) == 0);
     VERIFY_ASSERT(lk->appears_unlocked());
@@ -258,16 +290,20 @@ class BrokenTas {
  public:
   void lock() noexcept {
     for (;;) {
+      // mo: acquire/release as a real TAS would use — the planted bug
+      // is the check-to-set window, not the memory ordering.
       if (flag_.load(std::memory_order_acquire) == 0) {
         // The bug: another thread can run here, see flag_ == 0 too,
         // and both proceed to the store.
         yield_point("broken:check-to-set");
+        // mo: release — as a real TAS unlock would use.
         flag_.store(1, std::memory_order_release);
         return;
       }
       yield_point("broken:poll");
     }
   }
+  // mo: release — as a real TAS unlock would use.
   void unlock() noexcept { flag_.store(0, std::memory_order_release); }
 
  private:

@@ -13,6 +13,7 @@
 
 #include "core/hemlock.hpp"
 #include "locks/mcs.hpp"
+#include "locks/std_adapter.hpp"
 #include "locks/system.hpp"
 #include "minikv/arena.hpp"
 #include "minikv/cache.hpp"
@@ -125,7 +126,8 @@ TEST(SkipListTest, ConcurrentReadersWithOneWriter) {
 
   std::vector<std::thread> readers;
   for (int r = 0; r < 4; ++r) {
-    readers.emplace_back([&] {
+    // r by value: the thread outlives the loop iteration's scope.
+    readers.emplace_back([&, r] {
       std::mt19937 rng(r + 1);
       while (watermark.load(std::memory_order_acquire) < kMax) {
         const std::uint64_t w = watermark.load(std::memory_order_acquire);
@@ -277,7 +279,7 @@ TEST(CacheTest, ReplacingSameKeyUpdatesCharge) {
 TEST(DbTest, PutGetAcrossFlushes) {
   DbOptions opt;
   opt.write_buffer_bytes = 16 * 1024;  // force frequent flushes
-  DB<std::mutex> db(opt);
+  DB<StdMutex> db(opt);
   constexpr int kKeys = 5000;
   for (int i = 0; i < kKeys; ++i) {
     ASSERT_TRUE(db.put(bench_key(i), "value" + std::to_string(i)).is_ok());
@@ -294,7 +296,7 @@ TEST(DbTest, PutGetAcrossFlushes) {
 TEST(DbTest, OverwritesResolveToNewestAcrossTables) {
   DbOptions opt;
   opt.write_buffer_bytes = 8 * 1024;
-  DB<std::mutex> db(opt);
+  DB<StdMutex> db(opt);
   for (int round = 0; round < 5; ++round) {
     for (int i = 0; i < 500; ++i) {
       db.put(bench_key(i), "r" + std::to_string(round));
@@ -309,7 +311,7 @@ TEST(DbTest, OverwritesResolveToNewestAcrossTables) {
 }
 
 TEST(DbTest, CacheServesRepeatedReads) {
-  DB<std::mutex> db;
+  DB<StdMutex> db;
   fill_seq(db, 2000, 64);
   std::string v;
   for (int pass = 0; pass < 3; ++pass) {
