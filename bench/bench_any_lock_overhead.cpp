@@ -5,13 +5,22 @@
 // it: for every algorithm in the factory roster it times uncontended
 // acquire/release pairs (the §5.1 T=1 latency regime) through the
 // direct template — the compiler sees the concrete type, can inline
-// everything — and through AnyLock's static-vtable dispatch, and
-// reports both plus the delta. Expected: a few ns of tax, flat across
-// algorithms (it is the same two indirect calls regardless of what
-// they dispatch to).
+// everything — through AnyLock's static-vtable dispatch, and through
+// AnyLock with a *named telemetry handle* (stats/telemetry.hpp), so
+// the telemetry hooks' uncontended cost is a measured number, not a
+// claim. Expected: a few ns of erasure tax, flat across algorithms,
+// and a telemetry tax within noise (the hooks are two thread-local
+// relaxed increments plus a 1-in-64 sampled clock pair).
 //
 // Flags: --iters (pairs per measurement, default 2000000)
 //        --runs  (median-of-N, default 3)  --csv
+//        --json=<path>    hemlock-bench-v1 trajectory (unit
+//                         pairs_per_sec; series <lock>@direct,
+//                         <lock>@anylock, <lock>@anylock-telemetry)
+//        --max-tax-pct=<p>  exit non-zero when the median telemetry
+//                         tax across the roster exceeds p percent of
+//                         the anylock baseline (CI perf-smoke's gate)
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -19,6 +28,7 @@
 
 #include "bench_common.hpp"
 #include "runtime/timing.hpp"
+#include "stats/telemetry.hpp"
 
 namespace {
 
@@ -45,6 +55,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(opts.get_int("iters", 2'000'000));
   const int runs = static_cast<int>(opts.get_int("runs", 3));
   const bool csv = opts.has("csv");
+  const std::string json_path = opts.get_string("json", "");
+  const double max_tax_pct =
+      static_cast<double>(opts.get_int("max-tax-pct", -1));
   bench::reject_unknown(opts);
 
   std::cout << "=== AnyLock type-erasure tax: uncontended acquire/release "
@@ -53,8 +66,13 @@ int main(int argc, char** argv) {
             << "iters=" << iters << " runs=" << runs
             << " (median); single thread — the §5.1 T=1 latency regime\n\n";
 
-  Table table({"lock", "direct ns/pair", "anylock ns/pair", "tax ns",
-               "ratio"});
+  Table table({"lock", "direct ns/pair", "anylock ns/pair", "erasure ns",
+               "telemetry ns/pair", "tm tax ns"});
+
+  bench::BenchSeries series;
+  series.threads.push_back(1);
+  std::vector<std::optional<double>> row;
+  std::vector<double> tax_pcts;
 
   for_each_lock_type<AllLockTags>([&](auto tag) {
     using L = typename decltype(tag)::type;
@@ -69,11 +87,30 @@ int main(int argc, char** argv) {
       erased.add(direct_pair_ns<AnyLock>(iters, *vt));
     }
 
+    // Same dispatch, plus the telemetry hooks behind a named handle
+    // (one shared name: the probe releases it between measurements,
+    // so the 32-slot handle table never fills across the roster).
+    Summary telem;
+    for (int r = 0; r < runs; ++r) {
+      telem.add(direct_pair_ns<AnyLock>(iters, *vt,
+                                        std::string_view("overhead-probe")));
+    }
+
     const double d = direct.median();
     const double e = erased.median();
+    const double t = telem.median();
     table.add_row({name, Table::fmt(d, 2), Table::fmt(e, 2),
-                   Table::fmt(e - d, 2), Table::fmt(e / d, 2)});
+                   Table::fmt(e - d, 2), Table::fmt(t, 2),
+                   Table::fmt(t - e, 2)});
+    series.locks.push_back(std::string(name) + "@direct");
+    series.locks.push_back(std::string(name) + "@anylock");
+    series.locks.push_back(std::string(name) + "@anylock-telemetry");
+    row.emplace_back(1e9 / d);
+    row.emplace_back(1e9 / e);
+    row.emplace_back(1e9 / t);
+    tax_pcts.push_back((t - e) / e * 100.0);
   });
+  series.values.push_back(std::move(row));
 
   if (csv) {
     table.print_csv(std::cout);
@@ -81,7 +118,31 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
   std::cout << "\n(direct = concrete template, fully inlinable; anylock = "
-               "static-vtable dispatch. The tax buys runtime algorithm "
-               "selection by name.)\n";
+               "static-vtable dispatch; telemetry = anylock with a named "
+               "per-lock metrics handle. The erasure tax buys runtime "
+               "algorithm selection; the telemetry tax buys the per-lock "
+               "counters of docs/OBSERVABILITY.md.)\n";
+
+  if (!json_path.empty()) {
+    if (!bench::write_bench_json(json_path, "any_lock_overhead",
+                                 "pairs_per_sec", 0, runs, series)) {
+      return 1;
+    }
+    std::cout << "(JSON trajectory written to " << json_path << ")\n";
+  }
+
+  if (max_tax_pct >= 0 && !tax_pcts.empty()) {
+    // Gate on the roster-wide median: single-lock numbers at ~10 ns
+    // per pair are noisy on shared CI hosts, the median is stable.
+    std::nth_element(tax_pcts.begin(), tax_pcts.begin() + tax_pcts.size() / 2,
+                     tax_pcts.end());
+    const double med = tax_pcts[tax_pcts.size() / 2];
+    std::printf("\nmedian telemetry tax: %.1f%% (gate: %.0f%%)\n", med,
+                max_tax_pct);
+    if (med > max_tax_pct) {
+      std::fprintf(stderr, "telemetry tax gate FAILED\n");
+      return 1;
+    }
+  }
   return 0;
 }

@@ -73,14 +73,19 @@ inline std::string json_escape(std::string_view s) {
 
 /// Write the sweep as a BENCH_*.json trajectory file. Schema
 /// "hemlock-bench-v1": bench id, unit, host, budget, then one series
-/// per lock with {threads, value} points. Returns false (with a
-/// stderr report) when the file cannot be written; callers exit
-/// non-zero so CI fails loudly on malformed/unwritable output.
+/// per lock with {threads, value} points. `extra_json`, when
+/// non-empty, is a pre-serialized JSON value emitted as a top-level
+/// "telemetry" member (benches pass telemetry::to_json() through
+/// here); consumers keyed on "series" — bench_compare.py — ignore it
+/// by construction. Returns false (with a stderr report) when the
+/// file cannot be written; callers exit non-zero so CI fails loudly
+/// on malformed/unwritable output.
 inline bool write_bench_json(const std::string& path,
                              const std::string& bench_id,
                              const std::string& unit,
                              std::int64_t duration_ms, int runs,
-                             const BenchSeries& series) {
+                             const BenchSeries& series,
+                             const std::string& extra_json = {}) {
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -114,7 +119,11 @@ inline bool write_bench_json(const std::string& path,
     }
     os << "]}";
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ]";
+  if (!extra_json.empty()) {
+    os << ",\n  \"telemetry\": " << extra_json;
+  }
+  os << "\n}\n";
   os.flush();
   if (!os) {
     std::fprintf(stderr, "write to %s failed\n", path.c_str());
@@ -241,8 +250,11 @@ inline void reject_unknown(const Options& opts) {
 /// Render a collected sweep: aligned table (or CSV), plus the
 /// --json trajectory file when requested. Exits non-zero when the
 /// JSON file cannot be written, so CI perf-smoke fails loudly.
+/// `extra_json` rides into the trajectory file as its "telemetry"
+/// member (see write_bench_json).
 inline void render_series(const char* bench_id, const char* unit,
-                          const FigureArgs& args, const BenchSeries& series) {
+                          const FigureArgs& args, const BenchSeries& series,
+                          const std::string& extra_json = {}) {
   Table table([&] {
     std::vector<std::string> headers{"threads"};
     headers.insert(headers.end(), series.locks.begin(), series.locks.end());
@@ -260,7 +272,7 @@ inline void render_series(const char* bench_id, const char* unit,
   }
   if (!args.json_path.empty()) {
     if (!write_bench_json(args.json_path, bench_id, unit, args.duration_ms,
-                          args.runs, series)) {
+                          args.runs, series, extra_json)) {
       std::exit(1);
     }
     std::cout << "\n(JSON trajectory written to " << args.json_path << ")\n";

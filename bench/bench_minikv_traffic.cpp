@@ -38,6 +38,7 @@
 #include "minikv/db_bench.hpp"
 #include "minikv/sharded_db.hpp"
 #include "minikv/traffic.hpp"
+#include "stats/telemetry.hpp"
 
 namespace hemlock {
 
@@ -171,14 +172,22 @@ int main(int argc, char** argv) {
 
   // One warmed instance per backend, shared across scenarios and
   // thread counts (the Figure-8 reuse protocol; writes stay inside
-  // the pre-filled keyspace, so the working set is stationary).
-  minikv::DB<AnyLock> central(minikv::DbOptions{}, cfg.lock_name);
+  // the pre-filled keyspace, so the working set is stationary). Each
+  // backend carries a telemetry name — the sharded backends share one
+  // handle across their shard locks, so the per-lock table reports
+  // one row per backend, not one per shard.
+  minikv::DB<AnyLock> central(minikv::DbOptions{},
+                              std::string_view(cfg.lock_name),
+                              std::string_view("minikv:central"));
   minikv::ShardedDbOptions sharded_opts;
   sharded_opts.num_shards = cfg.shards;
-  minikv::ShardedDB<> sharded(sharded_opts, cfg.lock_name);
+  minikv::ShardedDB<> sharded(sharded_opts, std::string_view(cfg.lock_name),
+                              std::string_view("minikv:sharded"));
   minikv::ShardedDbOptions locked_opts = sharded_opts;
   locked_opts.epoch_reads = false;
-  minikv::ShardedDB<> sharded_locked(locked_opts, cfg.lock_name);
+  minikv::ShardedDB<> sharded_locked(
+      locked_opts, std::string_view(cfg.lock_name),
+      std::string_view("minikv:sharded-locked"));
 
   minikv::CentralBackend<AnyLock> central_kv(central);
   minikv::ShardedBackend<> sharded_kv(sharded);
@@ -214,7 +223,11 @@ int main(int argc, char** argv) {
     }
     series.values.push_back(std::move(row));
   }
-  render_series("minikv_traffic", "mops_per_sec", args, series);
+  // The per-lock counters the sweep accumulated ride along in the
+  // trajectory file ("telemetry" block, schema hemlock-telemetry-v1);
+  // bench_compare.py reads only "series" and ignores it.
+  render_series("minikv_traffic", "mops_per_sec", args, series,
+                telemetry::to_json(telemetry::collect()));
 
   const auto st = sharded.stats();
   std::cout << "\n(Y values: millions of client operations per second; a "

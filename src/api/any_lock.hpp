@@ -49,6 +49,7 @@
 #include "core/lock_registry.hpp"
 #include "locks/lockable.hpp"
 #include "runtime/annotations.hpp"
+#include "stats/telemetry.hpp"
 
 namespace hemlock {
 
@@ -120,14 +121,31 @@ class HEMLOCK_CAPABILITY("mutex") AnyLock {
   /// a non-throwing existence check).
   explicit AnyLock(std::string_view name) : AnyLock(checked(name)) {}
 
+  /// The named algorithm, attributed to `telemetry_name` in the
+  /// per-lock telemetry (stats/telemetry.hpp). Locks sharing a
+  /// telemetry name share one metrics row — how a sharded structure
+  /// reports as a single logical lock. Unnamed AnyLocks stay
+  /// unattributed and pay only the hooks' id-zero branch.
+  AnyLock(std::string_view name, std::string_view telemetry_name)
+      : AnyLock(checked(name), telemetry_name) {}
+
   /// Direct construction from a factory entry (no lookup).
   explicit AnyLock(const LockVTable& vt) noexcept : vt_(&vt) {
     vt_->construct(storage_);
   }
 
+  /// Factory-entry construction with telemetry attribution.
+  AnyLock(const LockVTable& vt, std::string_view telemetry_name) noexcept
+      : vt_(&vt), tm_(telemetry::register_handle(telemetry_name)) {
+    vt_->construct(storage_);
+  }
+
   /// Destroys the hosted lock. Like every lock in the library, the
   /// lock must be unheld and unawaited.
-  ~AnyLock() { vt_->destroy(storage_); }
+  ~AnyLock() {
+    vt_->destroy(storage_);
+    telemetry::release_handle(tm_);
+  }
 
   AnyLock(const AnyLock&) = delete;
   AnyLock& operator=(const AnyLock&) = delete;
@@ -143,17 +161,33 @@ class HEMLOCK_CAPABILITY("mutex") AnyLock {
   ///    busy-wait selections (info().oversub_safe == false) convoy at
   ///    scheduler speed when runnable threads exceed cores — prefer
   ///    the "-adaptive" variant when oversubscription is possible.
-  void lock() HEMLOCK_ACQUIRE() { vt_->lock(storage_); }
+  void lock() HEMLOCK_ACQUIRE() {
+    telemetry::on_lock_begin(tm_);
+    vt_->lock(storage_);
+    telemetry::on_lock_acquired(tm_);
+  }
   /// Release. Precondition: the calling thread holds the exclusive
   /// lock (POSIX would say EPERM; here it is undefined — queue locks
   /// would hand a grant nobody owns). Release semantics: writes made
   /// while holding are visible to the next acquirer.
-  void unlock() HEMLOCK_RELEASE() { vt_->unlock(storage_); }
+  void unlock() HEMLOCK_RELEASE() {
+    telemetry::on_unlock_begin(tm_);
+    vt_->unlock(storage_);
+    telemetry::on_unlock_end(tm_);
+  }
   /// Non-blocking attempt; always false when !info().has_trylock
   /// (CLH and Anderson have no native try path — an attempt that
   /// never succeeds, not an error). On true, same ordering and
   /// ownership obligations as lock().
-  bool try_lock() HEMLOCK_TRY_ACQUIRE(true) { return vt_->try_lock(storage_); }
+  bool try_lock() HEMLOCK_TRY_ACQUIRE(true) {
+    const bool ok = vt_->try_lock(storage_);
+    if (ok) {
+      telemetry::on_try_acquired(tm_);
+    } else {
+      telemetry::on_try_failure(tm_);
+    }
+    return ok;
+  }
 
   /// Shared (reader) acquire. Concurrent readers are admitted only
   /// when info().rwlock_capable; exclusive algorithms serve this as a
@@ -165,20 +199,39 @@ class HEMLOCK_CAPABILITY("mutex") AnyLock {
   /// re-entry), and holding shared while parked/preempted stalls
   /// writers — epoch-protected reads (src/reclaim/) are the
   /// read-mostly alternative that bounds memory instead of progress.
-  void lock_shared() HEMLOCK_ACQUIRE_SHARED() { vt_->lock_shared(storage_); }
+  void lock_shared() HEMLOCK_ACQUIRE_SHARED() {
+    telemetry::on_shared_begin(tm_);
+    vt_->lock_shared(storage_);
+    telemetry::on_shared_acquired(tm_);
+  }
   /// Shared release. Precondition: pairs one-to-one with a successful
   /// lock_shared()/try_lock_shared() by this thread. Release
   /// semantics toward the writer that drains the reader out.
-  void unlock_shared() HEMLOCK_RELEASE_SHARED() { vt_->unlock_shared(storage_); }
+  void unlock_shared() HEMLOCK_RELEASE_SHARED() {
+    // Attribution only (reader holds are not timed — see
+    // telemetry::on_shared_acquired): the drain hand-off a reader exit
+    // can trigger should land on this lock's row.
+    telemetry::on_shared_begin(tm_);
+    vt_->unlock_shared(storage_);
+    telemetry::on_unlock_end(tm_);
+  }
   /// Non-blocking shared attempt; same pairing obligation on true.
   bool try_lock_shared() HEMLOCK_TRY_ACQUIRE_SHARED(true) {
-    return vt_->try_lock_shared(storage_);
+    const bool ok = vt_->try_lock_shared(storage_);
+    if (ok) {
+      telemetry::on_shared_acquired(tm_);
+    } else {
+      telemetry::on_try_failure(tm_);
+    }
+    return ok;
   }
 
   /// The hosted algorithm's descriptor.
   const LockInfo& info() const noexcept { return vt_->info; }
   /// The hosted algorithm's registry name.
   std::string_view name() const noexcept { return vt_->info.name; }
+  /// The telemetry attribution handle ({0} when unattributed).
+  telemetry::TelemetryHandle telemetry_handle() const noexcept { return tm_; }
 
  private:
   static const LockVTable& checked(std::string_view name) {
@@ -191,6 +244,7 @@ class HEMLOCK_CAPABILITY("mutex") AnyLock {
   }
 
   const LockVTable* vt_;
+  telemetry::TelemetryHandle tm_;  ///< {0} = unattributed
   alignas(kStorageAlign) unsigned char storage_[kStorageBytes];
 };
 

@@ -99,6 +99,16 @@ AnyLock LockFactory::make(std::string_view name) const {
   return AnyLock(*vt);  // guaranteed elision: constructed in place
 }
 
+AnyLock LockFactory::make(std::string_view name,
+                          std::string_view telemetry_name) const {
+  const LockVTable* vt = find(name);
+  if (vt == nullptr) {
+    throw std::invalid_argument("hemlock: unknown lock algorithm \"" +
+                                std::string(name) + "\"");
+  }
+  return AnyLock(*vt, telemetry_name);  // guaranteed elision
+}
+
 const LockInfo* LockFactory::info(std::string_view name) const noexcept {
   const LockVTable* vt = find(name);
   return vt != nullptr ? &vt->info : nullptr;

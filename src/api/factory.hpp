@@ -46,6 +46,10 @@ class LockFactory {
   /// std::invalid_argument for unknown names.
   AnyLock make(std::string_view name) const;
 
+  /// As make(), attributed to `telemetry_name` in the per-lock
+  /// telemetry (AnyLock's two-name constructor).
+  AnyLock make(std::string_view name, std::string_view telemetry_name) const;
+
   /// The named algorithm's descriptor, or nullptr if unknown.
   const LockInfo* info(std::string_view name) const noexcept;
 

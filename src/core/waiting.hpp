@@ -47,6 +47,7 @@
 #include "runtime/governor.hpp"
 #include "runtime/pause.hpp"
 #include "runtime/thread_rec.hpp"
+#include "stats/telemetry.hpp"
 
 namespace hemlock {
 
@@ -71,6 +72,7 @@ struct PoliteWaiting {
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
+    HEMLOCK_TM_CONTENDED();
     // mo: acquire poll pairs with publish's release, carrying the
     // predecessor's critical section.
     while (g.load(std::memory_order_acquire) != expect) {
@@ -112,6 +114,7 @@ struct CtrCasWaiting {
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
+    HEMLOCK_TM_CONTENDED();
     for (;;) {
       GrantWord e = expect;
       // mo: acq_rel consume — acquire pairs with publish's release
@@ -153,6 +156,7 @@ struct CtrFaaWaiting {
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
+    HEMLOCK_TM_CONTENDED();
     // mo: acquire FAA(0) poll pairs with publish's release.
     while (g.fetch_add(0, std::memory_order_acquire) != expect) {
       cpu_relax();
@@ -212,11 +216,16 @@ struct FutexWaiting {
     // mo: release hand-off; the unconditional wake (no census here)
     // needs no extra fence — sleepers re-check after waking.
     g.store(value, std::memory_order_release);
+    // mo: relaxed — diagnostic syscall tally (ParkDiag).
+    ContentionGovernor::instance().diag().wake_syscalls.fetch_add(
+        1, std::memory_order_relaxed);
+    HEMLOCK_TM_WAKE();
     futex_wake_all(futex_word(g));
   }
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
+    HEMLOCK_TM_CONTENDED();
     for (;;) {
       for (std::uint32_t i = 0; i < kSpinsBeforePark; ++i) {
         GrantWord e = expect;
@@ -236,9 +245,15 @@ struct FutexWaiting {
       // low word closes the publish-vs-sleep race.
       const GrantWord seen = g.load(std::memory_order_acquire);
       if (seen != expect) {
+        auto& d = ContentionGovernor::instance().diag();
+        // mo: relaxed — diagnostic sleep tally (ParkDiag).
+        d.park_sleeps.fetch_add(1, std::memory_order_relaxed);
+        HEMLOCK_TM_PARK();
         // Bounded: Grant words are 8 bytes wide (kWideWordParkNanos).
         futex_wait_for(futex_word(g), static_cast<std::uint32_t>(seen),
                        kWideWordParkNanos);
+        // mo: relaxed — diagnostic wakeup tally (ParkDiag).
+        d.park_wakeups.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -254,14 +269,24 @@ struct FutexWaiting {
       // mo: acquire snapshot for the kernel's futex compare.
       const GrantWord seen = g.load(std::memory_order_acquire);
       if (seen == kGrantEmpty) return;
+      auto& d = ContentionGovernor::instance().diag();
+      // mo: relaxed — diagnostic sleep tally (ParkDiag).
+      d.park_sleeps.fetch_add(1, std::memory_order_relaxed);
+      HEMLOCK_TM_PARK();
       futex_wait_for(futex_word(g), static_cast<std::uint32_t>(seen),
                      kWideWordParkNanos);
+      // mo: relaxed — diagnostic wakeup tally (ParkDiag).
+      d.park_wakeups.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   /// Wake a publisher that may be parked in its drain, after a Grant
   /// clear performed outside the policy (profiled_wait_and_consume).
   static void wake_after_external_clear(std::atomic<GrantWord>& g) noexcept {
+    // mo: relaxed — diagnostic syscall tally (ParkDiag).
+    ContentionGovernor::instance().diag().wake_syscalls.fetch_add(
+        1, std::memory_order_relaxed);
+    HEMLOCK_TM_WAKE();
     futex_wake_all(futex_word(g));
   }
 };
@@ -283,6 +308,7 @@ inline void profiled_wait_and_consume(std::atomic<GrantWord>& g,
     Waiting::wait_and_consume(g, expect);
     return;
   }
+  HEMLOCK_TM_CONTENDED();  // the policy's own entry hook is bypassed here
   LockProfiler::on_wait_begin(pred);
   // mo: acquire peek pairs with publish's release — the consume CAS
   // below re-synchronizes, so the gauge bookkeeping between them
@@ -320,6 +346,7 @@ struct AdaptiveWaiting {
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
+    HEMLOCK_TM_CONTENDED();
     SpinWait w;
     // mo: acquire poll / release ack — identical pairing to
     // PoliteWaiting; only the loop body (yield escalation) differs.
@@ -478,7 +505,18 @@ inline void park_round_slotted(std::atomic<T>& w, T expected,
   std::atomic_thread_fence(std::memory_order_seq_cst);
   // mo: relaxed re-check — the fence above already orders it.
   if (!done(w.load(std::memory_order_relaxed))) {
+    // mo: relaxed — diagnostic sleep tally (ParkDiag).
+    gov.diag().park_sleeps.fetch_add(1, std::memory_order_relaxed);
+    HEMLOCK_TM_PARK();
     futex_wait_for(&slot, gen, kWideWordParkNanos);
+    // mo: relaxed — diagnostic wakeup tally (ParkDiag).
+    gov.diag().park_wakeups.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // The re-check under the census found the condition already
+    // satisfied: the return-to-baseline window the ROADMAP item 6
+    // convoy lives in. Leave evidence.
+    // mo: relaxed — diagnostic retry tally (ParkDiag).
+    gov.diag().baseline_retries.fetch_add(1, std::memory_order_relaxed);
   }
   gov.end_park(&slot);
 }
@@ -501,6 +539,9 @@ inline void park_round(std::atomic<T>& w, const Pred& done) noexcept {
   // mo: relaxed re-check — ordered by the fence above.
   const T again = w.load(std::memory_order_relaxed);
   if (again == seen) {
+    // mo: relaxed — diagnostic sleep tally (ParkDiag).
+    gov.diag().park_sleeps.fetch_add(1, std::memory_order_relaxed);
+    HEMLOCK_TM_PARK();
     if constexpr (sizeof(T) == 8) {
       // Aliasing hazard (an MCS successor node at a 4 GiB-aligned
       // address, a ticket 2^32 hand-offs later): bounded sleep, see
@@ -509,6 +550,13 @@ inline void park_round(std::atomic<T>& w, const Pred& done) noexcept {
     } else {
       futex_wait(futex_word(w), low_word(seen));
     }
+    // mo: relaxed — diagnostic wakeup tally (ParkDiag).
+    gov.diag().park_wakeups.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Re-check under the census aborted the sleep (ROADMAP item 6's
+    // return-to-baseline window).
+    // mo: relaxed — diagnostic retry tally (ParkDiag).
+    gov.diag().baseline_retries.fetch_add(1, std::memory_order_relaxed);
   }
   gov.end_park(&w);
 }
@@ -538,8 +586,27 @@ inline T wait_escalating_with(std::atomic<T>& w, const Done& done,
   }
   auto& gov = ContentionGovernor::instance();
   gov.begin_wait();
+  // Contended tally for the queue-lock wait shapes. The Grant policies
+  // count at wait entry (wait_and_consume is only ever called behind a
+  // real predecessor); here the done-predicate can be true on arrival
+  // (a ticket whose turn it already is), so "contended" means the wait
+  // outlasted the free doorstep spin and entered the escalated rounds.
+  HEMLOCK_TM_CONTENDED();
+  // Tier-transition tracking: the doorstep counts as kSpin, so a wait
+  // whose first escalated round already yields/parks records one
+  // transition, and a governed wait flapping between tiers records
+  // each flap (that instability is exactly what the diagnostic exists
+  // to expose).
+  WaitTier prev_tier = WaitTier::kSpin;
   for (std::uint64_t round = 0;; ++round) {
-    switch (tier_of_round(round)) {
+    const WaitTier round_tier = tier_of_round(round);
+    if (round_tier != prev_tier) {
+      prev_tier = round_tier;
+      // mo: relaxed — diagnostic escalation tally (ParkDiag).
+      gov.diag().escalations.fetch_add(1, std::memory_order_relaxed);
+      HEMLOCK_TM_ESCALATE();
+    }
+    switch (round_tier) {
       case WaitTier::kSpin:
         for (std::uint32_t i = 0; i < kChunkSpins; ++i) {
           // mo: acquire poll (see loop-head comment).
@@ -604,8 +671,15 @@ inline void publish_and_wake(std::atomic<T>& w, T value) noexcept {
   // the parked census and wake, or the parker re-reads our store and
   // never sleeps.
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (ContentionGovernor::instance().parked(&w) != 0) {
+  auto& gov = ContentionGovernor::instance();
+  if (gov.parked(&w) != 0) {
+    // mo: relaxed — diagnostic syscall tally (ParkDiag).
+    gov.diag().wake_syscalls.fetch_add(1, std::memory_order_relaxed);
+    HEMLOCK_TM_WAKE();
     futex_wake_all(futex_word(w));
+  } else {
+    // mo: relaxed — diagnostic gate-skip tally (ParkDiag).
+    gov.diag().wake_gate_skips.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -636,8 +710,15 @@ inline void publish_and_wake_slotted(std::atomic<T>& w, T value) noexcept {
   // mo: seq_cst generation bump — the RMW doubles as the Dekker fence
   // against park_round_slotted's fence + census registration.
   slot.fetch_add(1, std::memory_order_seq_cst);
-  if (ContentionGovernor::instance().parked(&slot) != 0) {
+  auto& gov = ContentionGovernor::instance();
+  if (gov.parked(&slot) != 0) {
+    // mo: relaxed — diagnostic syscall tally (ParkDiag).
+    gov.diag().wake_syscalls.fetch_add(1, std::memory_order_relaxed);
+    HEMLOCK_TM_WAKE();
     futex_wake_all(&slot);
+  } else {
+    // mo: relaxed — diagnostic gate-skip tally (ParkDiag).
+    gov.diag().wake_gate_skips.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -828,6 +909,7 @@ struct GovernedGrantWaiting {
 
   static void wait_and_consume(std::atomic<GrantWord>& g,
                                GrantWord expect) noexcept {
+    HEMLOCK_TM_CONTENDED();
     for (std::uint32_t i = 0; i < queue_wait::kDoorstepSpins; ++i) {
       GrantWord e = expect;
       // mo: acq_rel consume / relaxed failed poll — same CTR pairing
@@ -864,8 +946,15 @@ struct GovernedGrantWaiting {
     // mo: seq_cst fence — Dekker between our Grant clear and the
     // census read, against the drain side's park registration + fence.
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (ContentionGovernor::instance().parked(&g) != 0) {
+    auto& gov = ContentionGovernor::instance();
+    if (gov.parked(&g) != 0) {
+      // mo: relaxed — diagnostic syscall tally (ParkDiag).
+      gov.diag().wake_syscalls.fetch_add(1, std::memory_order_relaxed);
+      HEMLOCK_TM_WAKE();
       futex_wake_all(queue_wait::futex_word(g));
+    } else {
+      // mo: relaxed — diagnostic gate-skip tally (ParkDiag).
+      gov.diag().wake_gate_skips.fetch_add(1, std::memory_order_relaxed);
     }
   }
 

@@ -11,6 +11,7 @@
 #include "interpose/foreign.hpp"
 #include "interpose/shim_mutex.hpp"
 #include "runtime/futex.hpp"
+#include "stats/telemetry.hpp"
 
 namespace hemlock::interpose {
 
@@ -45,6 +46,22 @@ ShimCond* adopt(pthread_cond_t* c) {
                                         std::memory_order_acquire)) {
     // mo: relaxed — monotonic stats counter, no ordering needed.
     cond_stats().adopted.fetch_add(1, std::memory_order_relaxed);
+    // Registered here, not at static init, so the telemetry snapshot
+    // carries a cond block exactly when the condvar overlay was
+    // exercised (re-registration by later adoptions is idempotent).
+    telemetry::set_cond_source(+[] {
+      const CondStats& s = cond_stats();
+      return telemetry::CondCounters{
+          // mo: relaxed — monotonic diagnostics; a snapshot tolerates
+          // counters read mid-update.
+          s.adopted.load(std::memory_order_relaxed),
+          s.waits.load(std::memory_order_relaxed),
+          s.timeouts.load(std::memory_order_relaxed),
+          s.signals.load(std::memory_order_relaxed),
+          s.broadcasts.load(std::memory_order_relaxed),
+          s.requeued.load(std::memory_order_relaxed),
+          s.chain_wakes.load(std::memory_order_relaxed)};
+    });
   }
   return sc;
 }

@@ -12,6 +12,7 @@
 #include "interpose/tier_select.hpp"
 #include "runtime/governor.hpp"
 #include "runtime/pause.hpp"
+#include "stats/telemetry.hpp"
 
 namespace hemlock::interpose {
 
@@ -162,6 +163,27 @@ const LockVTable& selected_lock() {
   return vt;
 }
 
+namespace {
+
+/// The telemetry row every interposed mutex reports under: one handle
+/// per family×tier ("mutex:<selected algorithm>"), resolved once. A
+/// 32-slot handle table cannot carry one row per pthread object;
+/// per-object distinctions live in the flight recorder's per-thread
+/// timelines instead (docs/OBSERVABILITY.md).
+telemetry::TelemetryHandle mutex_family_handle() {
+  static const telemetry::TelemetryHandle h = [] {
+    const std::string_view name = selected_lock().info.name;
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof(buf), "mutex:%.*s",
+                                static_cast<int>(name.size()), name.data());
+    return telemetry::register_handle(
+        std::string_view(buf, static_cast<std::size_t>(n)));
+  }();
+  return h;
+}
+
+}  // namespace
+
 int ShimMutex::shim_init(pthread_mutex_t* m, const pthread_mutexattr_t* attr) {
   int pshared = PTHREAD_PROCESS_PRIVATE;
   if (attr != nullptr &&
@@ -203,20 +225,32 @@ int ShimMutex::shim_destroy(pthread_mutex_t* m) {
 int ShimMutex::shim_lock(pthread_mutex_t* m) {
   if (ForeignRegistry::contains(m)) return real_pthread().mutex_lock(m);
   ShimMutex* sm = adopt(m);
+  const telemetry::TelemetryHandle h = mutex_family_handle();
+  telemetry::on_lock_begin(h);
   sm->vt->lock(sm->storage);
+  telemetry::on_lock_acquired(h);
   return 0;
 }
 
 int ShimMutex::shim_trylock(pthread_mutex_t* m) {
   if (ForeignRegistry::contains(m)) return real_pthread().mutex_trylock(m);
   ShimMutex* sm = adopt(m);
-  return sm->vt->try_lock(sm->storage) ? 0 : EBUSY;
+  const telemetry::TelemetryHandle h = mutex_family_handle();
+  if (sm->vt->try_lock(sm->storage)) {
+    telemetry::on_try_acquired(h);
+    return 0;
+  }
+  telemetry::on_try_failure(h);
+  return EBUSY;
 }
 
 int ShimMutex::shim_unlock(pthread_mutex_t* m) {
   if (ForeignRegistry::contains(m)) return real_pthread().mutex_unlock(m);
   ShimMutex* sm = adopt(m);
+  const telemetry::TelemetryHandle h = mutex_family_handle();
+  telemetry::on_unlock_begin(h);
   sm->vt->unlock(sm->storage);
+  telemetry::on_unlock_end(h);
   return 0;
 }
 

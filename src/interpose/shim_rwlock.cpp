@@ -12,6 +12,7 @@
 #include "runtime/futex.hpp"
 #include "runtime/governor.hpp"
 #include "runtime/pause.hpp"
+#include "stats/telemetry.hpp"
 
 namespace hemlock::interpose {
 
@@ -129,6 +130,20 @@ const LockVTable& selected_rwlock() {
 
 namespace {
 
+/// The telemetry row every interposed rwlock reports under (the mutex
+/// shim's family×tier scheme: "rwlock:<selected algorithm>").
+telemetry::TelemetryHandle rwlock_family_handle() {
+  static const telemetry::TelemetryHandle h = [] {
+    const std::string_view name = selected_rwlock().info.name;
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof(buf), "rwlock:%.*s",
+                                static_cast<int>(name.size()), name.data());
+    return telemetry::register_handle(
+        std::string_view(buf, static_cast<std::size_t>(n)));
+  }();
+  return h;
+}
+
 /// Adopt the pthread_rwlock_t storage (the mutex overlay's lazy
 /// adoption, verbatim: PTHREAD_RWLOCK_INITIALIZER is all-zero).
 ShimRwLock* adopt(pthread_rwlock_t* rw) {
@@ -233,7 +248,10 @@ int ShimRwLock::shim_rdlock(pthread_rwlock_t* rw) {
   if (rw == nullptr) return EINVAL;
   if (ForeignRegistry::contains(rw)) return real_pthread().rwlock_rdlock(rw);
   ShimRwLock* srw = adopt(rw);
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
+  telemetry::on_shared_begin(h);
   srw->vt->lock_shared(srw->storage);
+  telemetry::on_shared_acquired(h);
   return 0;
 }
 
@@ -243,7 +261,13 @@ int ShimRwLock::shim_tryrdlock(pthread_rwlock_t* rw) {
     return real_pthread().rwlock_tryrdlock(rw);
   }
   ShimRwLock* srw = adopt(rw);
-  return srw->vt->try_lock_shared(srw->storage) ? 0 : EBUSY;
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
+  if (srw->vt->try_lock_shared(srw->storage)) {
+    telemetry::on_shared_acquired(h);
+    return 0;
+  }
+  telemetry::on_try_failure(h);
+  return EBUSY;
 }
 
 int ShimRwLock::shim_timedrdlock(pthread_rwlock_t* rw,
@@ -253,9 +277,18 @@ int ShimRwLock::shim_timedrdlock(pthread_rwlock_t* rw,
     return real_pthread().rwlock_timedrdlock(rw, abstime);
   }
   ShimRwLock* srw = adopt(rw);
-  return timed_poll(CLOCK_REALTIME, abstime, [srw] {
+  // Telemetry at poll completion, not per attempt: a timed wait is one
+  // acquisition (or one failure), however many 0.5 ms probes it took.
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
+  const int rc = timed_poll(CLOCK_REALTIME, abstime, [srw] {
     return srw->vt->try_lock_shared(srw->storage);
   });
+  if (rc == 0) {
+    telemetry::on_shared_acquired(h);
+  } else if (rc == ETIMEDOUT) {
+    telemetry::on_try_failure(h);
+  }
+  return rc;
 }
 
 int ShimRwLock::shim_clockrdlock(pthread_rwlock_t* rw, clockid_t clock,
@@ -269,16 +302,26 @@ int ShimRwLock::shim_clockrdlock(pthread_rwlock_t* rw, clockid_t clock,
                : EINVAL;
   }
   ShimRwLock* srw = adopt(rw);
-  return timed_poll(clock, abstime, [srw] {
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
+  const int rc = timed_poll(clock, abstime, [srw] {
     return srw->vt->try_lock_shared(srw->storage);
   });
+  if (rc == 0) {
+    telemetry::on_shared_acquired(h);
+  } else if (rc == ETIMEDOUT) {
+    telemetry::on_try_failure(h);
+  }
+  return rc;
 }
 
 int ShimRwLock::shim_wrlock(pthread_rwlock_t* rw) {
   if (rw == nullptr) return EINVAL;
   if (ForeignRegistry::contains(rw)) return real_pthread().rwlock_wrlock(rw);
   ShimRwLock* srw = adopt(rw);
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
+  telemetry::on_lock_begin(h);
   srw->vt->lock(srw->storage);
+  telemetry::on_lock_acquired(h);
   // mo: relaxed — wheld is only read by lock holders (see shim_unlock's
   // mode-dispatch comment); the lock itself orders it.
   srw->wheld.store(1, std::memory_order_relaxed);
@@ -291,7 +334,12 @@ int ShimRwLock::shim_trywrlock(pthread_rwlock_t* rw) {
     return real_pthread().rwlock_trywrlock(rw);
   }
   ShimRwLock* srw = adopt(rw);
-  if (!srw->vt->try_lock(srw->storage)) return EBUSY;
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
+  if (!srw->vt->try_lock(srw->storage)) {
+    telemetry::on_try_failure(h);
+    return EBUSY;
+  }
+  telemetry::on_try_acquired(h);
   // mo: relaxed — holder-only flag; the lock orders it (shim_unlock).
   srw->wheld.store(1, std::memory_order_relaxed);
   return 0;
@@ -304,11 +352,17 @@ int ShimRwLock::shim_timedwrlock(pthread_rwlock_t* rw,
     return real_pthread().rwlock_timedwrlock(rw, abstime);
   }
   ShimRwLock* srw = adopt(rw);
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
   const int rc = timed_poll(CLOCK_REALTIME, abstime, [srw] {
     return srw->vt->try_lock(srw->storage);
   });
-  // mo: relaxed — holder-only flag; the lock orders it (shim_unlock).
-  if (rc == 0) srw->wheld.store(1, std::memory_order_relaxed);
+  if (rc == 0) {
+    telemetry::on_try_acquired(h);
+    // mo: relaxed — holder-only flag; the lock orders it (shim_unlock).
+    srw->wheld.store(1, std::memory_order_relaxed);
+  } else if (rc == ETIMEDOUT) {
+    telemetry::on_try_failure(h);
+  }
   return rc;
 }
 
@@ -323,11 +377,17 @@ int ShimRwLock::shim_clockwrlock(pthread_rwlock_t* rw, clockid_t clock,
                : EINVAL;
   }
   ShimRwLock* srw = adopt(rw);
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
   const int rc = timed_poll(clock, abstime, [srw] {
     return srw->vt->try_lock(srw->storage);
   });
-  // mo: relaxed — holder-only flag; the lock orders it (shim_unlock).
-  if (rc == 0) srw->wheld.store(1, std::memory_order_relaxed);
+  if (rc == 0) {
+    telemetry::on_try_acquired(h);
+    // mo: relaxed — holder-only flag; the lock orders it (shim_unlock).
+    srw->wheld.store(1, std::memory_order_relaxed);
+  } else if (rc == ETIMEDOUT) {
+    telemetry::on_try_failure(h);
+  }
   return rc;
 }
 
@@ -339,13 +399,20 @@ int ShimRwLock::shim_unlock(pthread_rwlock_t* rw) {
   // release, and readers run only while no writer holds — so a reader
   // unlocking always reads it clear, and the writer (the sole holder)
   // always reads its own store.
+  const telemetry::TelemetryHandle h = rwlock_family_handle();
   // mo: relaxed — holder-only flag; the comment above is the
   // ordering argument (the rwlock itself is the synchronizer).
   if (srw->wheld.load(std::memory_order_relaxed) != 0) {
     srw->wheld.store(0, std::memory_order_relaxed);
+    telemetry::on_unlock_begin(h);
     srw->vt->unlock(srw->storage);
+    telemetry::on_unlock_end(h);
   } else {
+    // Attribution only — reader holds are not timed (any_lock.hpp's
+    // unlock_shared makes the same call for the same reason).
+    telemetry::on_shared_begin(h);
     srw->vt->unlock_shared(srw->storage);
+    telemetry::on_unlock_end(h);
   }
   return 0;
 }

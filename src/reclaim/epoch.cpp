@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "runtime/pause.hpp"
+#include "stats/telemetry.hpp"
 
 namespace hemlock::reclaim {
 
@@ -135,6 +136,7 @@ bool EpochDomain::try_advance() noexcept {
   if (epoch_.compare_exchange_strong(expected, e + 1,
                                      std::memory_order_seq_cst)) {
     advances_.fetch_add(1, std::memory_order_relaxed);  // mo: stats
+    HEMLOCK_TM_EPOCH_ADVANCE(e + 1);
     return true;
   }
   return false;  // lost the race to a concurrent advancer

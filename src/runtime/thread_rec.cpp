@@ -105,6 +105,12 @@ void ThreadRegistry::deregister_rec(ThreadRec* rec) {
       std::max(g_retired.max_grant_waiters,
                // mo: relaxed — stats.
                rec->max_grant_waiters.load(std::memory_order_relaxed));
+#if HEMLOCK_TELEMETRY_ENABLED
+  // Same preservation for the per-lock telemetry slab (the telemetry
+  // fold takes its own accumulator lock; registry -> fold is the one
+  // permitted nesting order).
+  telemetry::on_thread_exit(rec->telemetry_slab);
+#endif
 }
 
 ThreadRegistry::RetiredProfile ThreadRegistry::retired_profile() {
@@ -118,6 +124,14 @@ void ThreadRegistry::for_each(const std::function<void(ThreadRec&)>& fn) {
     // mo: acquire — pairs with register_rec's release so the
     // record's fields are visible for live entries.
     if (r->live.load(std::memory_order_acquire)) fn(*r);
+  }
+}
+
+void ThreadRegistry::for_each_raw(void (*fn)(ThreadRec&, void*), void* ctx) {
+  RegistryGuard g(g_registry_mu);
+  for (ThreadRec* r = g_head; r != nullptr; r = r->registry_next) {
+    // mo: acquire — as for_each.
+    if (r->live.load(std::memory_order_acquire)) fn(*r, ctx);
   }
 }
 

@@ -21,6 +21,7 @@
 #include <functional>
 
 #include "runtime/cacheline.hpp"
+#include "stats/telemetry.hpp"
 
 namespace hemlock {
 
@@ -74,6 +75,14 @@ struct ThreadRec {
   std::atomic<std::uint32_t> grant_waiters{0};    ///< threads now spinning on this->grant
   std::atomic<std::uint32_t> max_grant_waiters{0};///< high-water mark of grant_waiters
 
+#if HEMLOCK_TELEMETRY_ENABLED
+  /// Per-lock telemetry counters for this thread (stats/telemetry.hpp).
+  /// Cold relative to the Grant line; written only by the owning
+  /// thread, read by snapshot walks. Folded into the telemetry retired
+  /// accumulator at deregistration.
+  telemetry::Slab telemetry_slab;
+#endif
+
   ThreadRec() = default;
   ThreadRec(const ThreadRec&) = delete;
   ThreadRec& operator=(const ThreadRec&) = delete;
@@ -99,6 +108,12 @@ class ThreadRegistry {
   /// mutex is held for the whole walk, so records cannot be unlinked
   /// mid-traversal; fn must not register/deregister threads.
   static void for_each(const std::function<void(ThreadRec&)>& fn);
+
+  /// As for_each, but through a plain function pointer — no
+  /// std::function, no potential allocation. Safe to call from the
+  /// telemetry SIGUSR1 report path and other no-allocation contexts
+  /// (same registry-lock rules as for_each).
+  static void for_each_raw(void (*fn)(ThreadRec&, void*), void* ctx);
 
   /// Number of threads ever registered (monotone).
   static std::uint32_t ever_registered();

@@ -1,0 +1,943 @@
+// telemetry.cpp — slab registry, handle table, flight recorder, and
+// the HEMLOCK_STATS / HEMLOCK_TRACE / SIGUSR1 exporters.
+
+#include "stats/telemetry.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "reclaim/epoch.hpp"
+#include "runtime/governor.hpp"
+#include "runtime/pause.hpp"
+#include "runtime/thread_rec.hpp"
+
+namespace hemlock::telemetry {
+
+namespace {
+
+/// Raw spinlock for the cold registry paths (same rationale as the
+/// thread registry's: under the LD_PRELOAD shim a std::mutex here
+/// would re-enter the interposed surface).
+class TmSpinLock {
+ public:
+  void lock() noexcept {
+    // mo: acquire TAS — pairs with unlock's release so the prior
+    // holder's table edits are visible.
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) cpu_relax();
+  }
+  void unlock() noexcept {
+    // mo: release — publishes this holder's table edits.
+    flag_.store(0, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+struct TmGuard {
+  explicit TmGuard(TmSpinLock& l) : lock(l) { lock.lock(); }
+  ~TmGuard() { lock.unlock(); }
+  TmSpinLock& lock;
+};
+
+/// Condvar-counter source registered by the interpose layer (the
+/// stats layer cannot see ShimCond itself).
+std::atomic<CondCounters (*)()> g_cond_source{nullptr};
+
+}  // namespace
+
+void set_cond_source(CondCounters (*source)()) {
+  // mo: release publish / acquire read at use — the source function's
+  // static state is set up before registration.
+  g_cond_source.store(source, std::memory_order_release);
+}
+
+#if HEMLOCK_TELEMETRY_ENABLED
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Handle table.
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kNameBytes = 48;
+
+struct HandleEntry {
+  bool live = false;
+  std::uint32_t refs = 0;
+  char name[kNameBytes] = {};
+};
+
+TmSpinLock g_handle_mu;
+HandleEntry g_handles[kMaxHandles];  // slot 0 = "(unattributed)"
+
+/// Counters folded in from exited threads, indexed like a slab.
+/// Guarded by g_fold_mu (deregistration holds the thread-registry
+/// lock when folding; collect() takes the locks strictly one at a
+/// time, so the orders never nest into a cycle).
+struct RetiredSlot {
+  std::uint64_t acquires = 0, contended = 0, try_failures = 0, parks = 0,
+                wakes = 0, escalations = 0, shared_acquires = 0;
+  std::uint64_t wait_hist[kHistBuckets] = {};
+  std::uint64_t hold_hist[kHistBuckets] = {};
+};
+
+TmSpinLock g_fold_mu;
+RetiredSlot g_retired[kMaxHandles];
+
+/// Shared fallback slab for hooks that fire after the calling
+/// thread's ThreadRec was torn down (thread_local destructor order).
+/// Cross-thread racy, but these are relaxed statistics.
+Slab g_late_slab;
+thread_local bool t_slab_dead = false;
+
+/// Zero one slot id everywhere: retired fold + every live slab.
+void zero_slot_everywhere(std::uint16_t id) {
+  {
+    TmGuard g(g_fold_mu);
+    g_retired[id] = RetiredSlot{};
+  }
+  ThreadRegistry::for_each([id](ThreadRec& rec) {
+    TmSlot& s = rec.telemetry_slab.slots[id];
+    // mo: relaxed — stats reset; concurrent owner increments are racy
+    // by the same contract as ThreadRegistry::reset_profile.
+    s.acquires.store(0, std::memory_order_relaxed);
+    s.contended.store(0, std::memory_order_relaxed);
+    s.try_failures.store(0, std::memory_order_relaxed);
+    s.parks.store(0, std::memory_order_relaxed);
+    s.wakes.store(0, std::memory_order_relaxed);
+    s.escalations.store(0, std::memory_order_relaxed);
+    s.shared_acquires.store(0, std::memory_order_relaxed);
+    for (unsigned b = 0; b < kHistBuckets; ++b) {
+      s.wait_hist[b].store(0, std::memory_order_relaxed);  // mo: stats reset
+      s.hold_hist[b].store(0, std::memory_order_relaxed);  // mo: stats reset
+    }
+  });
+  TmSlot& late = g_late_slab.slots[id];
+  late.acquires.store(0, std::memory_order_relaxed);  // mo: stats reset
+  late.contended.store(0, std::memory_order_relaxed);  // mo: stats reset
+  late.try_failures.store(0, std::memory_order_relaxed);  // mo: stats reset
+  late.parks.store(0, std::memory_order_relaxed);  // mo: stats reset
+  late.wakes.store(0, std::memory_order_relaxed);  // mo: stats reset
+  late.escalations.store(0, std::memory_order_relaxed);  // mo: stats reset
+  late.shared_acquires.store(0, std::memory_order_relaxed);  // mo: stats reset
+  for (unsigned b = 0; b < kHistBuckets; ++b) {
+    late.wait_hist[b].store(0, std::memory_order_relaxed);  // mo: stats reset
+    late.hold_hist[b].store(0, std::memory_order_relaxed);  // mo: stats reset
+  }
+}
+
+}  // namespace
+
+TelemetryHandle register_handle(std::string_view name) noexcept {
+  if (name.empty()) return {};
+  std::uint16_t claimed = 0;
+  {
+    TmGuard g(g_handle_mu);
+    // Refcount an existing live entry with the same name.
+    for (std::uint16_t i = 1; i < kMaxHandles; ++i) {
+      HandleEntry& e = g_handles[i];
+      if (e.live && name == std::string_view(e.name)) {
+        ++e.refs;
+        return {i};
+      }
+    }
+    for (std::uint16_t i = 1; i < kMaxHandles; ++i) {
+      HandleEntry& e = g_handles[i];
+      if (!e.live) {
+        e.live = true;
+        e.refs = 1;
+        const std::size_t n = name.size() < kNameBytes - 1 ? name.size()
+                                                          : kNameBytes - 1;
+        std::memcpy(e.name, name.data(), n);
+        e.name[n] = '\0';
+        claimed = i;
+        break;
+      }
+    }
+  }
+  if (claimed == 0) return {};  // table full: fall back to unattributed
+  return {claimed};
+}
+
+void release_handle(TelemetryHandle h) noexcept {
+  if (h.id == 0 || h.id >= kMaxHandles) return;
+  {
+    TmGuard g(g_handle_mu);
+    HandleEntry& e = g_handles[h.id];
+    if (!e.live || e.refs == 0) return;
+    if (--e.refs != 0) return;
+    // Last reference: keep the slot marked live until the counters are
+    // scrubbed, so a racing register_handle cannot adopt a dirty slot.
+  }
+  zero_slot_everywhere(h.id);
+  TmGuard g(g_handle_mu);
+  g_handles[h.id].live = false;
+  g_handles[h.id].name[0] = '\0';
+}
+
+std::string_view handle_name(TelemetryHandle h) noexcept {
+  if (h.id == 0 || h.id >= kMaxHandles) return {};
+  TmGuard g(g_handle_mu);
+  return g_handles[h.id].live ? std::string_view(g_handles[h.id].name)
+                              : std::string_view{};
+}
+
+Slab* slab_slow() noexcept {
+  if (t_slab_dead) return &g_late_slab;
+  Slab* s = &self().telemetry_slab;
+  t_slab = s;
+  return s;
+}
+
+void on_thread_exit(Slab& slab) noexcept {
+  t_slab = nullptr;
+  t_slab_dead = true;
+  TmGuard g(g_fold_mu);
+  for (std::uint16_t i = 0; i < kMaxHandles; ++i) {
+    const TmSlot& s = slab.slots[i];
+    RetiredSlot& r = g_retired[i];
+    // mo: relaxed — the exiting thread's own monotonic counters; the
+    // registry lock orders this fold against snapshot walks.
+    r.acquires += s.acquires.load(std::memory_order_relaxed);
+    r.contended += s.contended.load(std::memory_order_relaxed);  // mo: ditto
+    r.try_failures += s.try_failures.load(std::memory_order_relaxed);  // mo: ditto
+    r.parks += s.parks.load(std::memory_order_relaxed);  // mo: ditto
+    r.wakes += s.wakes.load(std::memory_order_relaxed);  // mo: ditto
+    r.escalations += s.escalations.load(std::memory_order_relaxed);  // mo: ditto
+    r.shared_acquires += s.shared_acquires.load(std::memory_order_relaxed);  // mo: ditto
+    for (unsigned b = 0; b < kHistBuckets; ++b) {
+      r.wait_hist[b] += s.wait_hist[b].load(std::memory_order_relaxed);  // mo: ditto
+      r.hold_hist[b] += s.hold_hist[b].load(std::memory_order_relaxed);  // mo: ditto
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Waiting-layer hooks.
+// ---------------------------------------------------------------------
+
+namespace {
+inline TmSlot& attr_slot() noexcept {
+  return my_slab().slots[t_attr < kMaxHandles ? t_attr : 0];
+}
+}  // namespace
+
+void wl_contended() noexcept {
+  bump(attr_slot().contended);  // single-writer slab counter
+  trace(Ev::kContended, t_attr);
+}
+
+void wl_park() noexcept {
+  bump(attr_slot().parks);  // single-writer slab counter
+  trace(Ev::kPark, t_attr);
+}
+
+void wl_wake() noexcept {
+  bump(attr_slot().wakes);  // single-writer slab counter
+  trace(Ev::kWake, t_attr);
+}
+
+void wl_escalate() noexcept {
+  bump(attr_slot().escalations);  // single-writer slab counter
+  trace(Ev::kEscalate, t_attr);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder.
+//
+// Rings live in one lazily-allocated global pool (allocated on the
+// loading thread when HEMLOCK_TRACE enables tracing — never on a lock
+// path). A thread claims a ring on its first traced event and keeps
+// it forever, so events from exited threads survive to the dump.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kTraceCap = 4096;   ///< events per thread (ring)
+constexpr std::size_t kTraceThreads = 64; ///< claimable rings per process
+
+struct TraceRec {
+  std::uint64_t ticks;
+  std::uint32_t arg;
+  std::uint16_t handle;
+  std::uint8_t ev;
+  std::uint8_t pad;
+};
+static_assert(sizeof(TraceRec) == 16);
+
+struct TraceRing {
+  TraceRec recs[kTraceCap];
+  std::atomic<std::uint64_t> count{0};  ///< total appended (owner-written)
+  std::uint32_t tid = 0;
+};
+
+TraceRing* g_trace_pool = nullptr;           ///< kTraceThreads rings
+std::atomic<std::uint32_t> g_trace_claimed{0};
+std::atomic<std::uint64_t> g_trace_dropped{0};
+thread_local TraceRing* t_trace_ring = nullptr;
+thread_local bool t_trace_saturated = false;
+
+char g_trace_path[256] = {};
+std::uint64_t g_cal_ticks0 = 0;
+std::int64_t g_cal_ns0 = 0;
+
+inline std::uint64_t trace_ticks() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return static_cast<std::uint64_t>(now_ns());
+#endif
+}
+
+const char* ev_name(std::uint8_t ev) noexcept {
+  switch (static_cast<Ev>(ev)) {
+    case Ev::kAcquire: return "acquire";
+    case Ev::kContended: return "contended";
+    case Ev::kPark: return "park";
+    case Ev::kWake: return "wake";
+    case Ev::kEscalate: return "escalate";
+    case Ev::kEpochAdvance: return "epoch-advance";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void trace_emit(Ev ev, std::uint16_t handle, std::uint32_t arg) noexcept {
+  TraceRing* r = t_trace_ring;
+  if (r == nullptr) {
+    if (t_trace_saturated || g_trace_pool == nullptr) {
+      // mo: relaxed — diagnostic drop counter.
+      g_trace_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // mo: relaxed — slot claim; each thread claims a distinct index,
+    // and the pool itself was published before g_trace_on was set.
+    const std::uint32_t idx =
+        g_trace_claimed.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kTraceThreads) {
+      t_trace_saturated = true;
+      g_trace_dropped.fetch_add(1, std::memory_order_relaxed);  // mo: stats
+      return;
+    }
+    r = &g_trace_pool[idx];
+    r->tid = idx;
+    t_trace_ring = r;
+  }
+  // mo: relaxed owner read — only this thread writes count.
+  const std::uint64_t i = r->count.load(std::memory_order_relaxed);
+  r->recs[i % kTraceCap] = {trace_ticks(), arg, handle,
+                            static_cast<std::uint8_t>(ev), 0};
+  // mo: release — the record is complete before the dump walk (which
+  // runs after threads quiesce, but release keeps the pairing honest).
+  r->count.store(i + 1, std::memory_order_release);
+}
+
+namespace {
+
+/// Dump the rings as Chrome trace-event JSON (instant events with
+/// thread scope). Linear two-point TSC calibration: (ticks0, ns0) at
+/// enable, (ticks1, ns1) here, spread over the program lifetime.
+void trace_dump() {
+  // mo: relaxed — flipping the switch off before the dump walk; any
+  // concurrently-appended event is either seen via count or dropped.
+  g_trace_on.store(false, std::memory_order_relaxed);
+  if (g_trace_pool == nullptr || g_trace_path[0] == '\0') return;
+  std::FILE* f = std::fopen(g_trace_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[hemlock-telemetry] cannot open HEMLOCK_TRACE=%s\n",
+                 g_trace_path);
+    return;
+  }
+  const std::uint64_t ticks1 = trace_ticks();
+  const std::int64_t ns1 = now_ns();
+  const double ns_per_tick =
+      ticks1 > g_cal_ticks0
+          ? static_cast<double>(ns1 - g_cal_ns0) /
+                static_cast<double>(ticks1 - g_cal_ticks0)
+          : 1.0;
+  std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n", f);
+  bool first = true;
+  // mo: relaxed — pool claim count; threads are quiescing at exit and
+  // a racing late claim only loses its (empty) ring.
+  const std::uint32_t rings =
+      std::min<std::uint32_t>(g_trace_claimed.load(std::memory_order_relaxed),
+                              kTraceThreads);
+  for (std::uint32_t ri = 0; ri < rings; ++ri) {
+    TraceRing& r = g_trace_pool[ri];
+    // mo: acquire — pairs with trace_emit's release so the records up
+    // to `count` are fully written.
+    const std::uint64_t total = r.count.load(std::memory_order_acquire);
+    const std::uint64_t begin = total > kTraceCap ? total - kTraceCap : 0;
+    for (std::uint64_t i = begin; i < total; ++i) {
+      const TraceRec& rec = r.recs[i % kTraceCap];
+      const double us =
+          (static_cast<double>(g_cal_ns0) +
+           static_cast<double>(rec.ticks - g_cal_ticks0) * ns_per_tick) /
+          1000.0;
+      char name[96];
+      const std::string_view lock = handle_name({rec.handle});
+      if (lock.empty()) {
+        std::snprintf(name, sizeof(name), "%s", ev_name(rec.ev));
+      } else {
+        std::snprintf(name, sizeof(name), "%s %.*s", ev_name(rec.ev),
+                      static_cast<int>(lock.size()), lock.data());
+      }
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+                   "\"pid\":%d,\"tid\":%u,\"args\":{\"arg\":%u}}",
+                   first ? "" : ",\n", name, us, static_cast<int>(getpid()),
+                   r.tid, rec.arg);
+      first = false;
+    }
+  }
+  // mo: relaxed — diagnostic counter.
+  const std::uint64_t dropped = g_trace_dropped.load(std::memory_order_relaxed);
+  std::fprintf(f,
+               "%s{\"name\":\"hemlock-trace-dropped\",\"ph\":\"i\",\"s\":\"g\","
+               "\"ts\":0,\"pid\":%d,\"tid\":0,\"args\":{\"dropped\":%" PRIu64
+               "}}\n]}\n",
+               first ? "" : ",\n", static_cast<int>(getpid()), dropped);
+  std::fclose(f);
+}
+
+}  // namespace
+
+#endif  // HEMLOCK_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------
+// Snapshot / export.
+// ---------------------------------------------------------------------
+
+namespace {
+
+GovernorTelemetry governor_snapshot() {
+  auto& gov = ContentionGovernor::instance();
+  auto& d = gov.diag();
+  GovernorTelemetry g;
+  g.cpus = gov.cpus();
+  g.waiters = gov.waiters();
+  g.parked_total = gov.parked_total();
+  // mo: relaxed — diagnostic counters; see ParkDiag.
+  g.wake_syscalls = d.wake_syscalls.load(std::memory_order_relaxed);
+  g.wake_gate_skips = d.wake_gate_skips.load(std::memory_order_relaxed);  // mo: ditto
+  g.park_sleeps = d.park_sleeps.load(std::memory_order_relaxed);  // mo: ditto
+  g.park_wakeups = d.park_wakeups.load(std::memory_order_relaxed);  // mo: ditto
+  g.baseline_retries = d.baseline_retries.load(std::memory_order_relaxed);  // mo: ditto
+  g.escalations = d.escalations.load(std::memory_order_relaxed);  // mo: ditto
+  for (std::size_t b = 0; b < ContentionGovernor::kParkBuckets; ++b) {
+    // mo: relaxed — racy-max diagnostic high-water.
+    const std::uint32_t hw = d.census_high[b].load(std::memory_order_relaxed);
+    if (hw > g.census_high_water_max) {
+      g.census_high_water_max = hw;
+      g.census_high_water_bucket = static_cast<std::uint32_t>(b);
+    }
+  }
+  return g;
+}
+
+EpochTelemetry epoch_snapshot() {
+  const auto s = reclaim::EpochDomain::global().stats();
+  return {s.epoch, s.pending, s.freed, s.advances, s.advance_blocked};
+}
+
+}  // namespace
+
+Snapshot collect() {
+  Snapshot snap;
+  snap.governor = governor_snapshot();
+  snap.epoch = epoch_snapshot();
+  // mo: acquire — pairs with set_cond_source's release publish.
+  if (auto* src = g_cond_source.load(std::memory_order_acquire)) {
+    snap.cond = src();
+    snap.cond_present = true;
+  }
+#if HEMLOCK_TELEMETRY_ENABLED
+  struct Row {
+    std::uint64_t c[7] = {};
+    std::uint64_t wait[kHistBuckets] = {};
+    std::uint64_t hold[kHistBuckets] = {};
+  };
+  std::vector<Row> rows(kMaxHandles);
+  {
+    TmGuard g(g_fold_mu);
+    for (std::uint16_t i = 0; i < kMaxHandles; ++i) {
+      const RetiredSlot& r = g_retired[i];
+      Row& row = rows[i];
+      row.c[0] = r.acquires;
+      row.c[1] = r.contended;
+      row.c[2] = r.try_failures;
+      row.c[3] = r.parks;
+      row.c[4] = r.wakes;
+      row.c[5] = r.escalations;
+      row.c[6] = r.shared_acquires;
+      for (unsigned b = 0; b < kHistBuckets; ++b) {
+        row.wait[b] = r.wait_hist[b];
+        row.hold[b] = r.hold_hist[b];
+      }
+    }
+  }
+  const auto fold = [&rows](const Slab& slab) {
+    for (std::uint16_t i = 0; i < kMaxHandles; ++i) {
+      const TmSlot& s = slab.slots[i];
+      Row& row = rows[i];
+      // mo: relaxed — monotonic stats counters; racy-consistent
+      // snapshot by design (exact once writers quiesce).
+      row.c[0] += s.acquires.load(std::memory_order_relaxed);
+      row.c[1] += s.contended.load(std::memory_order_relaxed);  // mo: ditto
+      row.c[2] += s.try_failures.load(std::memory_order_relaxed);  // mo: ditto
+      row.c[3] += s.parks.load(std::memory_order_relaxed);  // mo: ditto
+      row.c[4] += s.wakes.load(std::memory_order_relaxed);  // mo: ditto
+      row.c[5] += s.escalations.load(std::memory_order_relaxed);  // mo: ditto
+      row.c[6] += s.shared_acquires.load(std::memory_order_relaxed);  // mo: ditto
+      for (unsigned b = 0; b < kHistBuckets; ++b) {
+        row.wait[b] += s.wait_hist[b].load(std::memory_order_relaxed);  // mo: ditto
+        row.hold[b] += s.hold_hist[b].load(std::memory_order_relaxed);  // mo: ditto
+      }
+    }
+  };
+  ThreadRegistry::for_each(
+      [&fold](ThreadRec& rec) { fold(rec.telemetry_slab); });
+  fold(g_late_slab);
+
+  for (std::uint16_t i = 0; i < kMaxHandles; ++i) {
+    const Row& row = rows[i];
+    LockTelemetry lt;
+    lt.name = i == 0 ? "(unattributed)" : std::string(handle_name({i}));
+    if (i != 0 && lt.name.empty()) lt.name = "(released)";
+    lt.acquires = row.c[0];
+    lt.contended = row.c[1];
+    lt.try_failures = row.c[2];
+    lt.parks = row.c[3];
+    lt.wakes = row.c[4];
+    lt.escalations = row.c[5];
+    lt.shared_acquires = row.c[6];
+    for (unsigned b = 0; b < kHistBuckets; ++b) {
+      if (row.wait[b] != 0) lt.wait_ns.record_n(1ull << b, row.wait[b]);
+      if (row.hold[b] != 0) lt.hold_ns.record_n(1ull << b, row.hold[b]);
+    }
+    if (!lt.empty()) snap.locks.push_back(std::move(lt));
+  }
+#endif  // HEMLOCK_TELEMETRY_ENABLED
+  return snap;
+}
+
+void reset() {
+#if HEMLOCK_TELEMETRY_ENABLED
+  for (std::uint16_t i = 0; i < kMaxHandles; ++i) zero_slot_everywhere(i);
+#endif
+  auto& d = ContentionGovernor::instance().diag();
+  // mo: relaxed — diagnostic reset; racing increments are racy anyway.
+  d.wake_syscalls.store(0, std::memory_order_relaxed);
+  d.wake_gate_skips.store(0, std::memory_order_relaxed);  // mo: ditto
+  d.park_sleeps.store(0, std::memory_order_relaxed);  // mo: ditto
+  d.park_wakeups.store(0, std::memory_order_relaxed);  // mo: ditto
+  d.baseline_retries.store(0, std::memory_order_relaxed);  // mo: ditto
+  d.escalations.store(0, std::memory_order_relaxed);  // mo: ditto
+  for (std::size_t b = 0; b < ContentionGovernor::kParkBuckets; ++b) {
+    d.census_high[b].store(0, std::memory_order_relaxed);  // mo: ditto
+  }
+}
+
+namespace {
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_hist(std::string& out, const char* key, const Histogram& h) {
+  out += '"';
+  out += key;
+  out += "\":{\"count\":";
+  append_u64(out, h.count());
+  out += ",\"p50\":";
+  append_u64(out, h.quantile(0.50));
+  out += ",\"p99\":";
+  append_u64(out, h.quantile(0.99));
+  out += ",\"max\":";
+  append_u64(out, h.max());
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::string out;
+  out.reserve(2048);
+  out += "{\"schema\":\"hemlock-telemetry-v1\",\"pid\":";
+  append_u64(out, static_cast<std::uint64_t>(getpid()));
+  out += ",\"locks\":[";
+  bool first = true;
+  for (const LockTelemetry& lt : snap.locks) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    json_escape_into(out, lt.name);
+    out += "\",\"acquires\":";
+    append_u64(out, lt.acquires);
+    out += ",\"contended\":";
+    append_u64(out, lt.contended);
+    out += ",\"try_failures\":";
+    append_u64(out, lt.try_failures);
+    out += ",\"parks\":";
+    append_u64(out, lt.parks);
+    out += ",\"wakes\":";
+    append_u64(out, lt.wakes);
+    out += ",\"escalations\":";
+    append_u64(out, lt.escalations);
+    out += ",\"shared_acquires\":";
+    append_u64(out, lt.shared_acquires);
+    out += ',';
+    append_hist(out, "wait_ns", lt.wait_ns);
+    out += ',';
+    append_hist(out, "hold_ns", lt.hold_ns);
+    out += '}';
+  }
+  out += "],\"governor\":{\"cpus\":";
+  append_u64(out, snap.governor.cpus);
+  out += ",\"waiters\":";
+  append_u64(out, snap.governor.waiters);
+  out += ",\"parked\":";
+  append_u64(out, snap.governor.parked_total);
+  out += ",\"wake_syscalls\":";
+  append_u64(out, snap.governor.wake_syscalls);
+  out += ",\"wake_gate_skips\":";
+  append_u64(out, snap.governor.wake_gate_skips);
+  out += ",\"park_sleeps\":";
+  append_u64(out, snap.governor.park_sleeps);
+  out += ",\"park_wakeups\":";
+  append_u64(out, snap.governor.park_wakeups);
+  out += ",\"baseline_retries\":";
+  append_u64(out, snap.governor.baseline_retries);
+  out += ",\"escalations\":";
+  append_u64(out, snap.governor.escalations);
+  out += ",\"census_high_water\":{\"max\":";
+  append_u64(out, snap.governor.census_high_water_max);
+  out += ",\"bucket\":";
+  append_u64(out, snap.governor.census_high_water_bucket);
+  out += "}},\"epoch\":{\"epoch\":";
+  append_u64(out, snap.epoch.epoch);
+  out += ",\"pending\":";
+  append_u64(out, snap.epoch.pending);
+  out += ",\"freed\":";
+  append_u64(out, snap.epoch.freed);
+  out += ",\"advances\":";
+  append_u64(out, snap.epoch.advances);
+  out += ",\"advance_blocked\":";
+  append_u64(out, snap.epoch.advance_blocked);
+  out += '}';
+  if (snap.cond_present) {
+    out += ",\"cond\":{\"adopted\":";
+    append_u64(out, snap.cond.adopted);
+    out += ",\"waits\":";
+    append_u64(out, snap.cond.waits);
+    out += ",\"timeouts\":";
+    append_u64(out, snap.cond.timeouts);
+    out += ",\"signals\":";
+    append_u64(out, snap.cond.signals);
+    out += ",\"broadcasts\":";
+    append_u64(out, snap.cond.broadcasts);
+    out += ",\"requeued\":";
+    append_u64(out, snap.cond.requeued);
+    out += ",\"chain_wakes\":";
+    append_u64(out, snap.cond.chain_wakes);
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// No-allocation report (shared by the atexit dump and the SIGUSR1
+// handler). snprintf into a bounded stack buffer + write(2) only.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct FdSink {
+  int fd;
+  char buf[1024];
+  void line(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list ap;
+    va_start(ap, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (n > 0) {
+      const auto len = static_cast<std::size_t>(n) < sizeof(buf)
+                           ? static_cast<std::size_t>(n)
+                           : sizeof(buf) - 1;
+      (void)!write(fd, buf, len);
+    }
+  }
+};
+
+#if HEMLOCK_TELEMETRY_ENABLED
+struct ReportRow {
+  std::uint64_t c[7];
+  std::uint64_t wait[kHistBuckets];
+  std::uint64_t hold[kHistBuckets];
+};
+struct ReportState {
+  ReportRow rows[kMaxHandles];
+};
+
+void fold_slab_into_report(const Slab& slab, ReportState* st) {
+  for (std::uint16_t i = 0; i < kMaxHandles; ++i) {
+    const TmSlot& s = slab.slots[i];
+    ReportRow& row = st->rows[i];
+    // mo: relaxed — monotonic stats counters; racy-consistent report.
+    row.c[0] += s.acquires.load(std::memory_order_relaxed);
+    row.c[1] += s.contended.load(std::memory_order_relaxed);  // mo: ditto
+    row.c[2] += s.try_failures.load(std::memory_order_relaxed);  // mo: ditto
+    row.c[3] += s.parks.load(std::memory_order_relaxed);  // mo: ditto
+    row.c[4] += s.wakes.load(std::memory_order_relaxed);  // mo: ditto
+    row.c[5] += s.escalations.load(std::memory_order_relaxed);  // mo: ditto
+    row.c[6] += s.shared_acquires.load(std::memory_order_relaxed);  // mo: ditto
+    for (unsigned b = 0; b < kHistBuckets; ++b) {
+      row.wait[b] += s.wait_hist[b].load(std::memory_order_relaxed);  // mo: ditto
+      row.hold[b] += s.hold_hist[b].load(std::memory_order_relaxed);  // mo: ditto
+    }
+  }
+}
+
+void fold_rec_into_report(ThreadRec& rec, void* ctx) {
+  fold_slab_into_report(rec.telemetry_slab, static_cast<ReportState*>(ctx));
+}
+
+/// Approximate quantile over a log2 bucket array: the upper edge of
+/// the bucket containing the q-th sample.
+std::uint64_t bucket_quantile(const std::uint64_t* hist, double q) {
+  std::uint64_t total = 0;
+  for (unsigned b = 0; b < kHistBuckets; ++b) total += hist[b];
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b < kHistBuckets; ++b) {
+    seen += hist[b];
+    if (seen > rank) return (2ull << b) - 1;
+  }
+  return (2ull << (kHistBuckets - 1)) - 1;
+}
+#endif  // HEMLOCK_TELEMETRY_ENABLED
+
+}  // namespace
+
+void report_to_fd(int fd) {
+  FdSink out{fd, {}};
+  out.line("[hemlock-telemetry] pid %d\n", static_cast<int>(getpid()));
+#if HEMLOCK_TELEMETRY_ENABLED
+  static ReportState st;  // static: the SIGUSR1 handler's stack is small
+  std::memset(&st, 0, sizeof(st));
+  {
+    TmGuard g(g_fold_mu);
+    for (std::uint16_t i = 0; i < kMaxHandles; ++i) {
+      const RetiredSlot& r = g_retired[i];
+      ReportRow& row = st.rows[i];
+      row.c[0] = r.acquires;
+      row.c[1] = r.contended;
+      row.c[2] = r.try_failures;
+      row.c[3] = r.parks;
+      row.c[4] = r.wakes;
+      row.c[5] = r.escalations;
+      row.c[6] = r.shared_acquires;
+      for (unsigned b = 0; b < kHistBuckets; ++b) {
+        row.wait[b] = r.wait_hist[b];
+        row.hold[b] = r.hold_hist[b];
+      }
+    }
+  }
+  ThreadRegistry::for_each_raw(&fold_rec_into_report, &st);
+  fold_slab_into_report(g_late_slab, &st);
+  out.line("%-28s %10s %10s %8s %8s %8s %6s %8s %12s %12s\n", "lock",
+           "acquires", "contended", "try-fail", "parks", "wakes", "escal",
+           "shared", "wait-p99(ns)", "hold-p99(ns)");
+  for (std::uint16_t i = 0; i < kMaxHandles; ++i) {
+    const ReportRow& row = st.rows[i];
+    std::uint64_t any = 0;
+    for (std::uint64_t v : row.c) any |= v;
+    if (any == 0) continue;
+    char name[kNameBytes];
+    if (i == 0) {
+      std::snprintf(name, sizeof(name), "(unattributed)");
+    } else {
+      const std::string_view n = handle_name({i});
+      if (n.empty()) {
+        std::snprintf(name, sizeof(name), "(released #%u)", i);
+      } else {
+        std::snprintf(name, sizeof(name), "%.*s", static_cast<int>(n.size()),
+                      n.data());
+      }
+    }
+    out.line("%-28s %10" PRIu64 " %10" PRIu64 " %8" PRIu64 " %8" PRIu64
+             " %8" PRIu64 " %6" PRIu64 " %8" PRIu64 " %12" PRIu64
+             " %12" PRIu64 "\n",
+             name, row.c[0], row.c[1], row.c[2], row.c[3], row.c[4], row.c[5],
+             row.c[6], bucket_quantile(row.wait, 0.99),
+             bucket_quantile(row.hold, 0.99));
+  }
+#endif  // HEMLOCK_TELEMETRY_ENABLED
+  {
+    auto& gov = ContentionGovernor::instance();
+    auto& d = gov.diag();
+    std::uint32_t hw_max = 0, hw_bucket = 0;
+    for (std::size_t b = 0; b < ContentionGovernor::kParkBuckets; ++b) {
+      // mo: relaxed — racy-max diagnostic high-water.
+      const std::uint32_t hw = d.census_high[b].load(std::memory_order_relaxed);
+      if (hw > hw_max) {
+        hw_max = hw;
+        hw_bucket = static_cast<std::uint32_t>(b);
+      }
+    }
+    out.line("governor: cpus=%u waiters=%u parked=%u wake-syscalls=%" PRIu64
+             " wake-gate-skips=%" PRIu64 " park-sleeps=%" PRIu64
+             " park-wakeups=%" PRIu64 " baseline-retries=%" PRIu64
+             " escalations=%" PRIu64 " census-high-water=%u (bucket %u)\n",
+             gov.cpus(), gov.waiters(), gov.parked_total(),
+             // mo: relaxed — diagnostic counters (ParkDiag contract).
+             d.wake_syscalls.load(std::memory_order_relaxed),
+             d.wake_gate_skips.load(std::memory_order_relaxed),
+             d.park_sleeps.load(std::memory_order_relaxed),
+             d.park_wakeups.load(std::memory_order_relaxed),
+             d.baseline_retries.load(std::memory_order_relaxed),
+             d.escalations.load(std::memory_order_relaxed), hw_max, hw_bucket);
+  }
+  {
+    const auto e = reclaim::EpochDomain::global().stats();
+    out.line("epoch: epoch=%" PRIu64 " pending=%" PRIu64 " freed=%" PRIu64
+             " advances=%" PRIu64 " advance-blocked=%" PRIu64 "\n",
+             e.epoch, e.pending, e.freed, e.advances, e.advance_blocked);
+  }
+  // mo: acquire — pairs with set_cond_source's release publish.
+  if (auto* src = g_cond_source.load(std::memory_order_acquire)) {
+    const CondCounters c = src();
+    out.line("cond: adopted=%" PRIu64 " waits=%" PRIu64 " timeouts=%" PRIu64
+             " signals=%" PRIu64 " broadcasts=%" PRIu64 " requeued=%" PRIu64
+             " chain-wakes=%" PRIu64 "\n",
+             c.adopted, c.waits, c.timeouts, c.signals, c.broadcasts,
+             c.requeued, c.chain_wakes);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Environment wiring: HEMLOCK_STATS, HEMLOCK_TRACE, SIGUSR1.
+// ---------------------------------------------------------------------
+
+namespace {
+
+enum class StatsMode { kOff, kReport, kJson };
+StatsMode g_stats_mode = StatsMode::kOff;
+char g_stats_path[256] = {};
+
+void stats_atexit() {
+  if (g_stats_mode == StatsMode::kReport) {
+    report_to_fd(STDERR_FILENO);
+    return;
+  }
+  const std::string doc = to_json(collect());
+  if (g_stats_path[0] != '\0') {
+    if (std::FILE* f = std::fopen(g_stats_path, "w")) {
+      std::fputs(doc.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      return;
+    }
+    std::fprintf(stderr, "[hemlock-telemetry] cannot open HEMLOCK_STATS path %s\n",
+                 g_stats_path);
+  }
+  std::fputs(doc.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+void sigusr1_handler(int) { report_to_fd(STDERR_FILENO); }
+
+}  // namespace
+
+void init_from_env() {
+  static std::atomic<bool> once{false};
+  // mo: relaxed — idempotence latch; init runs on the loading thread
+  // before any competitor exists.
+  if (once.exchange(true, std::memory_order_relaxed)) return;
+
+  if (const char* stats = std::getenv("HEMLOCK_STATS");
+      stats != nullptr && stats[0] != '\0') {
+    std::string_view spec(stats);
+    std::string_view mode = spec;
+    if (const auto colon = spec.find(':'); colon != std::string_view::npos) {
+      mode = spec.substr(0, colon);
+      const std::string_view path = spec.substr(colon + 1);
+      const std::size_t n = path.size() < sizeof(g_stats_path) - 1
+                                ? path.size()
+                                : sizeof(g_stats_path) - 1;
+      std::memcpy(g_stats_path, path.data(), n);
+      g_stats_path[n] = '\0';
+    }
+    if (mode == "report") {
+      g_stats_mode = StatsMode::kReport;
+    } else if (mode == "json") {
+      g_stats_mode = StatsMode::kJson;
+    } else {
+      std::fprintf(stderr,
+                   "[hemlock-telemetry] HEMLOCK_STATS=%s unrecognized "
+                   "(want report|json[:path]); ignored\n",
+                   stats);
+    }
+    if (g_stats_mode != StatsMode::kOff) {
+      std::atexit(&stats_atexit);
+      struct sigaction sa = {};
+      sa.sa_handler = &sigusr1_handler;
+      sigemptyset(&sa.sa_mask);
+      sa.sa_flags = SA_RESTART;
+      sigaction(SIGUSR1, &sa, nullptr);
+    }
+  }
+
+#if HEMLOCK_TELEMETRY_ENABLED
+  if (const char* trace = std::getenv("HEMLOCK_TRACE");
+      trace != nullptr && trace[0] != '\0') {
+    const std::size_t n = std::strlen(trace) < sizeof(g_trace_path) - 1
+                              ? std::strlen(trace)
+                              : sizeof(g_trace_path) - 1;
+    std::memcpy(g_trace_path, trace, n);
+    g_trace_path[n] = '\0';
+    g_trace_pool = new TraceRing[kTraceThreads];
+    g_cal_ticks0 = trace_ticks();
+    g_cal_ns0 = now_ns();
+    std::atexit(&trace_dump);
+    // mo: release-ish not needed — the pool store above happens-before
+    // any thread observes the flag via the loader's synchronization;
+    // relaxed matches the hooks' relaxed reads.
+    g_trace_on.store(true, std::memory_order_release);
+  }
+#endif
+}
+
+namespace {
+struct EnvInit {
+  EnvInit() { init_from_env(); }
+};
+EnvInit g_env_init;
+}  // namespace
+
+}  // namespace hemlock::telemetry

@@ -143,6 +143,63 @@ TEST(Governor, ParkedCensusIsPerAddressBucket) {
   EXPECT_EQ(gov.parked(a), a_before);
 }
 
+// The ParkDiag protocol counters must balance once every thread has
+// come home: a joined workload leaves no futex sleep without a return,
+// and every publish either issued the wake syscall or was gated off by
+// the zero census. (These are the diagnostics the telemetry exporter
+// surfaces as the governor block — see docs/OBSERVABILITY.md.)
+TEST(Governor, ParkDiagBalancesAfterGovernedParkWorkload) {
+  auto& gov = ContentionGovernor::instance();
+  auto& d = gov.diag();
+  ForceGuard restore;
+  gov.force(WaitTier::kPark);
+
+  // mo: relaxed throughout — diagnostic counters read while the only
+  // threads that touch them are quiesced (before the workload / after
+  // every join).
+  const std::uint64_t sleeps0 = d.park_sleeps.load(std::memory_order_relaxed);
+  const std::uint64_t wakeups0 =
+      d.park_wakeups.load(std::memory_order_relaxed);  // mo: ditto
+  const std::uint64_t syscalls0 =
+      d.wake_syscalls.load(std::memory_order_relaxed);  // mo: ditto
+  const std::uint64_t skips0 =
+      d.wake_gate_skips.load(std::memory_order_relaxed);  // mo: ditto
+  const std::uint64_t retries0 =
+      d.baseline_retries.load(std::memory_order_relaxed);  // mo: ditto
+
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<std::uint32_t> word{1};
+    std::thread waiter(
+        [&] { GovernedWaiting::wait_until(word, std::uint32_t{0}); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    GovernedWaiting::publish(word, std::uint32_t{0});
+    waiter.join();
+  }
+
+  const std::uint64_t sleeps =
+      d.park_sleeps.load(std::memory_order_relaxed) - sleeps0;  // mo: ditto
+  const std::uint64_t wakeups =
+      d.park_wakeups.load(std::memory_order_relaxed) - wakeups0;  // mo: ditto
+  const std::uint64_t syscalls =
+      d.wake_syscalls.load(std::memory_order_relaxed) - syscalls0;  // mo: ditto
+  const std::uint64_t skips =
+      d.wake_gate_skips.load(std::memory_order_relaxed) - skips0;  // mo: ditto
+  const std::uint64_t retries = d.baseline_retries.load(
+                                    std::memory_order_relaxed) -  // mo: ditto
+                                retries0;
+
+  // Every sleep returned (joined threads cannot still be in futex_wait).
+  EXPECT_EQ(sleeps, wakeups);
+  // Each of the 8 publishes resolved its wake decision one way or the
+  // other (other suites' teardown can add to either side, never remove).
+  EXPECT_GE(syscalls + skips, 8u);
+  // Park attempts either really slept or aborted in the
+  // return-to-baseline window. Not one-per-round: a late-scheduled
+  // waiter can find the word already published and never park, so
+  // only the aggregate is asserted.
+  EXPECT_GE(sleeps + retries, 1u);
+}
+
 // Parker and publisher agree on the bucket because they hash the same
 // address — the property the publish-side syscall gate relies on.
 TEST(Governor, ParkBucketIsStableAndInRange) {

@@ -204,8 +204,10 @@ def run_compare(args):
 # relies on. Registered as ctest `test_bench_compare`.
 # ---------------------------------------------------------------------
 
-def _write_doc(directory, bench, values, unit="msteps_per_sec"):
-    """values: {lock: {threads: value-or-None}}"""
+def _write_doc(directory, bench, values, unit="msteps_per_sec",
+               telemetry=None):
+    """values: {lock: {threads: value-or-None}}; telemetry: optional
+    hemlock-telemetry-v1 block (bench_minikv_traffic embeds one)."""
     doc = {
         "schema": SCHEMA,
         "bench": bench,
@@ -220,6 +222,8 @@ def _write_doc(directory, bench, values, unit="msteps_per_sec"):
             for lock, points in sorted(values.items())
         ],
     }
+    if telemetry is not None:
+        doc["telemetry"] = telemetry
     path = os.path.join(directory, f"BENCH_{bench}.json")
     with open(path, "w", encoding="utf-8") as f:
         json.dump(doc, f)
@@ -328,6 +332,27 @@ def self_test():
                    unit="mops_per_sec")
         check("sharded read-path collapse fails on its '@' key",
               _gate(kv_base, kv_collapse), 1)
+
+        # ---- telemetry block is ignored ------------------------------
+        # bench_minikv_traffic embeds a hemlock-telemetry-v1 snapshot
+        # as a top-level "telemetry" member. The comparator reads only
+        # "series": a candidate carrying the block (against a baseline
+        # without one) must gate identically — the block is metadata,
+        # never a comparison key.
+        kv_telem = os.path.join(tmp, "kv_telem")
+        os.makedirs(kv_telem)
+        _write_doc(kv_telem, "minikv_traffic", kv_healthy,
+                   unit="mops_per_sec",
+                   telemetry={"schema": "hemlock-telemetry-v1",
+                              "pid": 1,
+                              "locks": [{"name": "minikv:central",
+                                         "acquires": 12345}],
+                              "governor": {"cpus": 4},
+                              "epoch": {"epoch": 2}})
+        check("telemetry block in candidate is ignored",
+              _gate(kv_base, kv_telem), 0)
+        check("telemetry block in baseline is ignored",
+              _gate(kv_telem, kv_same), 0)
 
         # ---- windowed trend check (multi-baseline) -------------------
         # Slow drift: main artifacts decayed 30 -> 24 -> 20 (each step
